@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Ablation A1: the ring NIC's buffer-bypass path. DESIGN.md calls the
+ * bypass out as a latency feature of the paper's NIC (Figure 3); this
+ * bench quantifies what it buys across the ring ladder.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace hrsim;
+    using namespace hrsim::bench;
+
+    Report report("Ablation A1: ring-buffer bypass on/off, 32B lines "
+                  "(R=1.0, C=0.04, T=4)",
+                  "nodes", "latency, cycles");
+    for (const bool bypass : {true, false}) {
+        const std::string series = bypass ? "bypass" : "no bypass";
+        for (const std::string &topo : standardRingLadder(32)) {
+            SystemConfig cfg = ringConfig(topo, 32, 4, 1.0);
+            cfg.ringBypass = bypass;
+            report.add(series, cfg.numProcessors(),
+                       runSystem(cfg).avgLatency);
+        }
+    }
+    emit(report);
+    std::printf("expectation: disabling the bypass adds roughly one "
+                "cycle per transit NIC, growing with distance\n");
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Ablation A4: inter-ring transfer queue depth. The paper fixes every
+ * IRI up/down queue at one cache-line packet; this bench quantifies
+ * what deeper queues would buy across the ring ladder (a buffer
+ * sizing study in the spirit of the paper's mesh Section 4).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace hrsim;
+    using namespace hrsim::bench;
+
+    Report report("Ablation A4: IRI queue depth, 64B lines "
+                  "(R=1.0, C=0.04, T=4)",
+                  "nodes", "latency, cycles");
+    for (const std::uint32_t packets : {1u, 2u, 4u}) {
+        const std::string series =
+            std::to_string(packets) + "-packet queues";
+        for (const std::string &topo : standardRingLadder(64)) {
+            SystemConfig cfg = ringConfig(topo, 64, 4, 1.0);
+            cfg.ringIriQueuePackets = packets;
+            report.add(series, cfg.numProcessors(),
+                       runSystem(cfg).avgLatency);
+        }
+    }
+    emit(report);
+    std::printf("expectation: deeper queues smooth transfer bursts "
+                "for mid-size systems but cannot lift the bisection "
+                "ceiling of large ones\n");
+    return 0;
+}

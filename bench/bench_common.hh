@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries.
+ *
+ * Every binary regenerates one table or figure of the paper: it runs
+ * fresh simulations, prints the series as an aligned table, appends
+ * machine-readable CSV, and (where the paper calls one out) prints
+ * the derived statistic such as the ring/mesh cross-over point.
+ */
+
+#ifndef HRSIM_BENCH_BENCH_COMMON_HH
+#define HRSIM_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/analysis.hh"
+#include "core/experiment.hh"
+#include "core/system.hh"
+#include "workload/region.hh"
+
+namespace hrsim::bench
+{
+
+/** Measurement protocol used by all figure benches. */
+inline SimConfig
+benchSim()
+{
+    SimConfig sim;
+    sim.warmupCycles = 4000;
+    sim.batchCycles = 4000;
+    sim.numBatches = 5;
+    return sim;
+}
+
+inline SystemConfig
+ringConfig(const std::string &topo, std::uint32_t line_bytes, int t,
+           double r, std::uint32_t global_speed = 1)
+{
+    SystemConfig cfg = SystemConfig::ring(topo, line_bytes);
+    cfg.workload.outstandingT = t;
+    cfg.workload.localityR = r;
+    cfg.globalRingSpeed = global_speed;
+    cfg.sim = benchSim();
+    return cfg;
+}
+
+inline SystemConfig
+meshConfig(int width, std::uint32_t line_bytes,
+           std::uint32_t buffer_flits, int t, double r)
+{
+    SystemConfig cfg =
+        SystemConfig::mesh(width, line_bytes, buffer_flits);
+    cfg.workload.outstandingT = t;
+    cfg.workload.localityR = r;
+    cfg.sim = benchSim();
+    return cfg;
+}
+
+/** Add the ring ladder (Table 2 topologies) to a report series. */
+inline void
+runRingLadder(Report &report, const std::string &series,
+              std::uint32_t line_bytes, int t, double r,
+              std::uint32_t global_speed = 1, int max_nodes = 128)
+{
+    for (const std::string &topo : standardRingLadder(line_bytes)) {
+        SystemConfig cfg =
+            ringConfig(topo, line_bytes, t, r, global_speed);
+        if (cfg.numProcessors() > max_nodes)
+            continue;
+        // Skip degenerate points whose access region has no remote
+        // PM (e.g. R = 0.1 on a 4-node system).
+        if (regionRemoteCount(cfg.numProcessors(), r) == 0)
+            continue;
+        const RunResult result = runSystem(cfg);
+        report.add(series, cfg.numProcessors(), result.avgLatency);
+    }
+}
+
+/** Add the square-mesh sweep to a report series. */
+inline void
+runMeshSweep(Report &report, const std::string &series,
+             std::uint32_t line_bytes, std::uint32_t buffer_flits,
+             int t, double r, int max_nodes = 121)
+{
+    for (const int width : standardMeshWidths(max_nodes)) {
+        SystemConfig cfg =
+            meshConfig(width, line_bytes, buffer_flits, t, r);
+        if (regionRemoteCount(cfg.numProcessors(), r) == 0)
+            continue;
+        const RunResult result = runSystem(cfg);
+        report.add(series, cfg.numProcessors(), result.avgLatency);
+    }
+}
+
+/** Print table, cross-over (if both series named), then CSV. */
+inline void
+emit(const Report &report)
+{
+    report.print(std::cout);
+    std::cout << "\n";
+    report.writeCsv(std::cout);
+    std::cout << std::endl;
+}
+
+/** Print the cross-over between a mesh and a ring series, if any. */
+inline void
+printCrossover(const Report &report, const std::string &mesh_series,
+               const std::string &ring_series)
+{
+    const auto x = crossoverPoint(report.seriesPoints(ring_series),
+                                  report.seriesPoints(mesh_series));
+    if (x) {
+        std::printf("cross-over (%s vs %s): mesh wins above ~%.0f "
+                    "nodes\n",
+                    mesh_series.c_str(), ring_series.c_str(), *x);
+    } else {
+        std::printf("cross-over (%s vs %s): none up to the largest "
+                    "size (rings keep winning or never win)\n",
+                    mesh_series.c_str(), ring_series.c_str());
+    }
+}
+
+} // namespace hrsim::bench
+
+#endif // HRSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 6: average latency of single-ring systems vs. node count,
+ * for 16/32/64/128 B cache lines and T = 1, 2, 4 outstanding
+ * transactions (R = 1.0, C = 0.04).
+ *
+ * Paper shape to reproduce: single rings conservatively sustain about
+ * 12, 8, 6 and 4 nodes at 16, 32, 64 and 128 B lines before latency
+ * takes off.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace hrsim;
+    using namespace hrsim::bench;
+
+    for (const std::uint32_t line : {16u, 32u, 64u, 128u}) {
+        Report report("Figure 6: single rings, " +
+                          std::to_string(line) +
+                          "B lines (R=1.0, C=0.04)",
+                      "nodes", "latency, cycles");
+        for (const int t : {1, 2, 4}) {
+            for (const int nodes :
+                 {2, 4, 6, 8, 12, 16, 24, 32, 48, 64}) {
+                SystemConfig cfg = ringConfig(
+                    std::to_string(nodes), line, t, 1.0);
+                const RunResult result = runSystem(cfg);
+                report.add("T=" + std::to_string(t), nodes,
+                           result.avgLatency);
+            }
+        }
+        emit(report);
+    }
+
+    std::printf("paper check: sustainable single-ring sizes ~12/8/6/4 "
+                "nodes for 16/32/64/128B lines\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 7: latency of 2-level ring hierarchies vs. node count for
+ * the four cache-line sizes (R = 1.0, C = 0.04, T = 4).
+ *
+ * Local rings hold the maximum sustainable single-ring population
+ * (12/8/6/4 PMs for 16/32/64/128 B lines); the sweep adds local
+ * rings to the global ring. Paper shape: a first slope increase when
+ * the second local ring appears, a second (bisection-driven) one
+ * beyond three local rings.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+/** Paper's maximum single-ring population per cache-line size. */
+int
+maxLocalRing(std::uint32_t line_bytes)
+{
+    switch (line_bytes) {
+      case 16:
+        return 12;
+      case 32:
+        return 8;
+      case 64:
+        return 6;
+      default:
+        return 4;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hrsim;
+    using namespace hrsim::bench;
+
+    Report report("Figure 7: 2-level ring hierarchies "
+                  "(R=1.0, C=0.04, T=4)",
+                  "nodes", "latency, cycles");
+    for (const std::uint32_t line : {16u, 32u, 64u, 128u}) {
+        const int m = maxLocalRing(line);
+        const std::string series = std::to_string(line) + "B";
+        // The single full local ring first, then k local rings on a
+        // global ring, up to ~60 nodes as in the paper.
+        {
+            SystemConfig cfg =
+                ringConfig(std::to_string(m), line, 4, 1.0);
+            report.add(series, m, runSystem(cfg).avgLatency);
+        }
+        for (int k = 2; k * m <= 64; ++k) {
+            const std::string topo =
+                std::to_string(k) + ":" + std::to_string(m);
+            SystemConfig cfg = ringConfig(topo, line, 4, 1.0);
+            report.add(series, k * m, runSystem(cfg).avgLatency);
+        }
+    }
+    emit(report);
+    std::printf("paper check: slope increases at 2 local rings and "
+                "again past 3 local rings (bisection limit)\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 8: local- and global-ring utilization of 2-level ring
+ * hierarchies vs. node count (R = 1.0, C = 0.04, T = 4).
+ *
+ * Paper shape: global-ring utilization approaches saturation at three
+ * local rings — independent of cache-line size — while local-ring
+ * utilization falls as more local rings are added.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+int
+maxLocalRing(std::uint32_t line_bytes)
+{
+    switch (line_bytes) {
+      case 16:
+        return 12;
+      case 32:
+        return 8;
+      case 64:
+        return 6;
+      default:
+        return 4;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hrsim;
+    using namespace hrsim::bench;
+
+    Report global("Figure 8a: global ring utilization, 2-level "
+                  "hierarchies (R=1.0, C=0.04, T=4)",
+                  "nodes", "% of max");
+    Report local("Figure 8b: local ring utilization, 2-level "
+                 "hierarchies (R=1.0, C=0.04, T=4)",
+                 "nodes", "% of max");
+
+    for (const std::uint32_t line : {16u, 32u, 64u, 128u}) {
+        const int m = maxLocalRing(line);
+        const std::string series = std::to_string(line) + "B";
+        for (int k = 2; k * m <= 64; ++k) {
+            const std::string topo =
+                std::to_string(k) + ":" + std::to_string(m);
+            SystemConfig cfg = ringConfig(topo, line, 4, 1.0);
+            const RunResult result = runSystem(cfg);
+            global.add(series, k * m,
+                       100.0 * result.ringLevelUtilization[0]);
+            local.add(series, k * m,
+                      100.0 * result.ringLevelUtilization[1]);
+        }
+    }
+    emit(global);
+    emit(local);
+    std::printf("paper check: global ring nears full utilization at "
+                "3 local rings for every cache-line size\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 9: latency of 3-level ring hierarchies vs. node count
+ * (R = 1.0, C = 0.04, T = 4).
+ *
+ * Second-level rings are in their maximum 2-level configuration
+ * (3 local rings of 12/8/6/4 PMs); the sweep adds second-level rings
+ * to a third-level global ring. Paper shape: slope increases when the
+ * third level appears and again past three second-level rings,
+ * supporting ~108/72/54/36 nodes for 16/32/64/128 B lines.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+int
+maxLocalRing(std::uint32_t line_bytes)
+{
+    switch (line_bytes) {
+      case 16:
+        return 12;
+      case 32:
+        return 8;
+      case 64:
+        return 6;
+      default:
+        return 4;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hrsim;
+    using namespace hrsim::bench;
+
+    Report report("Figure 9: 3-level ring hierarchies "
+                  "(R=1.0, C=0.04, T=4)",
+                  "nodes", "latency, cycles");
+    for (const std::uint32_t line : {16u, 32u, 64u, 128u}) {
+        const int m = maxLocalRing(line);
+        const std::string series = std::to_string(line) + "B";
+        // 2-level maximum first (3 local rings), then j second-level
+        // rings under a global ring.
+        {
+            const std::string topo = "3:" + std::to_string(m);
+            SystemConfig cfg = ringConfig(topo, line, 4, 1.0);
+            report.add(series, 3 * m, runSystem(cfg).avgLatency);
+        }
+        for (int j = 2; j * 3 * m <= 130; ++j) {
+            const std::string topo =
+                std::to_string(j) + ":3:" + std::to_string(m);
+            SystemConfig cfg = ringConfig(topo, line, 4, 1.0);
+            report.add(series, j * 3 * m, runSystem(cfg).avgLatency);
+        }
+    }
+    emit(report);
+    std::printf("paper check: ~108/72/54/36 sustainable nodes for "
+                "16/32/64/128B lines (3 second-level rings)\n");
+    return 0;
+}

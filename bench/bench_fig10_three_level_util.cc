@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 10: global-ring utilization of 3-level hierarchies vs. node
+ * count (R = 1.0, C = 0.04, T = 4).
+ *
+ * Paper shape: the global ring saturates once more than three
+ * second-level rings are attached, for every cache-line size.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+int
+maxLocalRing(std::uint32_t line_bytes)
+{
+    switch (line_bytes) {
+      case 16:
+        return 12;
+      case 32:
+        return 8;
+      case 64:
+        return 6;
+      default:
+        return 4;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hrsim;
+    using namespace hrsim::bench;
+
+    Report report("Figure 10: global ring utilization, 3-level "
+                  "hierarchies (R=1.0, C=0.04, T=4)",
+                  "nodes", "% of max");
+    for (const std::uint32_t line : {16u, 32u, 64u, 128u}) {
+        const int m = maxLocalRing(line);
+        const std::string series = std::to_string(line) + "B";
+        for (int j = 2; j * 3 * m <= 130; ++j) {
+            const std::string topo =
+                std::to_string(j) + ":3:" + std::to_string(m);
+            SystemConfig cfg = ringConfig(topo, line, 4, 1.0);
+            const RunResult result = runSystem(cfg);
+            report.add(series, j * 3 * m,
+                       100.0 * result.ringLevelUtilization[0]);
+        }
+    }
+    emit(report);
+    std::printf("paper check: global ring saturates past 3 "
+                "second-level rings\n");
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 13: network utilization of meshes with 4-flit buffers vs.
+ * node count (R = 1.0, C = 0.04, T = 4).
+ *
+ * Paper shape: utilization peaks early (at 16/9/9/4 nodes for
+ * 16/32/64/128 B lines) and decreases monotonically for larger
+ * systems, below ~20% at 121 processors.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace hrsim;
+    using namespace hrsim::bench;
+
+    Report report("Figure 13: mesh network utilization, 4-flit "
+                  "buffers (R=1.0, C=0.04, T=4)",
+                  "nodes", "% of max");
+    for (const std::uint32_t line : {16u, 32u, 64u, 128u}) {
+        for (const int width : standardMeshWidths(121)) {
+            SystemConfig cfg = meshConfig(width, line, 4, 4, 1.0);
+            const RunResult result = runSystem(cfg);
+            report.add(std::to_string(line) + "B", width * width,
+                       100.0 * result.networkUtilization);
+        }
+    }
+    emit(report);
+    std::printf("paper check: utilization peaks at small systems and "
+                "decays for larger ones\n");
+    return 0;
+}

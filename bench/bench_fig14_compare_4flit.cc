@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 14: rings vs. meshes with 4-flit mesh buffers, for the four
+ * cache-line sizes and T = 1, 2, 4 (R = 1.0, C = 0.04).
+ *
+ * Paper shape to reproduce: rings win small systems, meshes win large
+ * ones; the cross-over grows with cache-line size — about 16/25/27/36
+ * nodes for 16/32/64/128 B lines — and is nearly independent of T
+ * (except T = 1, where it is higher).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace hrsim;
+    using namespace hrsim::bench;
+
+    for (const std::uint32_t line : {16u, 32u, 64u, 128u}) {
+        Report report("Figure 14: rings vs meshes (4-flit buffers), " +
+                          std::to_string(line) +
+                          "B lines (R=1.0, C=0.04)",
+                      "nodes", "latency, cycles");
+        for (const int t : {1, 2, 4}) {
+            runMeshSweep(report, "Mesh T=" + std::to_string(t), line,
+                         4, t, 1.0);
+            runRingLadder(report, "Ring T=" + std::to_string(t), line,
+                          t, 1.0);
+        }
+        emit(report);
+        for (const int t : {1, 2, 4}) {
+            printCrossover(report, "Mesh T=" + std::to_string(t),
+                           "Ring T=" + std::to_string(t));
+        }
+        std::printf("\n");
+    }
+    std::printf("paper check: cross-overs ~16/25/27/36 nodes for "
+                "16/32/64/128B lines (T >= 2)\n");
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 15: rings vs. meshes with cl-sized mesh buffers, 128 B
+ * cache lines, T = 1, 2, 4 (R = 1.0, C = 0.04).
+ *
+ * Paper shape: with cache-line-sized mesh buffers the cross-over
+ * drops to 16-30 nodes depending on T (a worm can no longer stall
+ * across multiple links).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace hrsim;
+    using namespace hrsim::bench;
+
+    Report report("Figure 15: rings vs meshes (cl-sized buffers), "
+                  "128B lines (R=1.0, C=0.04)",
+                  "nodes", "latency, cycles");
+    for (const int t : {1, 2, 4}) {
+        runMeshSweep(report, "Mesh T=" + std::to_string(t), 128, 0, t,
+                     1.0);
+        runRingLadder(report, "Ring T=" + std::to_string(t), 128, t,
+                      1.0);
+    }
+    emit(report);
+    for (const int t : {1, 2, 4}) {
+        printCrossover(report, "Mesh T=" + std::to_string(t),
+                       "Ring T=" + std::to_string(t));
+    }
+    std::printf("paper check: cross-overs between 16 and 30 nodes "
+                "depending on T\n");
+    return 0;
+}

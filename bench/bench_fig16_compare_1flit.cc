@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 16: rings vs. meshes with 1-flit mesh buffers, 128 B cache
+ * lines, T = 1, 2, 4 (R = 1.0, C = 0.04).
+ *
+ * Paper shape: with 1-flit buffers worms stall across many links and
+ * rings beat meshes at every size up to 121+ nodes, for every
+ * cache-line size.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace hrsim;
+    using namespace hrsim::bench;
+
+    Report report("Figure 16: rings vs meshes (1-flit buffers), "
+                  "128B lines (R=1.0, C=0.04)",
+                  "nodes", "latency, cycles");
+    for (const int t : {1, 2, 4}) {
+        runMeshSweep(report, "Mesh T=" + std::to_string(t), 128, 1, t,
+                     1.0);
+        runRingLadder(report, "Ring T=" + std::to_string(t), 128, t,
+                      1.0);
+    }
+    emit(report);
+    for (const int t : {1, 2, 4}) {
+        printCrossover(report, "Mesh T=" + std::to_string(t),
+                       "Ring T=" + std::to_string(t));
+    }
+    std::printf("paper check: no cross-over below 121 nodes (rings "
+                "always win against 1-flit meshes)\n");
+    return 0;
+}

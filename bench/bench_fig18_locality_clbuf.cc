@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 18: rings vs. meshes with cl-sized mesh buffers under
+ * locality R = 0.1, 0.2, 0.3, for 128 B cache lines (C = 0.04,
+ * T = 4).
+ *
+ * Paper shape: locality pushes the cross-over up to 45+ processors
+ * even when the mesh gets cache-line-sized buffers.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace hrsim;
+    using namespace hrsim::bench;
+
+    Report report("Figure 18: locality, 128B lines, cl-sized mesh "
+                  "buffers (C=0.04, T=4)",
+                  "nodes", "latency, cycles");
+    for (const double r : {0.1, 0.2, 0.3}) {
+        const std::string tag = " R=" + std::to_string(r).substr(0, 3);
+        runMeshSweep(report, "Mesh" + tag, 128, 0, 4, r);
+        runRingLadder(report, "Ring" + tag, 128, 4, r);
+    }
+    emit(report);
+    for (const double r : {0.1, 0.2, 0.3}) {
+        const std::string tag = " R=" + std::to_string(r).substr(0, 3);
+        printCrossover(report, "Mesh" + tag, "Ring" + tag);
+    }
+    std::printf("paper check: cross-over at 45+ processors for "
+                "R <= 0.3\n");
+    return 0;
+}

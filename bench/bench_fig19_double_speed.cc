@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 19: 3-level ring hierarchies with the global ring clocked at
+ * normal vs. double speed, for 32/64/128 B lines (R = 1.0, C = 0.04,
+ * T = 4).
+ *
+ * Paper shape: with a double-speed global ring, up to five
+ * second-level rings can be sustained (vs. three at normal speed):
+ * 120/90/60 processors for 32/64/128 B lines.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+int
+maxLocalRing(std::uint32_t line_bytes)
+{
+    switch (line_bytes) {
+      case 32:
+        return 8;
+      case 64:
+        return 6;
+      default:
+        return 4;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hrsim;
+    using namespace hrsim::bench;
+
+    Report report("Figure 19: 3-level rings, normal vs double-speed "
+                  "global ring (R=1.0, C=0.04, T=4)",
+                  "nodes", "latency, cycles");
+    for (const std::uint32_t line : {32u, 64u, 128u}) {
+        const int m = maxLocalRing(line);
+        for (const std::uint32_t speed : {1u, 2u}) {
+            const std::string series =
+                std::to_string(line) + "B " +
+                (speed == 2 ? "double" : "normal");
+            for (int j = 2; j * 3 * m <= 130; ++j) {
+                const std::string topo =
+                    std::to_string(j) + ":3:" + std::to_string(m);
+                SystemConfig cfg =
+                    ringConfig(topo, line, 4, 1.0, speed);
+                report.add(series, j * 3 * m,
+                           runSystem(cfg).avgLatency);
+            }
+        }
+    }
+    emit(report);
+    std::printf("paper check: double-speed global rings sustain ~5 "
+                "second-level rings (vs 3 at normal speed)\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 20: global-ring utilization of 3-level hierarchies with
+ * normal- and double-speed global rings (R = 1.0, C = 0.04, T = 4).
+ *
+ * Paper shape: the double-speed global ring's utilization climbs more
+ * slowly and more linearly than the normal-speed one.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+int
+maxLocalRing(std::uint32_t line_bytes)
+{
+    switch (line_bytes) {
+      case 32:
+        return 8;
+      case 64:
+        return 6;
+      default:
+        return 4;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hrsim;
+    using namespace hrsim::bench;
+
+    Report report("Figure 20: global ring utilization, normal vs "
+                  "double speed (R=1.0, C=0.04, T=4)",
+                  "nodes", "% of max");
+    for (const std::uint32_t line : {32u, 64u, 128u}) {
+        const int m = maxLocalRing(line);
+        for (const std::uint32_t speed : {1u, 2u}) {
+            const std::string series =
+                std::to_string(line) + "B " +
+                (speed == 2 ? "double" : "normal");
+            for (int j = 2; j * 3 * m <= 130; ++j) {
+                const std::string topo =
+                    std::to_string(j) + ":3:" + std::to_string(m);
+                SystemConfig cfg =
+                    ringConfig(topo, line, 4, 1.0, speed);
+                const RunResult result = runSystem(cfg);
+                report.add(series, j * 3 * m,
+                           100.0 * result.ringLevelUtilization[0]);
+            }
+        }
+    }
+    emit(report);
+    std::printf("paper check: double-speed utilization rises more "
+                "slowly and more linearly\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * google-benchmark harness measuring the simulator's own throughput
+ * (simulated node-cycles per wall-second) for representative ring and
+ * mesh configurations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/system.hh"
+
+namespace
+{
+
+using namespace hrsim;
+
+SystemConfig
+ringCfg(const char *topo)
+{
+    SystemConfig cfg = SystemConfig::ring(topo, 64);
+    cfg.workload.outstandingT = 4;
+    return cfg;
+}
+
+SystemConfig
+meshCfg(int width)
+{
+    SystemConfig cfg = SystemConfig::mesh(width, 64, 4);
+    cfg.workload.outstandingT = 4;
+    return cfg;
+}
+
+void
+runCycles(benchmark::State &state, const SystemConfig &cfg)
+{
+    System system(cfg);
+    system.step(1000); // move past the cold start
+    const auto pms = static_cast<std::uint64_t>(
+        system.network().numProcessors());
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        system.step(1000);
+        cycles += 1000;
+    }
+    state.counters["node_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles * pms), benchmark::Counter::kIsRate);
+}
+
+void
+BM_RingSmall(benchmark::State &state)
+{
+    runCycles(state, ringCfg("2:4"));
+}
+
+void
+BM_RingLarge(benchmark::State &state)
+{
+    runCycles(state, ringCfg("3:3:12"));
+}
+
+void
+BM_MeshSmall(benchmark::State &state)
+{
+    runCycles(state, meshCfg(3));
+}
+
+void
+BM_MeshLarge(benchmark::State &state)
+{
+    runCycles(state, meshCfg(11));
+}
+
+BENCHMARK(BM_RingSmall);
+BENCHMARK(BM_RingLarge);
+BENCHMARK(BM_MeshSmall);
+BENCHMARK(BM_MeshLarge);
+
+} // namespace
+
+BENCHMARK_MAIN();

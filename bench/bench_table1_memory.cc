@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Regenerates Table 1 of the paper: NIC buffer-memory requirements
+ * for rings (one cache-line-sized ring buffer of 16 B flits) versus
+ * meshes (four input buffers of 4 B flits at cl, 4-flit and 1-flit
+ * depths).
+ */
+
+#include <cstdio>
+#include <initializer_list>
+
+#include "core/memory_cost.hh"
+
+int
+main()
+{
+    std::printf("== Table 1: NIC buffer memory requirements ==\n");
+    std::printf("%-10s %-12s %-10s %-10s %-10s %-10s\n", "network",
+                "line(B)", "cl-buf(B)", "4-flit(B)", "1-flit(B)", "");
+    for (const unsigned line : {16u, 32u, 64u, 128u}) {
+        std::printf("%-10s %-12u %-10u %-10s %-10s\n", "ring", line,
+                    hrsim::ringNicBufferBytes(line), "-", "-");
+    }
+    for (const unsigned line : {16u, 32u, 64u, 128u}) {
+        std::printf("%-10s %-12u %-10u %-10u %-10u\n", "mesh", line,
+                    hrsim::meshNicBufferBytes(line, 0),
+                    hrsim::meshNicBufferBytes(line, 4),
+                    hrsim::meshNicBufferBytes(line, 1));
+    }
+    std::printf("\npaper check: ring 128B line -> 144 B; mesh 128B "
+                "line -> 576/64/16 B\n");
+    return 0;
+}

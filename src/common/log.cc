@@ -1,0 +1,28 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hrsim
+{
+
+void
+fatal(const std::string &msg)
+{
+    throw ConfigError(msg);
+}
+
+void
+panicImpl(const char *msg, const char *file, int line)
+{
+    std::fprintf(stderr, "hrsim panic: %s (%s:%d)\n", msg, file, line);
+    std::abort();
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "hrsim warn: %s\n", msg.c_str());
+}
+
+} // namespace hrsim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user errors (bad configuration); it throws a
+ * ConfigError so that library embedders and tests can recover.
+ * panic() is for internal invariant violations (simulator bugs); it
+ * aborts after printing a diagnostic.
+ */
+
+#ifndef HRSIM_COMMON_LOG_HH
+#define HRSIM_COMMON_LOG_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace hrsim
+{
+
+/** Exception thrown for invalid user-supplied configuration. */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/**
+ * Report a user error. Throws ConfigError; never returns normally.
+ *
+ * @param msg Description of the configuration problem.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Report an internal simulator bug and abort.
+ *
+ * @param msg Description of the violated invariant.
+ * @param file Source file of the failing check.
+ * @param line Source line of the failing check.
+ */
+[[noreturn]] void panicImpl(const char *msg, const char *file, int line);
+
+/** Print a warning to stderr and continue. */
+void warn(const std::string &msg);
+
+} // namespace hrsim
+
+/** Abort with a diagnostic when an internal invariant is violated. */
+#define HRSIM_PANIC(msg) ::hrsim::panicImpl((msg), __FILE__, __LINE__)
+
+/** Check an internal invariant; panic with the stringified condition. */
+#define HRSIM_ASSERT(cond)                                                  \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::hrsim::panicImpl("assertion failed: " #cond,                  \
+                               __FILE__, __LINE__);                         \
+    } while (0)
+
+#endif // HRSIM_COMMON_LOG_HH

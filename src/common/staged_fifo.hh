@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Bounded FIFO with two-phase (staged) cycle semantics.
+ *
+ * All hrsim network components exchange flits through StagedFifo
+ * queues. The queue models a synchronous hardware FIFO evaluated with
+ * a propose/commit discipline:
+ *
+ *  - push() stages an element; it becomes visible to the consumer only
+ *    after the end-of-cycle commit().
+ *  - pop() removes an element immediately for the consumer, but the
+ *    slot it frees is not usable by producers until commit(). This is
+ *    the registered-flow-control behaviour of a hardware FIFO whose
+ *    "full" flag is sampled at the clock edge.
+ *  - canPush() therefore answers "may a producer insert this cycle"
+ *    against the start-of-cycle occupancy plus already-staged pushes.
+ *
+ * With these rules, the result of a simulated cycle is independent of
+ * the order in which components are evaluated, provided each queue has
+ * a single producer and a single consumer per cycle (asserted).
+ */
+
+#ifndef HRSIM_COMMON_STAGED_FIFO_HH
+#define HRSIM_COMMON_STAGED_FIFO_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "common/log.hh"
+
+namespace hrsim
+{
+
+template <typename T>
+class StagedFifo
+{
+  public:
+    /** Construct a FIFO holding at most @a capacity elements. */
+    explicit StagedFifo(std::size_t capacity = 0)
+        : capacity_(capacity)
+    {}
+
+    /** Change the capacity; only legal on an empty queue. */
+    void
+    setCapacity(std::size_t capacity)
+    {
+        HRSIM_ASSERT(empty() && staged_.empty());
+        capacity_ = capacity;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Elements visible to the consumer this cycle. */
+    std::size_t size() const { return items_.size(); }
+
+    bool empty() const { return items_.empty(); }
+
+    /**
+     * Occupancy as seen by a producer: visible elements, plus slots
+     * freed by pops this cycle (not yet reusable), plus staged pushes.
+     */
+    std::size_t
+    producerOccupancy() const
+    {
+        return items_.size() + poppedThisCycle_ + staged_.size();
+    }
+
+    /** May a producer stage an element this cycle? */
+    bool canPush() const { return producerOccupancy() < capacity_; }
+
+    /** Free producer slots remaining this cycle. */
+    std::size_t
+    producerSpace() const
+    {
+        const std::size_t occ = producerOccupancy();
+        return occ >= capacity_ ? 0 : capacity_ - occ;
+    }
+
+    /** Stage an element; visible to the consumer after commit(). */
+    void
+    push(T value)
+    {
+        HRSIM_ASSERT(canPush());
+        staged_.push_back(std::move(value));
+    }
+
+    /** Oldest visible element. Queue must be non-empty. */
+    const T &
+    front() const
+    {
+        HRSIM_ASSERT(!items_.empty());
+        return items_.front();
+    }
+
+    /** Remove and return the oldest visible element. */
+    T
+    pop()
+    {
+        HRSIM_ASSERT(!items_.empty());
+        T value = std::move(items_.front());
+        items_.pop_front();
+        ++poppedThisCycle_;
+        return value;
+    }
+
+    /** End-of-cycle commit: publish pushes, recycle popped slots. */
+    void
+    commit()
+    {
+        for (auto &value : staged_)
+            items_.push_back(std::move(value));
+        staged_.clear();
+        poppedThisCycle_ = 0;
+    }
+
+    /** Discard all contents (visible and staged). */
+    void
+    clear()
+    {
+        items_.clear();
+        staged_.clear();
+        poppedThisCycle_ = 0;
+    }
+
+    /** Total elements in the queue including staged ones. */
+    std::size_t
+    totalSize() const
+    {
+        return items_.size() + staged_.size();
+    }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> items_;
+    std::deque<T> staged_;
+    std::size_t poppedThisCycle_ = 0;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_COMMON_STAGED_FIFO_HH

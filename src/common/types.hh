@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every hrsim module.
+ */
+
+#ifndef HRSIM_COMMON_TYPES_HH
+#define HRSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace hrsim
+{
+
+/** Simulated time, in network clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Identifier of a processing module (PM), dense in [0, P). */
+using NodeId = std::int32_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId invalidNode = -1;
+
+/**
+ * Destination sentinel for a broadcast packet: delivered to every PM.
+ * Hierarchical rings implement this natively in the slotted switching
+ * mode (the paper's motivation (v)); meshes must send P-1 unicasts.
+ */
+inline constexpr NodeId broadcastNode = -2;
+
+/** Unique identifier of an in-flight packet. */
+using PacketId = std::uint64_t;
+
+} // namespace hrsim
+
+#endif // HRSIM_COMMON_TYPES_HH

@@ -1,0 +1,143 @@
+#include "core/analysis.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace hrsim
+{
+
+std::optional<double>
+crossoverPoint(const std::vector<std::pair<double, double>> &a,
+               const std::vector<std::pair<double, double>> &b)
+{
+    // Piecewise-linear interpolation of each series, evaluated on the
+    // union of sample positions within the common x range.
+    if (a.size() < 2 || b.size() < 2)
+        return std::nullopt;
+
+    const auto interp =
+        [](const std::vector<std::pair<double, double>> &s,
+           double x) -> std::optional<double> {
+        if (x < s.front().first || x > s.back().first)
+            return std::nullopt;
+        for (std::size_t i = 1; i < s.size(); ++i) {
+            if (x <= s[i].first) {
+                const auto [x0, y0] = s[i - 1];
+                const auto [x1, y1] = s[i];
+                if (x1 == x0)
+                    return y0;
+                const double t = (x - x0) / (x1 - x0);
+                return y0 + t * (y1 - y0);
+            }
+        }
+        return s.back().second;
+    };
+
+    std::vector<double> xs;
+    for (const auto &[x, y] : a)
+        xs.push_back(x);
+    for (const auto &[x, y] : b)
+        xs.push_back(x);
+    std::sort(xs.begin(), xs.end());
+    xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+    std::optional<double> prev_x;
+    double prev_diff = 0.0;
+    for (const double x : xs) {
+        const auto ya = interp(a, x);
+        const auto yb = interp(b, x);
+        if (!ya || !yb)
+            continue;
+        const double diff = *yb - *ya; // B cheaper when negative
+        if (prev_x) {
+            if (prev_diff > 0.0 && diff <= 0.0) {
+                // Linear root between prev_x and x.
+                const double t = prev_diff / (prev_diff - diff);
+                return *prev_x + t * (x - *prev_x);
+            }
+        } else if (diff <= 0.0) {
+            return x; // B already cheaper at the first common point
+        }
+        prev_x = x;
+        prev_diff = diff;
+    }
+    return std::nullopt;
+}
+
+namespace
+{
+
+struct Table2Entry
+{
+    int processors;
+    int lineBytes;
+    const char *topology;
+};
+
+// Table 2 of the paper: optimal topologies for R=1.0, C=0.04, T=4.
+constexpr Table2Entry table2[] = {
+    {4, 16, "4"},       {4, 32, "4"},       {4, 64, "4"},
+    {4, 128, "4"},
+    {6, 16, "6"},       {6, 32, "6"},       {6, 64, "6"},
+    {6, 128, "2:3"},
+    {8, 16, "8"},       {8, 32, "8"},       {8, 64, "2:4"},
+    {8, 128, "2:4"},
+    {12, 16, "12"},     {12, 32, "2:6"},    {12, 64, "2:6"},
+    {12, 128, "3:4"},
+    {18, 16, "2:9"},    {18, 32, "3:6"},    {18, 64, "3:6"},
+    {18, 128, "3:2:3"},
+    {24, 16, "2:12"},   {24, 32, "3:8"},    {24, 64, "2:2:6"},
+    {24, 128, "2:3:4"},
+    {36, 16, "3:12"},   {36, 32, "2:3:6"},  {36, 64, "2:3:6"},
+    {36, 128, "3:3:4"},
+    {54, 16, "2:3:9"},  {54, 32, "3:3:6"},  {54, 64, "3:3:6"},
+    {54, 128, "3:3:2:3"},
+    {72, 16, "2:3:12"}, {72, 32, "3:3:8"},  {72, 64, "2:2:3:6"},
+    {72, 128, "2:3:3:4"},
+    {108, 16, "3:3:12"}, {108, 32, "2:3:3:6"}, {108, 64, "2:3:3:6"},
+    {108, 128, "3:3:3:4"},
+};
+
+} // namespace
+
+std::optional<std::string>
+paperTable2Topology(int processors, int cache_line_bytes)
+{
+    for (const auto &entry : table2) {
+        if (entry.processors == processors &&
+            entry.lineBytes == cache_line_bytes) {
+            return std::string(entry.topology);
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<int>
+paperTable2Sizes()
+{
+    return {4, 6, 8, 12, 18, 24, 36, 54, 72, 108};
+}
+
+std::vector<std::string>
+standardRingLadder(int cache_line_bytes)
+{
+    std::vector<std::string> ladder;
+    for (const int p : paperTable2Sizes()) {
+        const auto topo = paperTable2Topology(p, cache_line_bytes);
+        HRSIM_ASSERT(topo.has_value());
+        ladder.push_back(*topo);
+    }
+    return ladder;
+}
+
+std::vector<int>
+standardMeshWidths(int max_processors)
+{
+    std::vector<int> widths;
+    for (int w = 2; w * w <= max_processors; ++w)
+        widths.push_back(w);
+    return widths;
+}
+
+} // namespace hrsim

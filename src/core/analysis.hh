@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Analyses over measured series: cross-over points and the paper's
+ * ring topology ladder.
+ */
+
+#ifndef HRSIM_CORE_ANALYSIS_HH
+#define HRSIM_CORE_ANALYSIS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hrsim
+{
+
+/**
+ * The system size at which series B first becomes cheaper than
+ * series A (the paper's ring/mesh "cross-over point").
+ *
+ * Both series are (x, y) samples sorted by x; the cross-over is
+ * linearly interpolated between the bracketing samples. Returns
+ * nullopt if B never drops below A on the common range.
+ */
+std::optional<double>
+crossoverPoint(const std::vector<std::pair<double, double>> &a,
+               const std::vector<std::pair<double, double>> &b);
+
+/**
+ * The paper's Table 2: best hierarchical ring topology for a
+ * processor count and cache-line size under the no-locality workload
+ * (R=1.0, C=0.04, T=4). Returns the topology string ("3:3:12") or
+ * nullopt if the paper's table has no entry for this pair.
+ */
+std::optional<std::string>
+paperTable2Topology(int processors, int cache_line_bytes);
+
+/** Processor counts present in the paper's Table 2. */
+std::vector<int> paperTable2Sizes();
+
+/**
+ * The ladder of ring systems used on the x-axis of the comparison
+ * figures for a cache-line size: every Table 2 topology, in
+ * increasing processor count.
+ */
+std::vector<std::string> standardRingLadder(int cache_line_bytes);
+
+/** Square mesh widths with width*width <= max_processors. */
+std::vector<int> standardMeshWidths(int max_processors = 121);
+
+} // namespace hrsim
+
+#endif // HRSIM_CORE_ANALYSIS_HH

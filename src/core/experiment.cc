@@ -1,0 +1,136 @@
+#include "core/experiment.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <set>
+
+namespace hrsim
+{
+
+Report::Report(std::string title, std::string x_label,
+               std::string y_label)
+    : title_(std::move(title)), xLabel_(std::move(x_label)),
+      yLabel_(std::move(y_label))
+{}
+
+void
+Report::add(const std::string &series, double x, double y)
+{
+    for (auto &data : series_) {
+        if (data.name == series) {
+            data.points.emplace_back(x, y);
+            return;
+        }
+    }
+    series_.push_back(SeriesData{series, {{x, y}}});
+}
+
+const Report::SeriesData *
+Report::find(const std::string &series) const
+{
+    for (const auto &data : series_) {
+        if (data.name == series)
+            return &data;
+    }
+    return nullptr;
+}
+
+std::optional<double>
+Report::value(const std::string &series, double x) const
+{
+    const SeriesData *data = find(series);
+    if (!data)
+        return std::nullopt;
+    for (const auto &[px, py] : data->points) {
+        if (px == x)
+            return py;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::string>
+Report::seriesNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(series_.size());
+    for (const auto &data : series_)
+        names.push_back(data.name);
+    return names;
+}
+
+std::vector<std::pair<double, double>>
+Report::seriesPoints(const std::string &series) const
+{
+    const SeriesData *data = find(series);
+    return data ? data->points
+                : std::vector<std::pair<double, double>>{};
+}
+
+void
+Report::print(std::ostream &out) const
+{
+    out << "== " << title_ << " ==\n";
+    if (series_.empty()) {
+        out << "(no data)\n";
+        return;
+    }
+
+    std::set<double> xs;
+    for (const auto &data : series_) {
+        for (const auto &[x, y] : data.points)
+            xs.insert(x);
+    }
+
+    const int xw = static_cast<int>(
+        std::max<std::size_t>(xLabel_.size() + 2, 10));
+    out << std::left << std::setw(xw) << xLabel_;
+    std::vector<int> widths;
+    for (const auto &data : series_) {
+        const int w = static_cast<int>(
+            std::max<std::size_t>(data.name.size() + 2, 12));
+        widths.push_back(w);
+        out << std::setw(w) << data.name;
+    }
+    out << " (" << yLabel_ << ")\n";
+
+    for (const double x : xs) {
+        if (x == std::floor(x)) {
+            out << std::left << std::setw(xw)
+                << static_cast<long long>(x);
+        } else {
+            out << std::left << std::setw(xw) << x;
+        }
+        for (std::size_t s = 0; s < series_.size(); ++s) {
+            bool found = false;
+            for (const auto &[px, py] : series_[s].points) {
+                if (px == x) {
+                    out << std::setw(widths[s]) << std::fixed
+                        << std::setprecision(1) << py;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                out << std::setw(widths[s]) << "-";
+        }
+        out << "\n";
+    }
+    out.unsetf(std::ios::fixed);
+}
+
+void
+Report::writeCsv(std::ostream &out) const
+{
+    out << std::setprecision(10);
+    out << "title,series,x,y\n";
+    for (const auto &data : series_) {
+        for (const auto &[x, y] : data.points) {
+            out << title_ << "," << data.name << "," << x << "," << y
+                << "\n";
+        }
+    }
+}
+
+} // namespace hrsim

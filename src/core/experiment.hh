@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tabular reporting for the benchmark harness.
+ *
+ * Every bench binary regenerates one of the paper's tables or
+ * figures. A Report holds named series of (x, y) points — for a
+ * figure, x is usually the number of nodes and y the metric — and
+ * prints them both as an aligned text table (the paper's rows) and as
+ * long-format CSV for replotting.
+ */
+
+#ifndef HRSIM_CORE_EXPERIMENT_HH
+#define HRSIM_CORE_EXPERIMENT_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hrsim
+{
+
+class Report
+{
+  public:
+    Report(std::string title, std::string x_label, std::string y_label);
+
+    /** Add a point to @a series (created on first use). */
+    void add(const std::string &series, double x, double y);
+
+    /** Look up a point (for analyses over a finished report). */
+    std::optional<double> value(const std::string &series,
+                                double x) const;
+
+    /** Ordered series names. */
+    std::vector<std::string> seriesNames() const;
+
+    /** The (x, y) points of one series, in insertion order. */
+    std::vector<std::pair<double, double>>
+    seriesPoints(const std::string &series) const;
+
+    /** Aligned text table: one row per x, one column per series. */
+    void print(std::ostream &out) const;
+
+    /** Long-format CSV: title,series,x,y. */
+    void writeCsv(std::ostream &out) const;
+
+    const std::string &title() const { return title_; }
+
+  private:
+    struct SeriesData
+    {
+        std::string name;
+        std::vector<std::pair<double, double>> points;
+    };
+
+    const SeriesData *find(const std::string &series) const;
+
+    std::string title_;
+    std::string xLabel_;
+    std::string yLabel_;
+    std::vector<SeriesData> series_;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_CORE_EXPERIMENT_HH

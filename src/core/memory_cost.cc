@@ -1,0 +1,28 @@
+#include "core/memory_cost.hh"
+
+#include "proto/packet.hh"
+
+namespace hrsim
+{
+
+std::uint32_t
+ringNicBufferBytes(std::uint32_t cache_line_bytes)
+{
+    const ChannelSpec spec = ChannelSpec::ring();
+    // One ring buffer holding one cache-line packet.
+    return spec.cacheLineFlits(cache_line_bytes) * spec.flitBytes;
+}
+
+std::uint32_t
+meshNicBufferBytes(std::uint32_t cache_line_bytes,
+                   std::uint32_t buffer_flits)
+{
+    const ChannelSpec spec = ChannelSpec::mesh();
+    const std::uint32_t depth =
+        buffer_flits == 0 ? spec.cacheLineFlits(cache_line_bytes)
+                          : buffer_flits;
+    // Four directional input buffers.
+    return 4 * depth * spec.flitBytes;
+}
+
+} // namespace hrsim

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Analytic NIC buffer-memory cost model (Table 1 of the paper).
+ *
+ * Ring NICs have one ring buffer sized to one cache-line packet of
+ * 16-byte flits with a 1-flit header; mesh NICs have four directional
+ * input buffers of 4-byte flits, each 1, 4 or cl flits deep (cl = a
+ * cache-line packet with a 4-flit header). These formulas reproduce
+ * the paper's Table 1 exactly (e.g. 144 B for a 128 B-line ring NIC,
+ * 576/64/16 B for cl/4-flit/1-flit mesh NICs).
+ */
+
+#ifndef HRSIM_CORE_MEMORY_COST_HH
+#define HRSIM_CORE_MEMORY_COST_HH
+
+#include <cstdint>
+
+namespace hrsim
+{
+
+/** Ring NIC transit-buffer bytes for a cache-line size. */
+std::uint32_t ringNicBufferBytes(std::uint32_t cache_line_bytes);
+
+/**
+ * Mesh NIC input-buffer bytes for a cache-line size and per-input
+ * buffer depth; @a buffer_flits == 0 selects cl-sized buffers.
+ */
+std::uint32_t meshNicBufferBytes(std::uint32_t cache_line_bytes,
+                                 std::uint32_t buffer_flits);
+
+} // namespace hrsim
+
+#endif // HRSIM_CORE_MEMORY_COST_HH

@@ -1,0 +1,251 @@
+#include "core/system.hh"
+
+#include "common/log.hh"
+#include "mesh/mesh_network.hh"
+#include "ring/slotted_network.hh"
+#include "workload/region.hh"
+
+namespace hrsim
+{
+
+int
+SystemConfig::numProcessors() const
+{
+    if (kind == NetworkKind::HierarchicalRing)
+        return static_cast<int>(ringTopo.numProcessors());
+    return meshWidth * meshWidth;
+}
+
+SystemConfig
+SystemConfig::ring(const std::string &topo,
+                   std::uint32_t cache_line_bytes)
+{
+    SystemConfig cfg;
+    cfg.kind = NetworkKind::HierarchicalRing;
+    cfg.ringTopo = RingTopology::parse(topo);
+    cfg.cacheLineBytes = cache_line_bytes;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::mesh(int width, std::uint32_t cache_line_bytes,
+                   std::uint32_t buffer_flits)
+{
+    SystemConfig cfg;
+    cfg.kind = NetworkKind::Mesh;
+    cfg.meshWidth = width;
+    cfg.meshBufferFlits = buffer_flits;
+    cfg.cacheLineBytes = cache_line_bytes;
+    return cfg;
+}
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg),
+      latency_(cfg.sim.warmupCycles, cfg.sim.batchCycles,
+               cfg.sim.numBatches)
+{
+    buildNetwork();
+    buildWorkload();
+
+    network_->setDeliveryHandler(
+        [this](const Packet &pkt, Cycle when) {
+            lastProgress_ = when;
+            const auto dst = static_cast<std::size_t>(pkt.dst);
+            HRSIM_ASSERT(dst < processors_.size());
+            if (isRequest(pkt.type))
+                memories_[dst]->onRequest(pkt, when);
+            else
+                processors_[dst]->onResponse(pkt, when);
+        });
+}
+
+System::~System() = default;
+
+void
+System::buildNetwork()
+{
+    if (cfg_.kind == NetworkKind::HierarchicalRing &&
+        cfg_.ringSlotted) {
+        SlottedRingNetwork::Params params;
+        params.topo = cfg_.ringTopo;
+        params.cacheLineBytes = cfg_.cacheLineBytes;
+        params.globalRingSpeed = cfg_.globalRingSpeed;
+        network_ = std::make_unique<SlottedRingNetwork>(params);
+        factory_ = std::make_unique<PacketFactory>(
+            ChannelSpec::ring(), cfg_.cacheLineBytes);
+    } else if (cfg_.kind == NetworkKind::HierarchicalRing) {
+        RingNetwork::Params params;
+        params.topo = cfg_.ringTopo;
+        params.cacheLineBytes = cfg_.cacheLineBytes;
+        params.globalRingSpeed = cfg_.globalRingSpeed;
+        params.nicBypass = cfg_.ringBypass;
+        params.iriWaitLimit = cfg_.ringIriWaitLimit;
+        params.iriQueuePackets = cfg_.ringIriQueuePackets;
+        network_ = std::make_unique<RingNetwork>(params);
+        factory_ = std::make_unique<PacketFactory>(
+            ChannelSpec::ring(), cfg_.cacheLineBytes);
+    } else {
+        MeshNetwork::Params params;
+        params.width = cfg_.meshWidth;
+        params.cacheLineBytes = cfg_.cacheLineBytes;
+        params.bufferFlits = cfg_.meshBufferFlits;
+        params.roundRobinArbitration = cfg_.meshRoundRobin;
+        network_ = std::make_unique<MeshNetwork>(params);
+        factory_ = std::make_unique<PacketFactory>(
+            ChannelSpec::mesh(), cfg_.cacheLineBytes);
+    }
+}
+
+void
+System::buildWorkload()
+{
+    const int num_pms = network_->numProcessors();
+    if (cfg_.trace != nullptr && cfg_.trace->maxNode() >= num_pms) {
+        fatal("System: trace references PM " +
+              std::to_string(cfg_.trace->maxNode()) +
+              " but the network has only " +
+              std::to_string(num_pms) + " PMs");
+    }
+    processors_.reserve(static_cast<std::size_t>(num_pms));
+    memories_.reserve(static_cast<std::size_t>(num_pms));
+    for (NodeId pm = 0; pm < num_pms; ++pm) {
+        if (cfg_.trace != nullptr) {
+            processors_.push_back(std::make_unique<TraceProcessor>(
+                pm, cfg_.trace->forPm(pm),
+                cfg_.workload.outstandingT,
+                cfg_.workload.memoryLatency, *factory_, *network_,
+                latency_, counters_));
+        } else {
+            std::vector<NodeId> region;
+            if (cfg_.kind == NetworkKind::HierarchicalRing) {
+                region = ringRegion(pm, num_pms,
+                                    cfg_.workload.localityR,
+                                    cfg_.ringWrapRegion);
+            } else {
+                region = meshRegion(pm, cfg_.meshWidth,
+                                    cfg_.workload.localityR);
+            }
+            processors_.push_back(std::make_unique<Processor>(
+                pm, std::move(region), cfg_.workload, *factory_,
+                *network_, latency_, counters_, cfg_.sim.seed));
+        }
+        processors_.back()->setHistogram(&histogram_);
+        memories_.push_back(std::make_unique<MemoryModule>(
+            pm, cfg_.workload.memoryLatency, *factory_, *network_,
+            cfg_.workload.memorySerialized));
+    }
+}
+
+void
+System::tickOnce()
+{
+    for (auto &processor : processors_)
+        processor->tick(now_);
+    for (auto &memory : memories_)
+        memory->tick(now_);
+    network_->tick(now_);
+
+    // Issue/completion activity also counts as forward progress (a
+    // low-rate workload can legitimately go long stretches without a
+    // delivery in flight).
+    const std::uint64_t activity =
+        counters_.remoteIssued + counters_.localIssued +
+        counters_.remoteCompleted + counters_.localCompleted;
+    if (activity != lastActivity_) {
+        lastActivity_ = activity;
+        lastProgress_ = now_;
+    }
+
+    if (cfg_.sim.watchdogCycles > 0 &&
+        now_ - lastProgress_ > cfg_.sim.watchdogCycles) {
+        // Only an actual wedged transaction counts as a stall; an
+        // idle system (nothing outstanding) is simply quiescent.
+        if (totalOutstanding() > 0) {
+            throw StallError(
+                "no packet delivered for " +
+                std::to_string(now_ - lastProgress_) +
+                " cycles with " + std::to_string(totalOutstanding()) +
+                " transactions outstanding at cycle " +
+                std::to_string(now_));
+        }
+        lastProgress_ = now_;
+    }
+    ++now_;
+}
+
+void
+System::step(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; ++i)
+        tickOnce();
+}
+
+int
+System::totalOutstanding() const
+{
+    int total = 0;
+    for (const auto &processor : processors_)
+        total += processor->outstanding();
+    return total;
+}
+
+std::size_t
+System::totalPendingResponses() const
+{
+    std::size_t total = 0;
+    for (const auto &memory : memories_)
+        total += memory->pendingResponses();
+    return total;
+}
+
+RunResult
+System::run()
+{
+    const Cycle end = latency_.endCycle();
+    UtilizationTracker &util = network_->utilization();
+
+    while (now_ < end) {
+        if (now_ == cfg_.sim.warmupCycles)
+            util.startMeasurement(now_);
+        tickOnce();
+    }
+    util.stopMeasurement(end);
+
+    RunResult result;
+    result.avgLatency = latency_.mean();
+    result.latencyCI95 = latency_.halfWidth95();
+    result.samples = latency_.sampleCount();
+    result.latencyP50 = histogram_.p50();
+    result.latencyP95 = histogram_.p95();
+    result.latencyP99 = histogram_.p99();
+    result.counters = counters_;
+    result.cycles = end;
+    result.networkUtilization = util.totalUtilization();
+    if (cfg_.kind == NetworkKind::HierarchicalRing &&
+        cfg_.ringSlotted) {
+        auto &ring = static_cast<SlottedRingNetwork &>(*network_);
+        for (int level = 0; level < ring.numLevels(); ++level)
+            result.ringLevelUtilization.push_back(
+                ring.levelUtilization(level));
+    } else if (cfg_.kind == NetworkKind::HierarchicalRing) {
+        auto &ring = static_cast<RingNetwork &>(*network_);
+        for (int level = 0; level < ring.numLevels(); ++level)
+            result.ringLevelUtilization.push_back(
+                ring.levelUtilization(level));
+    }
+    const double measured =
+        static_cast<double>(cfg_.sim.batchCycles) * cfg_.sim.numBatches;
+    result.throughputPerPm =
+        static_cast<double>(result.samples) /
+        (measured * static_cast<double>(network_->numProcessors()));
+    return result;
+}
+
+RunResult
+runSystem(const SystemConfig &cfg)
+{
+    System system(cfg);
+    return system.run();
+}
+
+} // namespace hrsim

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Whole-system configuration and simulation driver.
+ *
+ * A System assembles an interconnect (hierarchical ring or 2D mesh),
+ * one M-MRP processor and one memory module per PM, and the
+ * measurement machinery, then runs the batch-means protocol and
+ * returns the paper's metrics: average remote round-trip latency and
+ * network / per-ring-level utilization.
+ */
+
+#ifndef HRSIM_CORE_SYSTEM_HH
+#define HRSIM_CORE_SYSTEM_HH
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "proto/packet_factory.hh"
+#include "ring/ring_network.hh"
+#include "sim/network.hh"
+#include "stats/batch_means.hh"
+#include "stats/histogram.hh"
+#include "workload/memory.hh"
+#include "workload/processor.hh"
+#include "workload/trace.hh"
+#include "workload/workload_config.hh"
+
+namespace hrsim
+{
+
+/** Thrown when the simulation makes no forward progress. */
+class StallError : public std::runtime_error
+{
+  public:
+    explicit StallError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+enum class NetworkKind
+{
+    HierarchicalRing,
+    Mesh,
+};
+
+/** Measurement-protocol parameters. */
+struct SimConfig
+{
+    Cycle warmupCycles = 5000; //!< discarded first batch
+    Cycle batchCycles = 5000;
+    std::uint32_t numBatches = 5;
+    std::uint64_t seed = 0x9b1c6e7a2d4f5031ULL;
+    /** Cycles without any delivery before declaring a stall. */
+    Cycle watchdogCycles = 50000;
+};
+
+struct SystemConfig
+{
+    NetworkKind kind = NetworkKind::HierarchicalRing;
+
+    // Ring-specific knobs.
+    RingTopology ringTopo{{4}};
+    std::uint32_t globalRingSpeed = 1;
+    bool ringBypass = true;
+    bool ringWrapRegion = true;
+    std::uint32_t ringIriWaitLimit = 0;    //!< 0 = default (32 * cl)
+    std::uint32_t ringIriQueuePackets = 1; //!< paper: 1
+    /** Slotted (Hector-style) switching instead of wormhole. */
+    bool ringSlotted = false;
+
+    // Mesh-specific knobs.
+    int meshWidth = 2;
+    std::uint32_t meshBufferFlits = 4; //!< 0 selects cl-sized buffers
+    bool meshRoundRobin = true; //!< arbitration (ablation switch)
+
+    std::uint32_t cacheLineBytes = 32;
+    WorkloadConfig workload;
+    SimConfig sim;
+
+    /**
+     * Replay this trace instead of the synthetic M-MRP generator.
+     * The trace must reference only PM ids < numProcessors(); the
+     * outstanding limit T and memory model still apply. Not owned;
+     * must outlive the System.
+     */
+    const Trace *trace = nullptr;
+
+    /** Number of PMs implied by the topology. */
+    int numProcessors() const;
+
+    /** Convenience constructor for a ring system. */
+    static SystemConfig ring(const std::string &topo,
+                             std::uint32_t cache_line_bytes);
+
+    /** Convenience constructor for a square mesh system. */
+    static SystemConfig mesh(int width, std::uint32_t cache_line_bytes,
+                             std::uint32_t buffer_flits);
+};
+
+/** Metrics of one simulation run. */
+struct RunResult
+{
+    double avgLatency = 0.0;   //!< remote round-trip, network cycles
+    double latencyCI95 = 0.0;  //!< batch-means confidence half-width
+    std::uint64_t samples = 0; //!< measured remote completions
+
+    /** Latency distribution percentiles (network cycles). */
+    double latencyP50 = 0.0;
+    double latencyP95 = 0.0;
+    double latencyP99 = 0.0;
+
+    /** Mesh-link utilization, or all-ring utilization for rings. */
+    double networkUtilization = 0.0;
+    /** Per-hierarchy-level ring utilization; [0] is the global ring. */
+    std::vector<double> ringLevelUtilization;
+
+    WorkloadCounters counters;
+    Cycle cycles = 0;
+    /** Remote completions per cycle per PM over the whole run. */
+    double throughputPerPm = 0.0;
+};
+
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Run the full batch-means protocol and collect metrics. */
+    RunResult run();
+
+    /** Advance @a cycles cycles (white-box testing hook). */
+    void step(Cycle cycles);
+
+    Network &network() { return *network_; }
+    const SystemConfig &config() const { return cfg_; }
+    Cycle now() const { return now_; }
+
+    /** Transactions currently outstanding across all PMs. */
+    int totalOutstanding() const;
+
+    /** Responses still waiting in memory completion queues. */
+    std::size_t totalPendingResponses() const;
+
+    const WorkloadCounters &counters() const { return counters_; }
+    const BatchMeans &latency() const { return latency_; }
+    const Histogram &latencyHistogram() const { return histogram_; }
+
+  private:
+    void buildNetwork();
+    void buildWorkload();
+    void tickOnce();
+
+    SystemConfig cfg_;
+    std::unique_ptr<Network> network_;
+    std::unique_ptr<PacketFactory> factory_;
+    std::vector<std::unique_ptr<TrafficSource>> processors_;
+    std::vector<std::unique_ptr<MemoryModule>> memories_;
+    BatchMeans latency_;
+    Histogram histogram_;
+    WorkloadCounters counters_;
+
+    Cycle now_ = 0;
+    Cycle lastProgress_ = 0;
+    std::uint64_t lastActivity_ = 0;
+};
+
+/** Build a System from @a cfg, run it, and return the metrics. */
+RunResult runSystem(const SystemConfig &cfg);
+
+} // namespace hrsim
+
+#endif // HRSIM_CORE_SYSTEM_HH

@@ -1,0 +1,73 @@
+#include "core/topology_search.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace hrsim
+{
+
+namespace
+{
+
+void
+enumerate(int remaining, int max_levels, std::vector<int> &prefix,
+          std::vector<std::string> &out)
+{
+    if (remaining == 1) {
+        if (!prefix.empty()) {
+            RingTopology topo{prefix};
+            out.push_back(topo.toString());
+        }
+        return;
+    }
+    if (static_cast<int>(prefix.size()) == max_levels)
+        return;
+    for (int factor = 2; factor <= remaining; ++factor) {
+        if (remaining % factor != 0)
+            continue;
+        prefix.push_back(factor);
+        enumerate(remaining / factor, max_levels, prefix, out);
+        prefix.pop_back();
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+enumerateHierarchies(int processors, int max_levels)
+{
+    HRSIM_ASSERT(processors >= 2);
+    std::vector<std::string> out;
+    std::vector<int> prefix;
+    enumerate(processors, max_levels, prefix, out);
+    return out;
+}
+
+std::vector<TopologyCandidate>
+rankHierarchies(int processors, const SystemConfig &base,
+                int max_levels)
+{
+    std::vector<TopologyCandidate> ranked;
+    for (const std::string &topo :
+         enumerateHierarchies(processors, max_levels)) {
+        SystemConfig cfg = base;
+        cfg.kind = NetworkKind::HierarchicalRing;
+        cfg.ringTopo = RingTopology::parse(topo);
+        const RunResult result = runSystem(cfg);
+        TopologyCandidate candidate;
+        candidate.topology = topo;
+        candidate.latency = result.avgLatency;
+        if (!result.ringLevelUtilization.empty())
+            candidate.utilizationGlobal =
+                result.ringLevelUtilization.front();
+        ranked.push_back(candidate);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const TopologyCandidate &a, const TopologyCandidate &b) {
+                  return a.latency < b.latency;
+              });
+    return ranked;
+}
+
+} // namespace hrsim

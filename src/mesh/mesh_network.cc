@@ -1,0 +1,109 @@
+#include "mesh/mesh_network.hh"
+
+#include "common/log.hh"
+
+namespace hrsim
+{
+
+MeshNetwork::MeshNetwork(const Params &params)
+    : params_(params),
+      clFlits_(ChannelSpec::mesh().cacheLineFlits(params.cacheLineBytes)),
+      bufferFlits_(params.bufferFlits == 0 ? clFlits_
+                                           : params.bufferFlits)
+{
+    if (params_.width < 1)
+        fatal("MeshNetwork: width must be >= 1");
+
+    const int num_pms = params_.width * params_.width;
+    routers_.reserve(static_cast<std::size_t>(num_pms));
+    for (NodeId id = 0; id < num_pms; ++id) {
+        routers_.push_back(std::make_unique<MeshRouter>(
+            id, params_.width, bufferFlits_, clFlits_,
+            params_.roundRobinArbitration));
+        routers_.back()->setDeliver(
+            [this](const Packet &pkt, Cycle when) {
+                delivered(pkt, when);
+            });
+    }
+
+    meshGroup_ = util_.group("mesh");
+    const int w = params_.width;
+    for (int y = 0; y < w; ++y) {
+        for (int x = 0; x < w; ++x) {
+            MeshRouter *self = routers_[
+                static_cast<std::size_t>(y * w + x)].get();
+            const auto wire = [&](MeshPort port, int nx, int ny) {
+                MeshRouter *peer = routers_[
+                    static_cast<std::size_t>(ny * w + nx)].get();
+                self->connect(port, peer, &util_,
+                              util_.addLink(meshGroup_));
+            };
+            if (x + 1 < w)
+                wire(PortEast, x + 1, y);
+            if (x > 0)
+                wire(PortWest, x - 1, y);
+            if (y + 1 < w)
+                wire(PortSouth, x, y + 1);
+            if (y > 0)
+                wire(PortNorth, x, y - 1);
+        }
+    }
+}
+
+int
+MeshNetwork::numProcessors() const
+{
+    return params_.width * params_.width;
+}
+
+bool
+MeshNetwork::canInject(NodeId pm, const Packet &pkt) const
+{
+    HRSIM_ASSERT(pm >= 0 && pm < numProcessors());
+    return routers_[static_cast<std::size_t>(pm)]->canInject(pkt);
+}
+
+void
+MeshNetwork::inject(NodeId pm, const Packet &pkt)
+{
+    HRSIM_ASSERT(pm >= 0 && pm < numProcessors());
+    HRSIM_ASSERT(pkt.src == pm);
+    if (pkt.dst == broadcastNode)
+        fatal("MeshNetwork: meshes have no broadcast; send unicasts");
+    routers_[static_cast<std::size_t>(pm)]->inject(pkt);
+}
+
+void
+MeshNetwork::tick(Cycle now)
+{
+    // Two-phase semantics live inside the staged FIFOs, so the
+    // evaluation order of routers is immaterial.
+    for (auto &router : routers_)
+        router->evaluate(now);
+    for (auto &router : routers_)
+        router->commit();
+}
+
+std::uint64_t
+MeshNetwork::flitsInFlight() const
+{
+    std::uint64_t count = 0;
+    for (const auto &router : routers_)
+        count += router->flitCount();
+    return count;
+}
+
+double
+MeshNetwork::networkUtilization() const
+{
+    return util_.groupUtilization(meshGroup_);
+}
+
+MeshRouter &
+MeshNetwork::router(NodeId id)
+{
+    HRSIM_ASSERT(id >= 0 && id < numProcessors());
+    return *routers_[static_cast<std::size_t>(id)];
+}
+
+} // namespace hrsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Square bi-directional 2D-mesh interconnect (Figure 2 of the paper).
+ *
+ * width x width wormhole-routed mesh with no end-around connections.
+ * Each adjacent pair of routers is joined by two uni-directional
+ * 32-bit links. Directional router buffers hold 1, 4 or cl flits
+ * (Section 2.2); network utilization counts router-to-router links
+ * only, matching the paper's metric.
+ */
+
+#ifndef HRSIM_MESH_MESH_NETWORK_HH
+#define HRSIM_MESH_MESH_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "mesh/mesh_router.hh"
+#include "sim/network.hh"
+
+namespace hrsim
+{
+
+class MeshNetwork : public Network
+{
+  public:
+    struct Params
+    {
+        int width = 2; //!< edge length; P = width * width
+        std::uint32_t cacheLineBytes = 32;
+        /** Router input-buffer depth in flits; 0 selects cl-sized. */
+        std::uint32_t bufferFlits = 4;
+        /** Round-robin output arbitration (paper default); false
+         * selects fixed-priority (ablation only). */
+        bool roundRobinArbitration = true;
+    };
+
+    explicit MeshNetwork(const Params &params);
+
+    // Network interface
+    int numProcessors() const override;
+    bool canInject(NodeId pm, const Packet &pkt) const override;
+    void inject(NodeId pm, const Packet &pkt) override;
+    void tick(Cycle now) override;
+    UtilizationTracker &utilization() override { return util_; }
+    const UtilizationTracker &utilization() const override
+    {
+        return util_;
+    }
+    std::uint64_t flitsInFlight() const override;
+
+    /** Mesh-link utilization in [0, 1] (the paper's Figure 13). */
+    double networkUtilization() const;
+
+    int width() const { return params_.width; }
+    const Params &params() const { return params_; }
+
+    /** Resolved router buffer depth in flits. */
+    std::uint32_t bufferFlits() const { return bufferFlits_; }
+
+    /** Flits in a cache-line packet on this network. */
+    std::uint32_t clFlits() const { return clFlits_; }
+
+    MeshRouter &router(NodeId id);
+
+  private:
+    Params params_;
+    std::uint32_t clFlits_;
+    std::uint32_t bufferFlits_;
+    std::vector<std::unique_ptr<MeshRouter>> routers_;
+    UtilizationTracker util_;
+    UtilizationTracker::GroupId meshGroup_;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_MESH_MESH_NETWORK_HH

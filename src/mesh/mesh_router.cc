@@ -1,0 +1,254 @@
+#include "mesh/mesh_router.hh"
+
+#include "common/log.hh"
+
+namespace hrsim
+{
+
+MeshPort
+oppositePort(MeshPort port)
+{
+    switch (port) {
+      case PortEast:
+        return PortWest;
+      case PortWest:
+        return PortEast;
+      case PortSouth:
+        return PortNorth;
+      case PortNorth:
+        return PortSouth;
+      default:
+        HRSIM_PANIC("local port has no opposite");
+    }
+}
+
+MeshRouter::MeshRouter(NodeId id, int width, std::uint32_t buffer_flits,
+                       std::uint32_t queue_flits, bool round_robin)
+    : id_(id), width_(width), x_(id % width), y_(id / width),
+      roundRobin_(round_robin)
+{
+    HRSIM_ASSERT(buffer_flits >= 1);
+    for (auto &buf : inBuf_)
+        buf.setCapacity(buffer_flits);
+    outResp_.setCapacity(queue_flits);
+    outReq_.setCapacity(queue_flits);
+    inputBound_.fill(-1);
+}
+
+void
+MeshRouter::connect(MeshPort out, MeshRouter *neighbor,
+                    UtilizationTracker *util,
+                    UtilizationTracker::LinkId link)
+{
+    HRSIM_ASSERT(out != PortLocal);
+    out_[static_cast<std::size_t>(out)].neighbor = neighbor;
+    out_[static_cast<std::size_t>(out)].util = util;
+    out_[static_cast<std::size_t>(out)].link = link;
+}
+
+MeshPort
+MeshRouter::routeOf(NodeId dst) const
+{
+    const int dst_x = dst % width_;
+    const int dst_y = dst / width_;
+    if (dst_x > x_)
+        return PortEast;
+    if (dst_x < x_)
+        return PortWest;
+    if (dst_y > y_)
+        return PortSouth;
+    if (dst_y < y_)
+        return PortNorth;
+    return PortLocal;
+}
+
+const Flit *
+MeshRouter::peekInput(int in) const
+{
+    if (in != PortLocal) {
+        const auto &buf = inBuf_[static_cast<std::size_t>(in)];
+        return buf.empty() ? nullptr : &buf.front();
+    }
+    // Local port: continue the bound queue's worm, else responses
+    // have priority over requests at packet boundaries.
+    switch (localSrc_) {
+      case LocalSrc::Resp:
+        return outResp_.empty() ? nullptr : &outResp_.front();
+      case LocalSrc::Req:
+        return outReq_.empty() ? nullptr : &outReq_.front();
+      case LocalSrc::None:
+        if (!outResp_.empty())
+            return &outResp_.front();
+        if (!outReq_.empty())
+            return &outReq_.front();
+        return nullptr;
+    }
+    return nullptr;
+}
+
+Flit
+MeshRouter::popInput(int in)
+{
+    if (in != PortLocal)
+        return inBuf_[static_cast<std::size_t>(in)].pop();
+    switch (localSrc_) {
+      case LocalSrc::Resp:
+        return outResp_.pop();
+      case LocalSrc::Req:
+        return outReq_.pop();
+      case LocalSrc::None:
+        // First flit of a new local worm: bind the winning queue.
+        if (!outResp_.empty()) {
+            localSrc_ = LocalSrc::Resp;
+            return outResp_.pop();
+        }
+        localSrc_ = LocalSrc::Req;
+        return outReq_.pop();
+    }
+    HRSIM_PANIC("popInput: no flit available");
+}
+
+bool
+MeshRouter::downstreamAccepts(int out) const
+{
+    if (out == PortLocal)
+        return true; // ejection: the PM always sinks
+    const Output &port = out_[static_cast<std::size_t>(out)];
+    HRSIM_ASSERT(port.neighbor != nullptr);
+    const MeshPort facing = oppositePort(static_cast<MeshPort>(out));
+    return port.neighbor->inBuf_[static_cast<std::size_t>(facing)]
+        .canPush();
+}
+
+void
+MeshRouter::pushDownstream(int out, const Flit &flit, Cycle now)
+{
+    if (out == PortLocal) {
+        if (flit.isTail() && deliver_)
+            deliver_(packetFromFlit(flit), now);
+        return;
+    }
+    Output &port = out_[static_cast<std::size_t>(out)];
+    const MeshPort facing = oppositePort(static_cast<MeshPort>(out));
+    port.neighbor->inBuf_[static_cast<std::size_t>(facing)].push(flit);
+    if (port.util)
+        port.util->recordTransfer(port.link);
+}
+
+void
+MeshRouter::evaluate(Cycle now)
+{
+    // 1. Collect output requests from unbound inputs with a routable
+    //    head flit at their front.
+    std::array<std::uint8_t, NumMeshPorts> requests{};
+    for (int in = 0; in < NumMeshPorts; ++in) {
+        if (inputBound_[static_cast<std::size_t>(in)] != -1)
+            continue;
+        const Flit *head = peekInput(in);
+        if (!head)
+            continue;
+        HRSIM_ASSERT(head->isHead());
+        const MeshPort out = routeOf(head->dst);
+        requests[static_cast<std::size_t>(out)] |=
+            static_cast<std::uint8_t>(1u << in);
+    }
+
+    // 2. Round-robin arbitration for each free output port.
+    for (int out = 0; out < NumMeshPorts; ++out) {
+        Output &port = out_[static_cast<std::size_t>(out)];
+        if (port.owner != -1 ||
+            requests[static_cast<std::size_t>(out)] == 0) {
+            continue;
+        }
+        const int base = roundRobin_ ? port.rrPtr : 0;
+        for (int step = 0; step < NumMeshPorts; ++step) {
+            const int in = (base + step) % NumMeshPorts;
+            if (!(requests[static_cast<std::size_t>(out)] &
+                  (1u << in))) {
+                continue;
+            }
+            const Flit *head = peekInput(in);
+            HRSIM_ASSERT(head != nullptr);
+            port.owner = in;
+            port.wormPkt = head->packet;
+            inputBound_[static_cast<std::size_t>(in)] = out;
+            port.rrPtr = (in + 1) % NumMeshPorts;
+            if (in == PortLocal && localSrc_ == LocalSrc::None) {
+                // Bind the queue now: a packet arriving in the other
+                // queue before the first flit crosses must not steal
+                // the port (responses only outrank requests at packet
+                // boundaries).
+                localSrc_ = outResp_.empty() ? LocalSrc::Req
+                                             : LocalSrc::Resp;
+            }
+            break;
+        }
+    }
+
+    // 3. Switch traversal: one flit per owned output, flow-control
+    //    permitting.
+    for (int out = 0; out < NumMeshPorts; ++out) {
+        Output &port = out_[static_cast<std::size_t>(out)];
+        if (port.owner == -1)
+            continue;
+        const Flit *next = peekInput(port.owner);
+        if (!next)
+            continue; // worm starved: hold the port
+        HRSIM_ASSERT(next->packet == port.wormPkt);
+        if (!downstreamAccepts(out))
+            continue; // blocked: flits wait in the input buffer
+        const Flit flit = popInput(port.owner);
+        pushDownstream(out, flit, now);
+        if (flit.isTail()) {
+            inputBound_[static_cast<std::size_t>(port.owner)] = -1;
+            if (port.owner == PortLocal)
+                localSrc_ = LocalSrc::None;
+            port.owner = -1;
+            port.wormPkt = 0;
+        }
+    }
+}
+
+void
+MeshRouter::commit()
+{
+    for (auto &buf : inBuf_)
+        buf.commit();
+    outResp_.commit();
+    outReq_.commit();
+}
+
+bool
+MeshRouter::canInject(const Packet &pkt) const
+{
+    const StagedFifo<Flit> &queue =
+        isRequest(pkt.type) ? outReq_ : outResp_;
+    return queue.producerSpace() >= pkt.sizeFlits;
+}
+
+void
+MeshRouter::inject(const Packet &pkt)
+{
+    HRSIM_ASSERT(canInject(pkt));
+    StagedFifo<Flit> &queue = isRequest(pkt.type) ? outReq_ : outResp_;
+    for (std::uint32_t i = 0; i < pkt.sizeFlits; ++i)
+        queue.push(makeFlit(pkt, i));
+}
+
+const StagedFifo<Flit> &
+MeshRouter::inputBuffer(MeshPort port) const
+{
+    HRSIM_ASSERT(port != PortLocal);
+    return inBuf_[static_cast<std::size_t>(port)];
+}
+
+std::uint64_t
+MeshRouter::flitCount() const
+{
+    std::uint64_t count = outResp_.totalSize() + outReq_.totalSize();
+    for (const auto &buf : inBuf_)
+        count += buf.totalSize();
+    return count;
+}
+
+} // namespace hrsim

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Bi-directional 2D-mesh router (Figure 5 of the paper).
+ *
+ * The mesh NIC is a 5x5 crossbar: four links to the direct neighbors
+ * plus the local PM port. Each directional input has a FIFO buffer of
+ * 1, 4 or cl flits; the local injection port is backed by the PM's
+ * split request/response output queues (responses have priority at
+ * packet boundaries). Routing is deterministic e-cube (X then Y),
+ * which is deadlock-free on a mesh without end-around connections and
+ * needs no virtual channels. Output-port arbitration among competing
+ * inputs is round-robin; a granted connection persists until the tail
+ * flit of the packet has crossed, and the whole crossbar can move one
+ * flit on every port within a single clock cycle.
+ */
+
+#ifndef HRSIM_MESH_MESH_ROUTER_HH
+#define HRSIM_MESH_MESH_ROUTER_HH
+
+#include <array>
+#include <functional>
+
+#include "common/staged_fifo.hh"
+#include "common/types.hh"
+#include "proto/packet.hh"
+#include "stats/utilization.hh"
+
+namespace hrsim
+{
+
+/** Crossbar port indices. */
+enum MeshPort : int
+{
+    PortEast = 0,
+    PortWest = 1,
+    PortSouth = 2,
+    PortNorth = 3,
+    PortLocal = 4,
+    NumMeshPorts = 5,
+};
+
+/** The port on the neighbor that faces back at @a port. */
+MeshPort oppositePort(MeshPort port);
+
+class MeshRouter
+{
+  public:
+    using DeliverFn = std::function<void(const Packet &, Cycle)>;
+
+    /**
+     * @param id PM id (also the router's position in the mesh).
+     * @param width Mesh edge length.
+     * @param buffer_flits Directional input buffer depth.
+     * @param queue_flits PM output queue depth (>= largest packet).
+     * @param round_robin Rotate output arbitration (paper default);
+     *        false selects fixed-priority (ablation only).
+     */
+    MeshRouter(NodeId id, int width, std::uint32_t buffer_flits,
+               std::uint32_t queue_flits, bool round_robin = true);
+
+    MeshRouter(const MeshRouter &) = delete;
+    MeshRouter &operator=(const MeshRouter &) = delete;
+    MeshRouter(MeshRouter &&) = delete;
+    MeshRouter &operator=(MeshRouter &&) = delete;
+
+    /** Wire a directional output to the neighbor's facing input. */
+    void connect(MeshPort out, MeshRouter *neighbor,
+                 UtilizationTracker *util,
+                 UtilizationTracker::LinkId link);
+
+    /** Route, arbitrate and traverse one cycle. */
+    void evaluate(Cycle now);
+
+    /** End-of-cycle commit of all router FIFOs. */
+    void commit();
+
+    bool canInject(const Packet &pkt) const;
+    void inject(const Packet &pkt);
+    void setDeliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+    NodeId id() const { return id_; }
+
+    /** Directional input buffer (for tests). */
+    const StagedFifo<Flit> &inputBuffer(MeshPort port) const;
+
+    /** Flits currently buffered in this router. */
+    std::uint64_t flitCount() const;
+
+    /** e-cube output port for a packet headed to @a dst. */
+    MeshPort routeOf(NodeId dst) const;
+
+  private:
+    /** Next flit availabe on input @a in (nullptr if none). */
+    const Flit *peekInput(int in) const;
+
+    /** Pop the peeked flit from input @a in. */
+    Flit popInput(int in);
+
+    /** May output @a out push one flit downstream this cycle? */
+    bool downstreamAccepts(int out) const;
+
+    /** Push @a flit downstream from output @a out. */
+    void pushDownstream(int out, const Flit &flit, Cycle now);
+
+    NodeId id_;
+    int width_;
+    int x_;
+    int y_;
+    bool roundRobin_;
+
+    std::array<StagedFifo<Flit>, 4> inBuf_;
+    StagedFifo<Flit> outResp_;
+    StagedFifo<Flit> outReq_;
+
+    /** Which queue the local input's current worm drains from. */
+    enum class LocalSrc : std::uint8_t { None, Resp, Req };
+    LocalSrc localSrc_ = LocalSrc::None;
+
+    /** Output the input's current worm is bound to (-1 if none). */
+    std::array<int, NumMeshPorts> inputBound_;
+
+    struct Output
+    {
+        int owner = -1; //!< input currently holding this port
+        PacketId wormPkt = 0;
+        int rrPtr = 0;  //!< round-robin arbitration pointer
+        MeshRouter *neighbor = nullptr;
+        UtilizationTracker *util = nullptr;
+        UtilizationTracker::LinkId link = 0;
+    };
+    std::array<Output, NumMeshPorts> out_;
+
+    DeliverFn deliver_;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_MESH_MESH_ROUTER_HH

@@ -1,0 +1,266 @@
+#include "ring/ring_network.hh"
+#include <ostream>
+
+#include "common/log.hh"
+#include "proto/packet.hh"
+
+namespace hrsim
+{
+
+RingNetwork::RingNetwork(const Params &params)
+    : params_(params), structure_(RingStructure::build(params.topo)),
+      clFlits_(ChannelSpec::ring().cacheLineFlits(params.cacheLineBytes))
+{
+    if (params_.globalRingSpeed < 1)
+        fatal("RingNetwork: global ring speed must be >= 1");
+
+    const int num_pms = structure_.numProcessors();
+    nics_.reserve(static_cast<std::size_t>(num_pms));
+    for (NodeId pm = 0; pm < num_pms; ++pm) {
+        nics_.push_back(std::make_unique<RingNic>(pm, clFlits_,
+                                                  params_.nicBypass));
+    }
+    // Long enough that the escape never fires at the paper's
+    // operating points (queueing waits there are tens of cycles) yet
+    // finite, so no blocking cycle can persist.
+    const std::uint32_t wait_limit = params_.iriWaitLimit != 0
+                                         ? params_.iriWaitLimit
+                                         : 32 * clFlits_;
+    if (params_.iriQueuePackets < 1)
+        fatal("RingNetwork: IRI queues need >= 1 packet");
+    iris_.reserve(structure_.iris.size());
+    for (const IriDesc &desc : structure_.iris) {
+        iris_.push_back(std::make_unique<RingIri>(
+            desc.subtreeLo, desc.subtreeHi, clFlits_, wait_limit,
+            params_.iriQueuePackets));
+    }
+
+    // Partition IRI upper sides into clock domains: only the upper
+    // sides sitting on the root (global) ring may run fast.
+    for (std::size_t i = 0; i < iris_.size(); ++i) {
+        const bool on_root =
+            structure_.iris[i].parentRing == structure_.rootRing;
+        if (on_root && params_.globalRingSpeed > 1)
+            fastIris_.push_back(iris_[i].get());
+        else
+            slowUpperIris_.push_back(iris_[i].get());
+    }
+
+    // Utilization groups, one per hierarchy level.
+    levelGroups_.resize(static_cast<std::size_t>(structure_.numLevels));
+    for (int level = 0; level < structure_.numLevels; ++level) {
+        levelGroups_[static_cast<std::size_t>(level)] =
+            util_.group("ring level " + std::to_string(level));
+    }
+
+    // NIC deliveries funnel into the network's registered handler
+    // (which the system installs after construction).
+    for (auto &nic : nics_) {
+        nic->setDeliver([this](const Packet &pkt, Cycle when) {
+            delivered(pkt, when);
+        });
+    }
+
+    // Per-ring occupancy records for bubble flow control and the
+    // phase-based admission gate. A single ring (no inter-ring
+    // interfaces) cannot host recirculating worms, so it needs no
+    // gating and runs unrestricted as in the paper's base model.
+    occupancy_.resize(structure_.rings.size());
+    for (std::size_t r = 0; r < structure_.rings.size(); ++r) {
+        const auto slots = static_cast<std::int64_t>(
+            structure_.rings[r].slots.size());
+        occupancy_[r].capacity = slots * (1 + clFlits_);
+        if (structure_.numLevels > 1) {
+            // One free slot keeps the ring rotating (whole packets
+            // are reserved at admission, so occupancy can never hit
+            // capacity); one max-packet share is reserved for
+            // self-draining down-phase traffic.
+            occupancy_[r].bubble = 1;
+            occupancy_[r].reserveDown = clFlits_;
+        }
+    }
+
+    // Wire each ring: slot i's output feeds slot i+1's latch.
+    for (std::size_t r = 0; r < structure_.rings.size(); ++r) {
+        const RingDesc &ring = structure_.rings[r];
+        const std::size_t n = ring.slots.size();
+        HRSIM_ASSERT(n >= 1);
+        const bool is_root_ring = ring.level == 0;
+        const std::uint32_t speed =
+            is_root_ring ? params_.globalRingSpeed : 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            RingSide &from = sideAt(ring.slots[i]);
+            RingSide &to = sideAt(ring.slots[(i + 1) % n]);
+            const auto link = util_.addLink(
+                levelGroups_[static_cast<std::size_t>(ring.level)],
+                speed);
+            // The anti-starvation valve only serves the inter-ring
+            // queues: PM injection starving behind transit traffic
+            // is the paper's own self-throttling behaviour and must
+            // be preserved.
+            const std::uint32_t starvation_limit =
+                ring.slots[i].kind == RingSlotDesc::Kind::Nic
+                    ? 0
+                    : 8 * clFlits_;
+            from.occupancy = &occupancy_[r];
+            from.out.connect(&to.in, &to.accept, &util_, link,
+                             &occupancy_[r], ring.subtreeLo,
+                             ring.subtreeHi, starvation_limit);
+        }
+    }
+}
+
+std::uint64_t
+RingNetwork::totalWaitCycles() const
+{
+    std::uint64_t total = 0;
+    for (const auto &iri : iris_)
+        total += iri->waitCycles();
+    return total;
+}
+
+std::uint64_t
+RingNetwork::totalEscapes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &iri : iris_)
+        total += iri->escapes();
+    return total;
+}
+
+const RingOccupancy &
+RingNetwork::ringOccupancy(int ring) const
+{
+    HRSIM_ASSERT(ring >= 0 &&
+                 ring < static_cast<int>(occupancy_.size()));
+    return occupancy_[static_cast<std::size_t>(ring)];
+}
+
+RingSide &
+RingNetwork::sideAt(const RingSlotDesc &slot)
+{
+    switch (slot.kind) {
+      case RingSlotDesc::Kind::Nic:
+        return nics_[static_cast<std::size_t>(slot.index)]->side();
+      case RingSlotDesc::Kind::IriLower:
+        return iris_[static_cast<std::size_t>(slot.index)]->lower();
+      case RingSlotDesc::Kind::IriUpper:
+        return iris_[static_cast<std::size_t>(slot.index)]->upper();
+    }
+    HRSIM_PANIC("unknown ring slot kind");
+}
+
+int
+RingNetwork::numProcessors() const
+{
+    return structure_.numProcessors();
+}
+
+bool
+RingNetwork::canInject(NodeId pm, const Packet &pkt) const
+{
+    HRSIM_ASSERT(pm >= 0 && pm < numProcessors());
+    return nics_[static_cast<std::size_t>(pm)]->canInject(pkt);
+}
+
+void
+RingNetwork::inject(NodeId pm, const Packet &pkt)
+{
+    HRSIM_ASSERT(pm >= 0 && pm < numProcessors());
+    HRSIM_ASSERT(pkt.src == pm);
+    if (pkt.dst == broadcastNode)
+        fatal("RingNetwork: broadcast requires slotted switching");
+    nics_[static_cast<std::size_t>(pm)]->inject(pkt);
+}
+
+void
+RingNetwork::tick(Cycle now)
+{
+    // Phase A: acceptance flags from start-of-cycle state.
+    for (auto &nic : nics_)
+        nic->computeAcceptance();
+    for (auto &iri : iris_)
+        iri->computeAcceptanceLower();
+    for (RingIri *iri : slowUpperIris_)
+        iri->computeAcceptanceUpper();
+
+    // Phase B: system-clock domain.
+    for (auto &nic : nics_)
+        nic->evaluate(now);
+    for (auto &iri : iris_)
+        iri->evaluateLower();
+    for (RingIri *iri : slowUpperIris_)
+        iri->evaluateUpper();
+
+    // Commit the system-clock domain.
+    for (auto &nic : nics_)
+        nic->commit();
+    for (auto &iri : iris_)
+        iri->commitLower();
+    for (RingIri *iri : slowUpperIris_)
+        iri->commitUpper();
+
+    // Fast domain: the global ring runs globalRingSpeed sub-cycles.
+    for (std::uint32_t sub = 0; sub < params_.globalRingSpeed; ++sub) {
+        if (fastIris_.empty())
+            break;
+        for (RingIri *iri : fastIris_)
+            iri->computeAcceptanceUpper();
+        for (RingIri *iri : fastIris_)
+            iri->evaluateUpper();
+        for (RingIri *iri : fastIris_)
+            iri->commitUpper();
+    }
+}
+
+std::uint64_t
+RingNetwork::flitsInFlight() const
+{
+    std::uint64_t count = 0;
+    for (const auto &nic : nics_)
+        count += nic->flitCount();
+    for (const auto &iri : iris_)
+        count += iri->flitCount();
+    return count;
+}
+
+double
+RingNetwork::levelUtilization(int level) const
+{
+    HRSIM_ASSERT(level >= 0 && level < structure_.numLevels);
+    return util_.groupUtilization(
+        levelGroups_[static_cast<std::size_t>(level)]);
+}
+
+} // namespace hrsim
+
+namespace hrsim
+{
+
+void
+RingNetwork::debugDump(std::ostream &out) const
+{
+    for (std::size_t r = 0; r < structure_.rings.size(); ++r) {
+        const RingDesc &ring = structure_.rings[r];
+        out << "ring " << r << " level=" << ring.level
+            << " occ=" << occupancy_[r].occupied << "/"
+            << occupancy_[r].capacity
+            << " bubble=" << occupancy_[r].bubble
+            << " rsvDown=" << occupancy_[r].reserveDown << "\n";
+        for (const RingSlotDesc &slot : ring.slots) {
+            out << "  ";
+            switch (slot.kind) {
+              case RingSlotDesc::Kind::Nic:
+                nics_[static_cast<std::size_t>(slot.index)]
+                    ->debugDump(out);
+                break;
+              default:
+                iris_[static_cast<std::size_t>(slot.index)]
+                    ->debugDump(out);
+                break;
+            }
+        }
+    }
+}
+
+} // namespace hrsim

@@ -1,0 +1,120 @@
+#include "ring/ring_nic.hh"
+#include <ostream>
+
+#include "common/log.hh"
+
+namespace hrsim
+{
+
+RingNic::RingNic(NodeId pm, std::uint32_t cl_flits, bool bypass)
+    : pm_(pm), bypass_(bypass),
+      ringSource_(side_.transitBuf, side_.in),
+      respSource_(outResp_), reqSource_(outReq_)
+{
+    side_.transitBuf.setCapacity(cl_flits);
+    outResp_.setCapacity(cl_flits);
+    outReq_.setCapacity(cl_flits);
+    ringSource_.setBypass(bypass);
+}
+
+void
+RingNic::computeAcceptance()
+{
+    // Upstream may transmit iff the latch is free, or its occupant is
+    // guaranteed disposable this cycle: it sinks into the PM (input
+    // queues always drain in our model) or the ring buffer has room.
+    side_.accept = !side_.in.cur ||
+                   !isTransit(*side_.in.cur) ||
+                   side_.transitBuf.canPush();
+}
+
+void
+RingNic::evaluate(Cycle now)
+{
+    // 1. Sink a latch flit destined for this PM.
+    if (side_.in.cur && !isTransit(*side_.in.cur)) {
+        const Flit flit = *side_.in.cur;
+        side_.in.cur.reset();
+        side_.occupancy->add(-1); // the flit leaves the ring
+        if (flit.isTail() && deliver_)
+            deliver_(packetFromFlit(flit), now);
+    }
+
+    // 2. Drive the output link: ring transit first, then responses,
+    //    then requests.
+    ringSource_.setLatchIsTransit(side_.in.cur.has_value() &&
+                                  isTransit(*side_.in.cur));
+    side_.out.transmit(&ringSource_, &respSource_, &reqSource_);
+
+    // 3. Absorb a still-latched transit flit into the ring buffer so
+    //    the latch honours the acceptance we advertised.
+    if (side_.in.cur && isTransit(*side_.in.cur) &&
+        side_.transitBuf.canPush()) {
+        side_.transitBuf.push(*side_.in.cur);
+        side_.in.cur.reset();
+    }
+}
+
+bool
+RingNic::canInject(const Packet &pkt) const
+{
+    const StagedFifo<Flit> &queue =
+        isRequest(pkt.type) ? outReq_ : outResp_;
+    return queue.producerSpace() >= pkt.sizeFlits;
+}
+
+void
+RingNic::inject(const Packet &pkt)
+{
+    HRSIM_ASSERT(canInject(pkt));
+    StagedFifo<Flit> &queue = isRequest(pkt.type) ? outReq_ : outResp_;
+    for (std::uint32_t i = 0; i < pkt.sizeFlits; ++i)
+        queue.push(makeFlit(pkt, i));
+}
+
+void
+RingNic::commit()
+{
+    side_.in.commit();
+    side_.transitBuf.commit();
+    outResp_.commit();
+    outReq_.commit();
+}
+
+std::uint64_t
+RingNic::flitCount() const
+{
+    std::uint64_t count = side_.transitBuf.totalSize() +
+                          outResp_.totalSize() + outReq_.totalSize();
+    if (side_.in.cur)
+        ++count;
+    if (side_.in.staged)
+        ++count;
+    return count;
+}
+
+} // namespace hrsim
+
+namespace hrsim
+{
+
+void
+RingNic::debugDump(std::ostream &out) const
+{
+    out << "NIC pm=" << pm_ << " latch=";
+    if (side_.in.cur) {
+        out << side_.in.cur->packet << ":" << side_.in.cur->index
+            << "->" << side_.in.cur->dst;
+    } else {
+        out << "-";
+    }
+    out << " buf=" << side_.transitBuf.size()
+        << " outResp=" << outResp_.size()
+        << " outReq=" << outReq_.size()
+        << " worm=" << (side_.out.inWorm() ? 1 : 0);
+    if (side_.out.inWorm())
+        out << " wormPkt=" << side_.out.wormPacket();
+    out << " accept=" << side_.accept << "\n";
+}
+
+} // namespace hrsim

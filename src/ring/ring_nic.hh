@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ring Network Interface Controller (Figure 3 of the paper).
+ *
+ * The NIC connects a processing module to its local ring. It
+ *  1. sinks arriving flits destined for the local PM into the input
+ *     queues (delivering the packet on its tail flit),
+ *  2. forwards continuing flits to the output link, bypassing the
+ *     ring buffer when it is empty, or absorbing them into the
+ *     (packet-sized) ring buffer while the output transmits a local
+ *     packet,
+ *  3. injects PM packets from the split request/response output
+ *     queues when no ring traffic wants the link, responses first.
+ *
+ * Ring transit traffic has absolute priority for the output link, as
+ * in the paper; worms are never interleaved.
+ */
+
+#ifndef HRSIM_RING_RING_NIC_HH
+#define HRSIM_RING_RING_NIC_HH
+
+#include <functional>
+#include <iosfwd>
+
+#include "common/types.hh"
+#include "proto/packet.hh"
+#include "ring/ring_node.hh"
+
+namespace hrsim
+{
+
+class RingNic
+{
+  public:
+    using DeliverFn = std::function<void(const Packet &, Cycle)>;
+
+    /**
+     * @param pm PM id this NIC serves.
+     * @param cl_flits Flits in a cache-line packet (buffer depth).
+     * @param bypass Enable the ring-buffer bypass path.
+     */
+    RingNic(NodeId pm, std::uint32_t cl_flits, bool bypass);
+
+    RingNic(const RingNic &) = delete;
+    RingNic &operator=(const RingNic &) = delete;
+    RingNic(RingNic &&) = delete;
+    RingNic &operator=(RingNic &&) = delete;
+
+    /** Phase A: publish whether upstream may send this cycle. */
+    void computeAcceptance();
+
+    /** Phase B: sink, forward, and inject. */
+    void evaluate(Cycle now);
+
+    /** May the PM inject @a pkt this cycle? */
+    bool canInject(const Packet &pkt) const;
+
+    /** Serialize @a pkt into the proper output queue. */
+    void inject(const Packet &pkt);
+
+    void setDeliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+    NodeId pm() const { return pm_; }
+    RingSide &side() { return side_; }
+    const RingSide &side() const { return side_; }
+
+    /** End-of-cycle commit of all NIC state. */
+    void commit();
+
+    /** Flits currently buffered in this NIC. */
+    std::uint64_t flitCount() const;
+
+    /** One-line buffer state (stall diagnostics). */
+    void debugDump(std::ostream &out) const;
+
+  private:
+    /** Is @a flit ring transit (not destined for this PM)? */
+    bool isTransit(const Flit &flit) const { return flit.dst != pm_; }
+
+    NodeId pm_;
+    bool bypass_;
+    RingSide side_;
+
+    StagedFifo<Flit> outResp_;
+    StagedFifo<Flit> outReq_;
+
+    RingStreamSource ringSource_;
+    QueueSource respSource_;
+    QueueSource reqSource_;
+
+    DeliverFn deliver_;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_RING_RING_NIC_HH

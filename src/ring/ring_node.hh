@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Building blocks shared by ring NICs and inter-ring interfaces.
+ *
+ * A ring attachment point ("side") owns:
+ *  - an input latch: the single flit arriving from the upstream ring
+ *    neighbor, registered at the previous clock edge;
+ *  - a transit ring buffer (packet-sized) absorbing flits that must
+ *    continue on the ring while the output link is busy;
+ *  - an output port driving the downstream neighbor's latch, with
+ *    wormhole state (a link, once granted to a packet, is held until
+ *    its tail flit passes).
+ *
+ * Flow control follows the paper's back-propagated stop signal: at
+ * the start of every cycle each side publishes whether it can accept
+ * one more flit (its latch is empty, or the latch flit is guaranteed
+ * disposable this cycle — it sinks, or its staging buffer has room).
+ * Upstream outputs only transmit when the flag is set, so a latch can
+ * never be overwritten. Because the flag only reads start-of-cycle
+ * state, evaluation order between nodes is immaterial and a closed
+ * ring needs no combinational loop.
+ */
+
+#ifndef HRSIM_RING_RING_NODE_HH
+#define HRSIM_RING_RING_NODE_HH
+
+#include <optional>
+
+#include "common/log.hh"
+#include "common/staged_fifo.hh"
+#include "proto/packet.hh"
+#include "stats/utilization.hh"
+
+namespace hrsim
+{
+
+/**
+ * Occupancy bookkeeping for one ring (bubble flow control).
+ *
+ * A worm may enter a ring from a PM output queue or an inter-ring
+ * queue only if the ring keeps at least @ref slack flit slots free
+ * afterwards (one maximum-size packet). The free "bubble" guarantees
+ * that some latch on the ring is always acceptable, so a ring can
+ * never wedge at 100% occupancy even when every worm on it is
+ * recirculating — the standard escape used by real ring and torus
+ * networks. The whole packet is reserved when its head enters;
+ * slots are released as flits leave the ring (sink or divert).
+ *
+ * Admission is phase-based (the classic up-then-down tree argument).
+ * A worm on ring R is "down-phase" when its destination lies inside
+ * R's subtree: it only ever moves down the hierarchy from here and
+ * finally sinks at a NIC that always accepts, so down-phase traffic
+ * is self-draining by induction (on the global ring every worm is
+ * down-phase — the induction's base). Down-phase worms therefore
+ * only need the bubble; up-phase worms (heading toward the parent
+ * ring) must additionally leave a reserved max-packet share that
+ * ascending traffic can never consume, so descents always find room
+ * and the hierarchy is livelock-free end to end.
+ */
+struct RingOccupancy
+{
+    std::int64_t occupied = 0;
+    std::int64_t capacity = 0;
+    std::int64_t bubble = 0;      //!< free slots kept for rotation
+    std::int64_t reserveDown = 0; //!< share reserved for descents
+
+    /** Admit a worm whose destination is inside this subtree. */
+    bool
+    canAdmitDown(std::uint32_t flits) const
+    {
+        return occupied + static_cast<std::int64_t>(flits) + bubble <=
+               capacity;
+    }
+
+    /** Admit a worm that must ascend past this ring. */
+    bool
+    canAdmitUp(std::uint32_t flits) const
+    {
+        return occupied + static_cast<std::int64_t>(flits) + bubble +
+                   reserveDown <=
+               capacity;
+    }
+
+    void
+    add(std::int64_t n)
+    {
+        occupied += n;
+        HRSIM_ASSERT(occupied >= 0);
+    }
+};
+
+/** Single-flit input register with two-phase commit. */
+struct RingLatch
+{
+    std::optional<Flit> cur;
+    std::optional<Flit> staged;
+
+    void
+    commit()
+    {
+        if (staged) {
+            HRSIM_ASSERT(!cur);
+            cur = staged;
+            staged.reset();
+        }
+    }
+};
+
+/** Where the flit currently occupying an output link came from. */
+enum class RingSource : std::uint8_t
+{
+    None,
+    RingTransit, //!< same-ring traffic (buffer or latch bypass)
+    QueueA,      //!< first PM/inter-ring queue (responses)
+    QueueB,      //!< second PM/inter-ring queue (requests)
+};
+
+/**
+ * An abstract supplier of the next flit for an output port. The
+ * wormhole arbiter peeks sources in priority order and consumes from
+ * the winner.
+ */
+class FlitSource
+{
+  public:
+    virtual ~FlitSource() = default;
+    /** Next available flit, or nullptr if none this cycle. */
+    virtual const Flit *peek() const = 0;
+    /** Remove and return the peeked flit. */
+    virtual Flit consume() = 0;
+};
+
+/** FlitSource view over a staged FIFO (PM queues, up/down queues). */
+class QueueSource : public FlitSource
+{
+  public:
+    explicit QueueSource(StagedFifo<Flit> &queue) : queue_(queue) {}
+
+    const Flit *
+    peek() const override
+    {
+        return queue_.empty() ? nullptr : &queue_.front();
+    }
+
+    Flit consume() override { return queue_.pop(); }
+
+  private:
+    StagedFifo<Flit> &queue_;
+};
+
+/**
+ * FlitSource for the same-ring transit stream: the ring buffer
+ * drains first (FIFO order), then the latch flit may bypass the
+ * buffer entirely when the buffer is empty.
+ */
+class RingStreamSource : public FlitSource
+{
+  public:
+    RingStreamSource(StagedFifo<Flit> &buffer, RingLatch &latch)
+        : buffer_(buffer), latch_(latch)
+    {}
+
+    /** Enable/disable the latch bypass (kept on in the paper). */
+    void setBypass(bool enabled) { bypass_ = enabled; }
+
+    /** Tell the source whether the latch flit is ring transit. */
+    void setLatchIsTransit(bool transit) { latchIsTransit_ = transit; }
+
+    const Flit *
+    peek() const override
+    {
+        if (!buffer_.empty())
+            return &buffer_.front();
+        if (bypass_ && latchIsTransit_ && latch_.cur)
+            return &*latch_.cur;
+        return nullptr;
+    }
+
+    Flit
+    consume() override
+    {
+        if (!buffer_.empty())
+            return buffer_.pop();
+        HRSIM_ASSERT(bypass_ && latchIsTransit_ && latch_.cur);
+        Flit flit = *latch_.cur;
+        latch_.cur.reset();
+        latchIsTransit_ = false;
+        return flit;
+    }
+
+  private:
+    StagedFifo<Flit> &buffer_;
+    RingLatch &latch_;
+    bool bypass_ = true;
+    bool latchIsTransit_ = false;
+};
+
+/**
+ * Output side of a ring link: wormhole state plus the wiring to the
+ * downstream latch and its acceptance flag.
+ */
+class RingOutput
+{
+  public:
+    /** Wire to the downstream neighbor (done once at build time). */
+    void
+    connect(RingLatch *latch, const bool *accept_flag,
+            UtilizationTracker *util, UtilizationTracker::LinkId link,
+            RingOccupancy *occupancy, NodeId subtree_lo,
+            NodeId subtree_hi, std::uint32_t starvation_limit)
+    {
+        downstream_ = latch;
+        acceptFlag_ = accept_flag;
+        util_ = util;
+        link_ = link;
+        occupancy_ = occupancy;
+        subtreeLo_ = subtree_lo;
+        subtreeHi_ = subtree_hi;
+        starvationLimit_ = starvation_limit;
+    }
+
+    bool downstreamAccepts() const { return *acceptFlag_; }
+    bool inWorm() const { return inWorm_; }
+    PacketId wormPacket() const { return wormPkt_; }
+    RingSource wormSource() const { return wormSrc_; }
+
+    /**
+     * Run one cycle of wormhole transmission. Sources are given in
+     * strict priority order (index 0 wins); a new worm may only start
+     * with a head flit, and an in-progress worm only consumes from
+     * the source that started it.
+     *
+     * @return true if a flit was transmitted.
+     */
+    bool
+    transmit(FlitSource *ring, FlitSource *queue_a, FlitSource *queue_b)
+    {
+        // A worm from a PM or inter-ring queue enters the ring here.
+        // Bubble flow control keeps one free max-packet slot so the
+        // ring always rotates; the phase gate additionally reserves a
+        // share for down-phase (self-draining) traffic.
+        const auto admissible = [this](const FlitSource *src) {
+            const Flit *head = src ? src->peek() : nullptr;
+            if (!head || !head->isHead())
+                return false;
+            const bool down_phase =
+                head->dst >= subtreeLo_ && head->dst < subtreeHi_;
+            return down_phase
+                       ? occupancy_->canAdmitDown(head->sizeFlits)
+                       : occupancy_->canAdmitUp(head->sizeFlits);
+        };
+        const bool queue_ready =
+            admissible(queue_a) || admissible(queue_b);
+
+        FlitSource *source = nullptr;
+        RingSource kind = RingSource::None;
+        if (inWorm_) {
+            if (wormSrc_ == RingSource::RingTransit && queue_ready)
+                ++starve_;
+            kind = wormSrc_;
+            source = sourceFor(kind, ring, queue_a, queue_b);
+            const Flit *next = source->peek();
+            if (!next)
+                return false; // worm starved: link held, idle cycle
+            HRSIM_ASSERT(next->packet == wormPkt_);
+        } else {
+            // Same-ring traffic has priority (the paper's rule), but
+            // a queue blocked by an unbroken transit stream for too
+            // long wins the next worm boundary. Without this escape
+            // valve, worms recirculating on a saturated ring starve
+            // the inter-ring queues forever and the hierarchy
+            // livelocks; with it, starvation is bounded and strict
+            // priority still holds at every normal operating point.
+            const bool starved =
+                starvationLimit_ > 0 && starve_ >= starvationLimit_;
+            if (ring && ring->peek() && !(starved && queue_ready)) {
+                if (queue_ready)
+                    ++starve_;
+                source = ring;
+                kind = RingSource::RingTransit;
+            } else if (admissible(queue_a)) {
+                source = queue_a;
+                kind = RingSource::QueueA;
+                starve_ = 0;
+            } else if (admissible(queue_b)) {
+                source = queue_b;
+                kind = RingSource::QueueB;
+                starve_ = 0;
+            } else {
+                return false;
+            }
+            HRSIM_ASSERT(source->peek()->isHead());
+        }
+        if (!downstreamAccepts())
+            return false;
+        HRSIM_ASSERT(!downstream_->staged);
+        if (!inWorm_ && kind != RingSource::RingTransit) {
+            // Reserve the whole packet's slots up front; they are
+            // released one by one as its flits leave the ring.
+            occupancy_->add(source->peek()->sizeFlits);
+        }
+        const Flit flit = source->consume();
+        downstream_->staged = flit;
+        util_->recordTransfer(link_);
+        if (flit.isTail()) {
+            inWorm_ = false;
+            wormSrc_ = RingSource::None;
+        } else {
+            inWorm_ = true;
+            wormSrc_ = kind;
+            wormPkt_ = flit.packet;
+        }
+        return true;
+    }
+
+  private:
+    FlitSource *
+    sourceFor(RingSource kind, FlitSource *ring, FlitSource *queue_a,
+              FlitSource *queue_b) const
+    {
+        switch (kind) {
+          case RingSource::RingTransit:
+            return ring;
+          case RingSource::QueueA:
+            return queue_a;
+          case RingSource::QueueB:
+            return queue_b;
+          default:
+            HRSIM_PANIC("output worm with no source");
+        }
+    }
+
+    RingLatch *downstream_ = nullptr;
+    const bool *acceptFlag_ = nullptr;
+    UtilizationTracker *util_ = nullptr;
+    UtilizationTracker::LinkId link_ = 0;
+    RingOccupancy *occupancy_ = nullptr;
+    NodeId subtreeLo_ = 0;
+    NodeId subtreeHi_ = 0;
+    std::uint32_t starvationLimit_ = 0;
+    std::uint32_t starve_ = 0; //!< cycles a ready queue was passed over
+
+    bool inWorm_ = false;
+    RingSource wormSrc_ = RingSource::None;
+    PacketId wormPkt_ = 0;
+};
+
+/** One attachment point of a node on a ring. */
+struct RingSide
+{
+    RingLatch in;
+    bool accept = false; //!< phase-A acceptance flag for upstream
+    StagedFifo<Flit> transitBuf;
+    RingOutput out;
+    /** Occupancy of the ring this side sits on (shared). */
+    RingOccupancy *occupancy = nullptr;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_RING_RING_NODE_HH

@@ -1,0 +1,132 @@
+#include "ring/topology.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace hrsim
+{
+
+RingTopology
+RingTopology::parse(const std::string &text)
+{
+    RingTopology topo;
+    std::stringstream in(text);
+    std::string part;
+    while (std::getline(in, part, ':')) {
+        if (part.empty())
+            fatal("RingTopology: empty level in '" + text + "'");
+        try {
+            topo.levels.push_back(std::stoi(part));
+        } catch (const std::exception &) {
+            fatal("RingTopology: bad level '" + part + "' in '" +
+                  text + "'");
+        }
+    }
+    topo.validate();
+    return topo;
+}
+
+std::string
+RingTopology::toString() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        if (i)
+            out += ':';
+        out += std::to_string(levels[i]);
+    }
+    return out;
+}
+
+long
+RingTopology::numProcessors() const
+{
+    long total = 1;
+    for (const int n : levels)
+        total *= n;
+    return total;
+}
+
+void
+RingTopology::validate() const
+{
+    if (levels.empty())
+        fatal("RingTopology: at least one level required");
+    for (const int n : levels) {
+        if (n < 1)
+            fatal("RingTopology: every level needs >= 1 children");
+    }
+    if (numProcessors() < 1)
+        fatal("RingTopology: no processors");
+}
+
+namespace
+{
+
+/**
+ * Recursive builder. Returns the index of the ring created for the
+ * subtree rooted at @a level covering PM ids starting at @a next_pm.
+ */
+int
+buildRing(const RingTopology &topo, RingStructure &rs, int level,
+          NodeId &next_pm)
+{
+    const int ring_index = static_cast<int>(rs.rings.size());
+    rs.rings.push_back(RingDesc{level, {}, next_pm, next_pm});
+
+    const int fanout = topo.levels[static_cast<std::size_t>(level)];
+    if (level == topo.numLevels() - 1) {
+        // Leaf ring: one NIC slot per PM.
+        for (int child = 0; child < fanout; ++child) {
+            const NodeId pm = next_pm++;
+            rs.rings[ring_index].slots.push_back(
+                RingSlotDesc{RingSlotDesc::Kind::Nic, pm});
+            rs.nicRing.push_back(ring_index);
+        }
+    } else {
+        for (int child = 0; child < fanout; ++child) {
+            const NodeId lo = next_pm;
+            const int child_ring =
+                buildRing(topo, rs, level + 1, next_pm);
+            const NodeId hi = next_pm;
+            const int iri = static_cast<int>(rs.iris.size());
+            rs.iris.push_back(IriDesc{child_ring, ring_index, lo, hi});
+            // The IRI's upper side sits on this ring ...
+            rs.rings[ring_index].slots.push_back(
+                RingSlotDesc{RingSlotDesc::Kind::IriUpper, iri});
+            // ... and its lower side closes the child ring.
+            rs.rings[child_ring].slots.push_back(
+                RingSlotDesc{RingSlotDesc::Kind::IriLower, iri});
+        }
+    }
+    rs.rings[ring_index].subtreeHi = next_pm;
+    return ring_index;
+}
+
+} // namespace
+
+RingStructure
+RingStructure::build(const RingTopology &topo)
+{
+    topo.validate();
+    RingStructure rs;
+    rs.numLevels = topo.numLevels();
+    NodeId next_pm = 0;
+    rs.rootRing = buildRing(topo, rs, 0, next_pm);
+    HRSIM_ASSERT(next_pm == topo.numProcessors());
+    return rs;
+}
+
+std::vector<int>
+RingStructure::ringsAtLevel(int level) const
+{
+    std::vector<int> out;
+    for (int r = 0; r < static_cast<int>(rings.size()); ++r) {
+        if (rings[static_cast<std::size_t>(r)].level == level)
+            out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace hrsim

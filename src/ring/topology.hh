@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Hierarchical ring topology description.
+ *
+ * The paper writes topologies top-down, e.g. "2:3:4" for one global
+ * ring connecting 2 intermediate rings, each connecting 3 local
+ * rings, each with 4 processing modules. A single ring of P nodes is
+ * simply "P".
+ *
+ * RingStructure expands a topology into the concrete set of rings,
+ * NIC and IRI instances, and their slot positions, which the network
+ * model instantiates one-to-one:
+ *
+ *  - A leaf (local) ring has its PMs' NICs followed by the lower side
+ *    of the IRI that links it to its parent ring.
+ *  - An interior ring has the upper side of each child IRI followed
+ *    by the lower side of its own parent IRI (absent for the root).
+ *  - Each IRI covers a contiguous range of PM ids (its subtree),
+ *    which is all the routing information the hierarchy needs.
+ */
+
+#ifndef HRSIM_RING_TOPOLOGY_HH
+#define HRSIM_RING_TOPOLOGY_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hrsim
+{
+
+struct RingTopology
+{
+    /** Children per ring, top-down; back() is PMs per local ring. */
+    std::vector<int> levels;
+
+    /** Parse the paper's "a:b:c" notation. */
+    static RingTopology parse(const std::string &text);
+
+    /** Render in the paper's notation. */
+    std::string toString() const;
+
+    int numLevels() const { return static_cast<int>(levels.size()); }
+
+    /** Total number of processing modules. */
+    long numProcessors() const;
+
+    /** Throws ConfigError unless every level has >= 1 children and
+     * rings with fewer than 2 nodes are avoided where meaningful. */
+    void validate() const;
+};
+
+/** One slot position on a ring. */
+struct RingSlotDesc
+{
+    enum class Kind
+    {
+        Nic,      //!< a PM's network interface controller
+        IriLower, //!< lower side of an IRI (link to parent ring)
+        IriUpper, //!< upper side of an IRI (link to a child ring)
+    };
+
+    Kind kind;
+    int index; //!< PM id for Nic, IRI index otherwise
+};
+
+/** One ring instance. */
+struct RingDesc
+{
+    int level; //!< 0 = global (root) ring
+    std::vector<RingSlotDesc> slots;
+    NodeId subtreeLo = 0; //!< first PM id reachable below this ring
+    NodeId subtreeHi = 0; //!< one past the last such PM id
+};
+
+/** One inter-ring interface instance. */
+struct IriDesc
+{
+    int childRing;  //!< ring below this IRI
+    int parentRing; //!< ring above this IRI
+    NodeId subtreeLo; //!< first PM id under this IRI
+    NodeId subtreeHi; //!< one past the last PM id under this IRI
+};
+
+/** Fully expanded structural description of a hierarchy. */
+struct RingStructure
+{
+    std::vector<RingDesc> rings;
+    std::vector<IriDesc> iris;
+    std::vector<int> nicRing; //!< pm -> containing ring index
+    int rootRing = 0;
+    int numLevels = 0;
+
+    static RingStructure build(const RingTopology &topo);
+
+    int numProcessors() const
+    {
+        return static_cast<int>(nicRing.size());
+    }
+
+    /** Ring indices at a hierarchy level (0 = root). */
+    std::vector<int> ringsAtLevel(int level) const;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_RING_TOPOLOGY_HH

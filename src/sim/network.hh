@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Abstract interconnection-network interface.
+ *
+ * Both the hierarchical ring network and the 2D mesh implement this
+ * interface. A network is ticked once per system clock cycle with a
+ * two-phase (evaluate, then commit) discipline internally, accepts
+ * packet injections from processing modules, and delivers packets to
+ * the registered handler when the tail flit reaches its destination.
+ */
+
+#ifndef HRSIM_SIM_NETWORK_HH
+#define HRSIM_SIM_NETWORK_HH
+
+#include <functional>
+
+#include "common/types.hh"
+#include "proto/packet.hh"
+#include "stats/utilization.hh"
+
+namespace hrsim
+{
+
+class Network
+{
+  public:
+    /** Callback invoked when a packet fully arrives at its target. */
+    using DeliveryHandler = std::function<void(const Packet &, Cycle)>;
+
+    virtual ~Network() = default;
+
+    /** Number of processing modules attached. */
+    virtual int numProcessors() const = 0;
+
+    /**
+     * May PM @a pm inject @a pkt this cycle? True when the NIC output
+     * queue for the packet's class has room for every flit.
+     */
+    virtual bool canInject(NodeId pm, const Packet &pkt) const = 0;
+
+    /** Inject @a pkt at PM @a pm; caller must check canInject(). */
+    virtual void inject(NodeId pm, const Packet &pkt) = 0;
+
+    /** Advance the network by one system clock cycle. */
+    virtual void tick(Cycle now) = 0;
+
+    /** Register the delivery callback (one handler per network). */
+    void setDeliveryHandler(DeliveryHandler handler)
+    {
+        deliver_ = std::move(handler);
+    }
+
+    /** Link-utilization accounting for this network. */
+    virtual UtilizationTracker &utilization() = 0;
+    virtual const UtilizationTracker &utilization() const = 0;
+
+    /** Total flits currently buffered inside the network. */
+    virtual std::uint64_t flitsInFlight() const = 0;
+
+  protected:
+    /** Deliver @a pkt to the attached PM at cycle @a now. */
+    void
+    delivered(const Packet &pkt, Cycle now) const
+    {
+        if (deliver_)
+            deliver_(pkt, now);
+    }
+
+  private:
+    DeliveryHandler deliver_;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_SIM_NETWORK_HH

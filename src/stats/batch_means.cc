@@ -1,0 +1,76 @@
+#include "stats/batch_means.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace hrsim
+{
+
+BatchMeans::BatchMeans(Cycle warmup_cycles, Cycle batch_cycles,
+                       std::uint32_t num_batches)
+    : warmupCycles_(warmup_cycles), batchCycles_(batch_cycles),
+      batches_(num_batches)
+{
+    if (batch_cycles == 0)
+        fatal("BatchMeans: batch length must be positive");
+    if (num_batches == 0)
+        fatal("BatchMeans: need at least one measured batch");
+}
+
+void
+BatchMeans::add(Cycle now, double value)
+{
+    if (now < warmupCycles_)
+        return; // initialization bias: first batch discarded
+    const Cycle offset = now - warmupCycles_;
+    const Cycle index = offset / batchCycles_;
+    if (index >= batches_.size())
+        return; // past the measurement window
+    batches_[static_cast<std::size_t>(index)].add(value);
+    all_.add(value);
+}
+
+Cycle
+BatchMeans::endCycle() const
+{
+    return warmupCycles_ + batchCycles_ * batches_.size();
+}
+
+std::uint64_t
+BatchMeans::sampleCount() const
+{
+    return all_.count();
+}
+
+double
+BatchMeans::mean() const
+{
+    return all_.mean();
+}
+
+double
+BatchMeans::halfWidth95() const
+{
+    // Variance across batch means; batches are long enough that the
+    // normal approximation is adequate for our purposes.
+    RunningStats of_means;
+    for (const auto &batch : batches_) {
+        if (batch.count() > 0)
+            of_means.add(batch.mean());
+    }
+    if (of_means.count() < 2)
+        return 0.0;
+    const double se =
+        of_means.stddev() / std::sqrt(static_cast<double>(of_means.count()));
+    return 1.96 * se;
+}
+
+double
+BatchMeans::batchMean(std::uint32_t batch) const
+{
+    HRSIM_ASSERT(batch < batches_.size());
+    return batches_[batch].mean();
+}
+
+} // namespace hrsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Batch-means output analysis.
+ *
+ * The paper uses the batch-means method with the first batch discarded
+ * to remove initialization bias; this class reproduces that protocol.
+ * Samples are tagged with their completion cycle; the collector
+ * assigns them to fixed-length batches, drops every sample completed
+ * during the warmup (batch 0), and reports the grand mean together
+ * with a confidence half-width computed from the variance of the batch
+ * means.
+ */
+
+#ifndef HRSIM_STATS_BATCH_MEANS_HH
+#define HRSIM_STATS_BATCH_MEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/running_stats.hh"
+
+namespace hrsim
+{
+
+class BatchMeans
+{
+  public:
+    /**
+     * @param warmup_cycles Length of the discarded initial batch.
+     * @param batch_cycles Length of each measured batch.
+     * @param num_batches Number of measured batches.
+     */
+    BatchMeans(Cycle warmup_cycles, Cycle batch_cycles,
+               std::uint32_t num_batches);
+
+    /** Record a sample that completed at @a now. */
+    void add(Cycle now, double value);
+
+    /** Cycle at which all batches are filled and the run may stop. */
+    Cycle endCycle() const;
+
+    /** True once @a now has passed endCycle(). */
+    bool done(Cycle now) const { return now >= endCycle(); }
+
+    /** True while @a now is inside the measured window. */
+    bool
+    inMeasurement(Cycle now) const
+    {
+        return now >= warmupCycles_ && now < endCycle();
+    }
+
+    /** Samples recorded in measured batches. */
+    std::uint64_t sampleCount() const;
+
+    /** Grand mean over all measured samples. */
+    double mean() const;
+
+    /** 95% confidence half-width from the batch-mean variance. */
+    double halfWidth95() const;
+
+    /** Mean of one measured batch (0-based, after warmup). */
+    double batchMean(std::uint32_t batch) const;
+
+    std::uint32_t numBatches() const
+    {
+        return static_cast<std::uint32_t>(batches_.size());
+    }
+
+    Cycle warmupCycles() const { return warmupCycles_; }
+    Cycle batchCycles() const { return batchCycles_; }
+
+  private:
+    Cycle warmupCycles_;
+    Cycle batchCycles_;
+    std::vector<RunningStats> batches_;
+    RunningStats all_;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_STATS_BATCH_MEANS_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Link-utilization accounting.
+ *
+ * Utilization is reported, as in the paper, as the percentage of the
+ * maximum: the fraction of link-cycles that carried a flit during the
+ * measurement window. Links are registered into named groups (e.g.
+ * "ring level 0", "mesh") so per-level ring utilization and whole-
+ * network mesh utilization come from the same tracker. A link may be
+ * registered with a speed factor > 1 (double-clocked global ring), in
+ * which case its capacity is factor flits per system cycle.
+ */
+
+#ifndef HRSIM_STATS_UTILIZATION_HH
+#define HRSIM_STATS_UTILIZATION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hrsim
+{
+
+class UtilizationTracker
+{
+  public:
+    using LinkId = std::uint32_t;
+    using GroupId = std::uint32_t;
+
+    /** Create (or look up) a link group by name. */
+    GroupId group(const std::string &name);
+
+    /** Register a link in a group; @a speed_factor flits/cycle max. */
+    LinkId addLink(GroupId group, std::uint32_t speed_factor = 1);
+
+    /** Record that @a link carried a flit this cycle. */
+    void recordTransfer(LinkId link);
+
+    /** Start the measurement window at cycle @a now. */
+    void startMeasurement(Cycle now);
+
+    /** Close the window at cycle @a now. */
+    void stopMeasurement(Cycle now);
+
+    /** Utilization of a group in [0, 1] over the closed window. */
+    double groupUtilization(GroupId group) const;
+
+    /** Utilization across every registered link. */
+    double totalUtilization() const;
+
+    std::uint32_t numGroups() const
+    {
+        return static_cast<std::uint32_t>(groupCapacity_.size());
+    }
+
+    const std::string &groupName(GroupId group) const
+    {
+        return groupNames_[group];
+    }
+
+  private:
+    bool measuring_ = false;
+    Cycle windowStart_ = 0;
+    Cycle windowCycles_ = 0;
+
+    std::vector<std::string> groupNames_;
+    // Aggregate flits/cycle capacity of all links in each group.
+    std::vector<std::uint64_t> groupCapacity_;
+    std::vector<std::uint64_t> groupTransfers_;
+
+    std::vector<GroupId> linkGroup_;
+    std::vector<std::uint32_t> linkSpeed_;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_STATS_UTILIZATION_HH

@@ -1,0 +1,39 @@
+#include "workload/memory.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace hrsim
+{
+
+void
+MemoryModule::onRequest(const Packet &pkt, Cycle now)
+{
+    HRSIM_ASSERT(isRequest(pkt.type));
+    HRSIM_ASSERT(pkt.dst == pm_);
+    Cycle ready;
+    if (serialized_) {
+        // Single-banked memory: one access at a time, FIFO.
+        const Cycle start = std::max(now, busyUntil_);
+        ready = start + latency_;
+        busyUntil_ = ready;
+    } else {
+        ready = now + latency_;
+    }
+    pending_.push_back({ready, factory_.makeResponse(pkt)});
+}
+
+void
+MemoryModule::tick(Cycle now)
+{
+    while (!pending_.empty() && pending_.front().ready <= now) {
+        const Packet &resp = pending_.front().response;
+        if (!network_.canInject(pm_, resp))
+            break; // response queue full: retry next cycle, in order
+        network_.inject(pm_, resp);
+        pending_.pop_front();
+    }
+}
+
+} // namespace hrsim

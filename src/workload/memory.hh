@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Memory module of a processing module.
+ *
+ * Each PM owns a slice of the flat global address space. The memory
+ * serves requests with a fixed service time, either one at a time
+ * (the default: a single-banked memory, matching the Hector stations
+ * the paper's simulator was validated against) or fully pipelined.
+ * Completed responses are injected into the NIC's output response
+ * queue in FIFO order; when the queue is full they wait in the
+ * completion queue (bounded in practice by P * T outstanding
+ * transactions system-wide).
+ */
+
+#ifndef HRSIM_WORKLOAD_MEMORY_HH
+#define HRSIM_WORKLOAD_MEMORY_HH
+
+#include <deque>
+
+#include "common/types.hh"
+#include "proto/packet.hh"
+#include "proto/packet_factory.hh"
+#include "sim/network.hh"
+
+namespace hrsim
+{
+
+class MemoryModule
+{
+  public:
+    MemoryModule(NodeId pm, std::uint32_t latency,
+                 PacketFactory &factory, Network &network,
+                 bool serialized = true)
+        : pm_(pm), latency_(latency), serialized_(serialized),
+          factory_(factory), network_(network)
+    {}
+
+    /** Accept a request packet delivered by the network at @a now. */
+    void onRequest(const Packet &pkt, Cycle now);
+
+    /** Inject responses whose service completed by @a now. */
+    void tick(Cycle now);
+
+    NodeId pm() const { return pm_; }
+
+    /** Responses accepted but not yet injected. */
+    std::size_t pendingResponses() const { return pending_.size(); }
+
+  private:
+    struct PendingResponse
+    {
+        Cycle ready;
+        Packet response;
+    };
+
+    NodeId pm_;
+    std::uint32_t latency_;
+    bool serialized_;
+    PacketFactory &factory_;
+    Network &network_;
+    std::deque<PendingResponse> pending_;
+    /** When serialized: cycle the module next becomes free. */
+    Cycle busyUntil_ = 0;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_WORKLOAD_MEMORY_HH

@@ -1,0 +1,92 @@
+#include "workload/processor.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace hrsim
+{
+
+Processor::Processor(NodeId pm, std::vector<NodeId> targets,
+                     const WorkloadConfig &cfg, PacketFactory &factory,
+                     Network &network, BatchMeans &latency,
+                     WorkloadCounters &counters, std::uint64_t seed)
+    : pm_(pm), targets_(std::move(targets)), cfg_(cfg),
+      factory_(factory), network_(network), latency_(latency),
+      counters_(counters),
+      rng_(seed, static_cast<std::uint64_t>(pm))
+{
+    HRSIM_ASSERT(!targets_.empty());
+    HRSIM_ASSERT(std::find(targets_.begin(), targets_.end(), pm_) !=
+                 targets_.end());
+}
+
+bool
+Processor::tryIssue(const PendingMiss &miss, Cycle now)
+{
+    if (outstanding_ >= cfg_.outstandingT)
+        return false;
+    if (miss.target == pm_) {
+        // Local access: no network involvement.
+        ++outstanding_;
+        localDue_.push_back(now + cfg_.memoryLatency);
+        ++counters_.localIssued;
+        return true;
+    }
+    const Packet pkt =
+        factory_.makeRequest(pm_, miss.target, miss.isRead, now);
+    if (!network_.canInject(pm_, pkt))
+        return false;
+    network_.inject(pm_, pkt);
+    ++outstanding_;
+    ++counters_.remoteIssued;
+    return true;
+}
+
+void
+Processor::tick(Cycle now)
+{
+    // Retire local accesses that completed by now.
+    while (!localDue_.empty() && localDue_.front() <= now) {
+        localDue_.pop_front();
+        HRSIM_ASSERT(outstanding_ > 0);
+        --outstanding_;
+        ++counters_.localCompleted;
+    }
+
+    if (stalled_) {
+        ++counters_.blockedCycles;
+        if (tryIssue(stalledMiss_, now))
+            stalled_ = false;
+        return; // blocked: no new miss is generated this cycle
+    }
+
+    if (!rng_.bernoulli(cfg_.missRateC))
+        return;
+
+    ++counters_.missesGenerated;
+    PendingMiss miss;
+    miss.target = targets_[rng_.uniformInt(targets_.size())];
+    miss.isRead = rng_.bernoulli(cfg_.readFraction);
+    if (!tryIssue(miss, now)) {
+        stalled_ = true;
+        stalledMiss_ = miss;
+    }
+}
+
+void
+Processor::onResponse(const Packet &pkt, Cycle now)
+{
+    HRSIM_ASSERT(!isRequest(pkt.type));
+    HRSIM_ASSERT(pkt.dst == pm_);
+    HRSIM_ASSERT(outstanding_ > 0);
+    --outstanding_;
+    ++counters_.remoteCompleted;
+    HRSIM_ASSERT(now >= pkt.issueCycle);
+    const double trip = static_cast<double>(now - pkt.issueCycle);
+    latency_.add(now, trip);
+    if (histogram_ && latency_.inMeasurement(now))
+        histogram_->add(trip);
+}
+
+} // namespace hrsim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Processor model for the M-MRP synthetic workload.
+ *
+ * Every cycle, with probability C, the processor suffers a cache miss
+ * to a target drawn uniformly from its access region (which includes
+ * the local PM). Misses are reads with probability 0.7. The processor
+ * may have up to T transactions outstanding; when a miss cannot be
+ * issued (T outstanding, or the NIC output queue full) the processor
+ * blocks: it retries the same miss each cycle and generates no new
+ * ones, mimicking a multiple-context processor whose contexts are all
+ * stalled. The generation rate is otherwise independent of the number
+ * outstanding.
+ *
+ * Local misses never touch the network: they complete after the
+ * memory latency. Only remote misses contribute to the round-trip
+ * latency statistic, measured from issue (entry into the NIC output
+ * queue) to receipt of the response's tail flit.
+ */
+
+#ifndef HRSIM_WORKLOAD_PROCESSOR_HH
+#define HRSIM_WORKLOAD_PROCESSOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "proto/packet.hh"
+#include "proto/packet_factory.hh"
+#include "sim/network.hh"
+#include "stats/batch_means.hh"
+#include "stats/histogram.hh"
+#include "workload/traffic_source.hh"
+#include "workload/workload_config.hh"
+
+namespace hrsim
+{
+
+/** Aggregated per-run workload event counts, shared by all PMs. */
+struct WorkloadCounters
+{
+    std::uint64_t missesGenerated = 0;
+    std::uint64_t remoteIssued = 0;
+    std::uint64_t remoteCompleted = 0;
+    std::uint64_t localIssued = 0;
+    std::uint64_t localCompleted = 0;
+    std::uint64_t blockedCycles = 0;
+};
+
+class Processor : public TrafficSource
+{
+  public:
+    /**
+     * @param pm Linear id of this PM.
+     * @param targets Access region (must include @a pm).
+     * @param cfg Workload parameters.
+     * @param factory Packet factory shared across the system.
+     * @param network Interconnect used for remote accesses.
+     * @param latency Collector of remote round-trip latencies.
+     * @param counters Shared event counters.
+     * @param seed Master seed; the stream is derived from @a pm.
+     */
+    Processor(NodeId pm, std::vector<NodeId> targets,
+              const WorkloadConfig &cfg, PacketFactory &factory,
+              Network &network, BatchMeans &latency,
+              WorkloadCounters &counters, std::uint64_t seed);
+
+    /** Advance one cycle: generate/issue misses, retire local ones. */
+    void tick(Cycle now) override;
+
+    /** Called by the system when a response packet arrives. */
+    void onResponse(const Packet &pkt, Cycle now) override;
+
+    /** Also record remote latencies into @a histogram (optional). */
+    void
+    setHistogram(Histogram *histogram) override
+    {
+        histogram_ = histogram;
+    }
+
+    NodeId pm() const { return pm_; }
+    int outstanding() const override { return outstanding_; }
+    bool blocked() const override { return stalled_; }
+
+  private:
+    struct PendingMiss
+    {
+        NodeId target;
+        bool isRead;
+    };
+
+    /** Try to issue @a miss; true on success. */
+    bool tryIssue(const PendingMiss &miss, Cycle now);
+
+    NodeId pm_;
+    std::vector<NodeId> targets_;
+    WorkloadConfig cfg_;
+    PacketFactory &factory_;
+    Network &network_;
+    BatchMeans &latency_;
+    WorkloadCounters &counters_;
+    Histogram *histogram_ = nullptr;
+    Rng rng_;
+
+    int outstanding_ = 0;
+    bool stalled_ = false;
+    PendingMiss stalledMiss_{invalidNode, true};
+
+    /** Completion times of in-flight local accesses (sorted). */
+    std::deque<Cycle> localDue_;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_WORKLOAD_PROCESSOR_HH

@@ -1,0 +1,106 @@
+#include "workload/region.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace hrsim
+{
+
+int
+regionRemoteCount(int num_processors, double locality_r)
+{
+    if (num_processors < 1)
+        fatal("regionRemoteCount: need at least one processor");
+    if (locality_r <= 0.0 || locality_r > 1.0)
+        fatal("regionRemoteCount: R must be in (0, 1]");
+    const double exact = locality_r * static_cast<double>(num_processors - 1);
+    int remote = static_cast<int>(std::llround(exact));
+    remote = std::clamp(remote, 0, num_processors - 1);
+    return remote;
+}
+
+std::vector<NodeId>
+ringRegion(NodeId pm, int num_processors, double locality_r, bool wrap)
+{
+    HRSIM_ASSERT(pm >= 0 && pm < num_processors);
+    const int remote = regionRemoteCount(num_processors, locality_r);
+    // Split the block across the two sides; the extra PM of an odd
+    // count goes to the downstream side.
+    const int left = remote / 2;
+    const int right = remote - left;
+
+    std::vector<NodeId> region;
+    region.reserve(static_cast<std::size_t>(remote) + 1);
+    region.push_back(pm);
+    if (wrap) {
+        for (int step = 1; step <= left; ++step) {
+            region.push_back(static_cast<NodeId>(
+                (pm - step + num_processors) % num_processors));
+        }
+        for (int step = 1; step <= right; ++step)
+            region.push_back(static_cast<NodeId>((pm + step) %
+                                                 num_processors));
+    } else {
+        // Clipped: slide the window inward at the ends so the region
+        // keeps its size but stays on the line.
+        int lo = pm - left;
+        int hi = pm + right; // inclusive
+        if (lo < 0) {
+            hi = std::min(hi - lo, num_processors - 1);
+            lo = 0;
+        }
+        if (hi > num_processors - 1) {
+            lo = std::max(0, lo - (hi - (num_processors - 1)));
+            hi = num_processors - 1;
+        }
+        for (int id = lo; id <= hi; ++id) {
+            if (id != pm)
+                region.push_back(static_cast<NodeId>(id));
+        }
+    }
+    // Remove accidental duplicates (possible when remote == P-1 and
+    // the wrap closes on itself).
+    std::sort(region.begin() + 1, region.end());
+    region.erase(std::unique(region.begin() + 1, region.end()),
+                 region.end());
+    return region;
+}
+
+std::vector<NodeId>
+meshRegion(NodeId pm, int width, double locality_r)
+{
+    const int num_processors = width * width;
+    HRSIM_ASSERT(pm >= 0 && pm < num_processors);
+    const int remote = regionRemoteCount(num_processors, locality_r);
+
+    const int my_x = pm % width;
+    const int my_y = pm / width;
+
+    std::vector<NodeId> others;
+    others.reserve(static_cast<std::size_t>(num_processors) - 1);
+    for (NodeId id = 0; id < num_processors; ++id) {
+        if (id != pm)
+            others.push_back(id);
+    }
+    std::stable_sort(others.begin(), others.end(),
+        [&](NodeId a, NodeId b) {
+            const int da = std::abs(a % width - my_x) +
+                           std::abs(a / width - my_y);
+            const int db = std::abs(b % width - my_x) +
+                           std::abs(b / width - my_y);
+            if (da != db)
+                return da < db;
+            return a < b;
+        });
+
+    std::vector<NodeId> region;
+    region.reserve(static_cast<std::size_t>(remote) + 1);
+    region.push_back(pm);
+    region.insert(region.end(), others.begin(), others.begin() + remote);
+    return region;
+}
+
+} // namespace hrsim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Memory-access region construction for the M-MRP workload.
+ *
+ * Parameter R in (0, 1] controls locality: each processor accesses
+ * memory in the round(R * (P - 1)) "closest" PMs as well as its own.
+ * Following the paper, "closest" is interpreted per network:
+ *
+ *  - Rings: PMs are projected onto a line in hierarchical (DFS)
+ *    order and the region is the contiguous block centered at the
+ *    accessing PM. We wrap the block around the ends by default (a
+ *    ring is closed); a clipped variant is provided for the
+ *    neighborhood-model ablation.
+ *  - Meshes: the region is the set of PMs nearest by hop count
+ *    (Manhattan distance), ties broken by id, which minimizes mesh
+ *    hops exactly as the paper's locality model does.
+ */
+
+#ifndef HRSIM_WORKLOAD_REGION_HH
+#define HRSIM_WORKLOAD_REGION_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hrsim
+{
+
+/** Number of remote PMs in an access region of P processors. */
+int regionRemoteCount(int num_processors, double locality_r);
+
+/**
+ * Ring access region: the accessing PM plus a contiguous block of
+ * neighbors in linear order, wrapped around the ends.
+ *
+ * @param pm The accessing PM.
+ * @param num_processors Total PMs (linear ids 0..P-1).
+ * @param locality_r The paper's R parameter.
+ * @param wrap Wrap the block around the line ends (default), or clip.
+ * @return Target PM ids including @a pm itself.
+ */
+std::vector<NodeId> ringRegion(NodeId pm, int num_processors,
+                               double locality_r, bool wrap = true);
+
+/**
+ * Mesh access region: the accessing PM plus the remote PMs nearest by
+ * Manhattan distance on a width x width square mesh.
+ *
+ * @param pm The accessing PM.
+ * @param width Mesh edge length; P = width * width.
+ * @param locality_r The paper's R parameter.
+ * @return Target PM ids including @a pm itself.
+ */
+std::vector<NodeId> meshRegion(NodeId pm, int width, double locality_r);
+
+} // namespace hrsim
+
+#endif // HRSIM_WORKLOAD_REGION_HH

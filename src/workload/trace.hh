@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Trace-driven workload: record format, file I/O, synthesis, and a
+ * TrafficSource that replays a trace.
+ *
+ * The paper drives its simulator with the synthetic M-MRP generator;
+ * a production library also needs deterministic replay of recorded
+ * reference streams (for cross-simulator validation and regression
+ * pinning). The trace format is line-oriented text:
+ *
+ *     # comment
+ *     <cycle> <pm> <target> R|W
+ *
+ * sorted by cycle (enforced on load). Replay honours the same
+ * outstanding-transaction limit T as the synthetic generator: a
+ * record whose time has come waits until a slot and the NIC output
+ * queue are available, so a trace can also be replayed onto a slower
+ * network than it was recorded on.
+ */
+
+#ifndef HRSIM_WORKLOAD_TRACE_HH
+#define HRSIM_WORKLOAD_TRACE_HH
+
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "proto/packet_factory.hh"
+#include "sim/network.hh"
+#include "stats/batch_means.hh"
+#include "workload/processor.hh"
+#include "workload/traffic_source.hh"
+
+namespace hrsim
+{
+
+/** One memory reference of a trace. */
+struct TraceRecord
+{
+    Cycle cycle = 0;
+    NodeId pm = 0;
+    NodeId target = 0;
+    bool isRead = true;
+
+    bool
+    operator==(const TraceRecord &other) const
+    {
+        return cycle == other.cycle && pm == other.pm &&
+               target == other.target && isRead == other.isRead;
+    }
+};
+
+/** An immutable, time-sorted reference trace. */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /** Build from records; sorts by cycle (stably). */
+    explicit Trace(std::vector<TraceRecord> records);
+
+    /** Parse the text format; throws ConfigError on bad input. */
+    static Trace load(std::istream &in);
+
+    /** Write the text format. */
+    void save(std::ostream &out) const;
+
+    /**
+     * Generate an M-MRP-like trace: every processor issues misses at
+     * rate @a miss_rate to uniform targets among @a num_processors,
+     * with P(read) = @a read_fraction, for @a cycles cycles.
+     */
+    static Trace synthesizeUniform(int num_processors, Cycle cycles,
+                                   double miss_rate,
+                                   double read_fraction,
+                                   std::uint64_t seed);
+
+    const std::vector<TraceRecord> &records() const
+    {
+        return records_;
+    }
+
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+
+    /** Records belonging to one PM, in time order. */
+    std::vector<TraceRecord> forPm(NodeId pm) const;
+
+    /** Largest PM or target id referenced, or -1 when empty. */
+    NodeId maxNode() const;
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+/**
+ * Replays one PM's slice of a trace, honouring the outstanding limit
+ * T and network back-pressure; remote completions feed the same
+ * latency statistics as the synthetic Processor.
+ */
+class TraceProcessor : public TrafficSource
+{
+  public:
+    TraceProcessor(NodeId pm, std::vector<TraceRecord> records,
+                   int outstanding_limit,
+                   std::uint32_t memory_latency,
+                   PacketFactory &factory, Network &network,
+                   BatchMeans &latency, WorkloadCounters &counters);
+
+    void tick(Cycle now) override;
+    void onResponse(const Packet &pkt, Cycle now) override;
+    int outstanding() const override { return outstanding_; }
+    bool blocked() const override;
+
+    void setHistogram(Histogram *histogram) override
+    {
+        histogram_ = histogram;
+    }
+
+    /** Trace references not yet issued. */
+    std::size_t remaining() const { return queue_.size(); }
+
+  private:
+    NodeId pm_;
+    std::deque<TraceRecord> queue_;
+    int limit_;
+    std::uint32_t memoryLatency_;
+    PacketFactory &factory_;
+    Network &network_;
+    BatchMeans &latency_;
+    WorkloadCounters &counters_;
+    Histogram *histogram_ = nullptr;
+
+    int outstanding_ = 0;
+    std::deque<Cycle> localDue_;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_WORKLOAD_TRACE_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Interface of a per-PM traffic source.
+ *
+ * The synthetic M-MRP Processor and the trace-replay TraceProcessor
+ * both implement this; the System drives whichever the configuration
+ * selects.
+ */
+
+#ifndef HRSIM_WORKLOAD_TRAFFIC_SOURCE_HH
+#define HRSIM_WORKLOAD_TRAFFIC_SOURCE_HH
+
+#include "common/types.hh"
+#include "proto/packet.hh"
+#include "stats/histogram.hh"
+
+namespace hrsim
+{
+
+class TrafficSource
+{
+  public:
+    virtual ~TrafficSource() = default;
+
+    /** Advance one cycle: generate and issue work. */
+    virtual void tick(Cycle now) = 0;
+
+    /** A response packet arrived for this PM. */
+    virtual void onResponse(const Packet &pkt, Cycle now) = 0;
+
+    /** Transactions currently outstanding. */
+    virtual int outstanding() const = 0;
+
+    /** Is the source blocked from issuing? */
+    virtual bool blocked() const = 0;
+
+    /** Also record remote latencies into @a histogram (optional). */
+    virtual void setHistogram(Histogram *histogram) = 0;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_WORKLOAD_TRAFFIC_SOURCE_HH

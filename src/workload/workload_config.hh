@@ -1,0 +1,49 @@
+/**
+ * @file
+ * M-MRP workload parameters (Section 2.4 of the paper).
+ */
+
+#ifndef HRSIM_WORKLOAD_WORKLOAD_CONFIG_HH
+#define HRSIM_WORKLOAD_WORKLOAD_CONFIG_HH
+
+#include <cstdint>
+
+namespace hrsim
+{
+
+struct WorkloadConfig
+{
+    /** Region size R in (0, 1]; 1.0 means no locality. */
+    double localityR = 1.0;
+
+    /** Cache miss rate C per processor cycle (paper: 0.04). */
+    double missRateC = 0.04;
+
+    /** Outstanding transactions T before the processor blocks. */
+    int outstandingT = 4;
+
+    /** Probability that a miss is a read (paper: 0.7). */
+    double readFraction = 0.7;
+
+    /**
+     * Memory service time in cycles. The paper does not state a
+     * value, but its smallest-system latencies (~40-60 cycles at
+     * 4-8 nodes, Figure 6) imply a substantial fixed memory cost;
+     * 20 cycles (400 ns at the NUMAchine's 50 MHz clock, a mid-90s
+     * DRAM line fill) reproduces those floors while sustaining the
+     * paper's offered load of C = 0.04 per processor.
+     */
+    std::uint32_t memoryLatency = 20;
+
+    /**
+     * Serve one request at a time per memory module (a single-banked
+     * memory, as in the Hector/NUMAchine stations the paper's
+     * simulator was validated against, and as smpl's single-server
+     * facilities model). When false the memory is fully pipelined.
+     */
+    bool memorySerialized = true;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_WORKLOAD_WORKLOAD_CONFIG_HH

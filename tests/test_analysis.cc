@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for cross-over analysis, the Table 2 data, the memory
+ * cost model and the Report helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/analysis.hh"
+#include "core/experiment.hh"
+#include "core/memory_cost.hh"
+#include "ring/topology.hh"
+
+namespace hrsim
+{
+namespace
+{
+
+using Series = std::vector<std::pair<double, double>>;
+
+TEST(Crossover, SimpleCrossingIsInterpolated)
+{
+    // A flat at 10; B falls from 20 to 0: crosses A at x = 5.
+    const Series a = {{0, 10}, {10, 10}};
+    const Series b = {{0, 20}, {10, 0}};
+    const auto x = crossoverPoint(a, b);
+    ASSERT_TRUE(x.has_value());
+    EXPECT_NEAR(*x, 5.0, 1e-9);
+}
+
+TEST(Crossover, NoCrossingReturnsNothing)
+{
+    const Series a = {{0, 10}, {10, 10}};
+    const Series b = {{0, 20}, {10, 12}};
+    EXPECT_FALSE(crossoverPoint(a, b).has_value());
+}
+
+TEST(Crossover, BCheaperEverywhereReturnsFirstPoint)
+{
+    const Series a = {{4, 10}, {16, 40}};
+    const Series b = {{4, 5}, {16, 20}};
+    const auto x = crossoverPoint(a, b);
+    ASSERT_TRUE(x.has_value());
+    EXPECT_DOUBLE_EQ(*x, 4.0);
+}
+
+TEST(Crossover, WorksOnUnalignedSamplePositions)
+{
+    // Ring sampled at {4, 8, 16}; mesh at {4, 9, 16}. Ring rises
+    // steeply, mesh gently: one crossing inside (8, 9).
+    const Series ring = {{4, 10}, {8, 30}, {16, 200}};
+    const Series mesh = {{4, 40}, {9, 45}, {16, 60}};
+    const auto x = crossoverPoint(ring, mesh);
+    ASSERT_TRUE(x.has_value());
+    EXPECT_GT(*x, 8.0);
+    EXPECT_LT(*x, 16.0);
+}
+
+TEST(Crossover, DegenerateSeriesRejected)
+{
+    const Series a = {{0, 1}};
+    const Series b = {{0, 2}, {1, 0}};
+    EXPECT_FALSE(crossoverPoint(a, b).has_value());
+}
+
+TEST(Table2, KnownEntries)
+{
+    EXPECT_EQ(paperTable2Topology(24, 128).value(), "2:3:4");
+    EXPECT_EQ(paperTable2Topology(108, 16).value(), "3:3:12");
+    EXPECT_EQ(paperTable2Topology(12, 16).value(), "12");
+    EXPECT_EQ(paperTable2Topology(54, 128).value(), "3:3:2:3");
+    EXPECT_FALSE(paperTable2Topology(100, 32).has_value());
+    EXPECT_FALSE(paperTable2Topology(24, 48).has_value());
+}
+
+TEST(Table2, EveryEntryMultipliesOut)
+{
+    for (const int p : paperTable2Sizes()) {
+        for (const int cl : {16, 32, 64, 128}) {
+            const auto topo = paperTable2Topology(p, cl);
+            ASSERT_TRUE(topo.has_value()) << p << "/" << cl;
+            EXPECT_EQ(RingTopology::parse(*topo).numProcessors(), p)
+                << *topo;
+        }
+    }
+}
+
+TEST(Table2, LadderIsIncreasing)
+{
+    for (const int cl : {16, 32, 64, 128}) {
+        const auto ladder = standardRingLadder(cl);
+        long prev = 0;
+        for (const auto &topo : ladder) {
+            const long p = RingTopology::parse(topo).numProcessors();
+            EXPECT_GT(p, prev);
+            prev = p;
+        }
+    }
+}
+
+TEST(MeshWidths, StandardLadder)
+{
+    const auto widths = standardMeshWidths(121);
+    ASSERT_FALSE(widths.empty());
+    EXPECT_EQ(widths.front(), 2);
+    EXPECT_EQ(widths.back(), 11);
+    const auto small = standardMeshWidths(30);
+    EXPECT_EQ(small.back(), 5);
+}
+
+TEST(MemoryCost, PaperTable1RingColumn)
+{
+    EXPECT_EQ(ringNicBufferBytes(16), 32u);
+    EXPECT_EQ(ringNicBufferBytes(32), 48u);
+    EXPECT_EQ(ringNicBufferBytes(64), 80u);
+    EXPECT_EQ(ringNicBufferBytes(128), 144u);
+}
+
+TEST(MemoryCost, PaperTable1MeshColumns)
+{
+    EXPECT_EQ(meshNicBufferBytes(16, 0), 128u);
+    EXPECT_EQ(meshNicBufferBytes(32, 0), 192u);
+    EXPECT_EQ(meshNicBufferBytes(64, 0), 320u);
+    EXPECT_EQ(meshNicBufferBytes(128, 0), 576u);
+    for (const unsigned line : {16u, 32u, 64u, 128u}) {
+        EXPECT_EQ(meshNicBufferBytes(line, 4), 64u);
+        EXPECT_EQ(meshNicBufferBytes(line, 1), 16u);
+    }
+}
+
+TEST(MemoryCost, PaperHeadlineRatios)
+{
+    // "the memory requirements for cache line sized buffers are 144
+    // times higher than that for 1-flit buffers (with a 128-byte
+    // cache line)" -- the paper compares against the 4 B flit, i.e.
+    // 576 B vs 4 B per buffer slot; per-NIC the ratio is 36x.
+    EXPECT_EQ(meshNicBufferBytes(128, 0) / meshNicBufferBytes(128, 1),
+              36u);
+    // 4-flit vs 1-flit is 4x per NIC (paper: 16x counts 4 buffers).
+    EXPECT_EQ(meshNicBufferBytes(128, 4) / meshNicBufferBytes(128, 1),
+              4u);
+}
+
+TEST(Report, StoresAndLooksUpPoints)
+{
+    Report report("t", "nodes", "latency");
+    report.add("ring", 4, 10.0);
+    report.add("ring", 8, 20.0);
+    report.add("mesh", 4, 15.0);
+    EXPECT_EQ(report.value("ring", 8).value(), 20.0);
+    EXPECT_EQ(report.value("mesh", 4).value(), 15.0);
+    EXPECT_FALSE(report.value("mesh", 8).has_value());
+    EXPECT_FALSE(report.value("none", 4).has_value());
+    const auto names = report.seriesNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "ring");
+    EXPECT_EQ(names[1], "mesh");
+}
+
+TEST(Report, PrintsAlignedTable)
+{
+    Report report("My Title", "nodes", "cycles");
+    report.add("a", 4, 1.5);
+    report.add("a", 8, 2.5);
+    report.add("b", 8, 3.5);
+    std::ostringstream out;
+    report.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("My Title"), std::string::npos);
+    EXPECT_NE(text.find("nodes"), std::string::npos);
+    EXPECT_NE(text.find("1.5"), std::string::npos);
+    EXPECT_NE(text.find("3.5"), std::string::npos);
+    EXPECT_NE(text.find("-"), std::string::npos); // missing cell
+}
+
+TEST(Report, CsvLongFormat)
+{
+    Report report("fig", "x", "y");
+    report.add("s", 1, 2.0);
+    std::ostringstream out;
+    report.writeCsv(out);
+    EXPECT_EQ(out.str(), "title,series,x,y\nfig,s,1,2\n");
+}
+
+TEST(Report, SeriesPointsPreserveOrder)
+{
+    Report report("t", "x", "y");
+    report.add("s", 5, 1.0);
+    report.add("s", 3, 2.0);
+    const auto pts = report.seriesPoints("s");
+    ASSERT_EQ(pts.size(), 2u);
+    EXPECT_EQ(pts[0].first, 5.0);
+    EXPECT_EQ(pts[1].first, 3.0);
+}
+
+} // namespace
+} // namespace hrsim

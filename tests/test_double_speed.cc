@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the double-clocked global ring (Section 6 of the paper):
+ * the fast clock domain, its utilization accounting, and the
+ * bandwidth relief it provides to saturated hierarchies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "proto/packet_factory.hh"
+#include "ring/ring_network.hh"
+
+namespace hrsim
+{
+namespace
+{
+
+SimConfig
+mediumSim()
+{
+    SimConfig sim;
+    sim.warmupCycles = 3000;
+    sim.batchCycles = 3000;
+    sim.numBatches = 3;
+    return sim;
+}
+
+TEST(DoubleSpeed, GlobalRingMovesTwoFlitsPerSystemCycle)
+{
+    // Zero-load: back-to-back worms crossing the global ring finish
+    // sooner with the 2x clock because the global hop costs half.
+    RingNetwork::Params slow_params;
+    slow_params.topo = RingTopology::parse("3:4");
+    slow_params.cacheLineBytes = 64;
+    RingNetwork::Params fast_params = slow_params;
+    fast_params.globalRingSpeed = 2;
+
+    const auto transit_time = [](RingNetwork::Params params) {
+        RingNetwork net(params);
+        PacketFactory factory(ChannelSpec::ring(), 64);
+        Cycle done = 0;
+        int count = 0;
+        net.setDeliveryHandler([&](const Packet &, Cycle now) {
+            done = now;
+            ++count;
+        });
+        // 0 -> 9 crosses the global ring two hops (ring 0 to ring 2).
+        Cycle now = 0;
+        for (int i = 0; i < 3; ++i) {
+            const Packet pkt = factory.makeRequest(0, 9, false, now);
+            while (!net.canInject(0, pkt) && now < 1000)
+                net.tick(now++);
+            net.inject(0, pkt);
+        }
+        while (count < 3 && now < 1000)
+            net.tick(now++);
+        EXPECT_EQ(count, 3);
+        return done;
+    };
+
+    const Cycle slow = transit_time(slow_params);
+    const Cycle fast = transit_time(fast_params);
+    EXPECT_LT(fast, slow);
+}
+
+TEST(DoubleSpeed, UtilizationStaysBelowOneOnFastRing)
+{
+    // The fast ring's capacity is 2 flits per link per system cycle;
+    // the tracker must account for that or utilization would exceed 1.
+    SystemConfig cfg = SystemConfig::ring("5:3:6", 32);
+    cfg.globalRingSpeed = 2;
+    cfg.workload.outstandingT = 4;
+    cfg.sim = mediumSim();
+    const RunResult result = runSystem(cfg);
+    ASSERT_FALSE(result.ringLevelUtilization.empty());
+    EXPECT_GT(result.ringLevelUtilization[0], 0.0);
+    EXPECT_LE(result.ringLevelUtilization[0], 1.0);
+}
+
+TEST(DoubleSpeed, RelievesBisectionAtFourSecondLevelRings)
+{
+    // Four second-level rings saturate a normal global ring but not a
+    // double-speed one (the paper sustains five at 2x).
+    SystemConfig normal = SystemConfig::ring("4:3:6", 64);
+    normal.workload.outstandingT = 4;
+    normal.sim = mediumSim();
+    SystemConfig fast = normal;
+    fast.globalRingSpeed = 2;
+
+    const RunResult slow_result = runSystem(normal);
+    const RunResult fast_result = runSystem(fast);
+    EXPECT_LT(fast_result.avgLatency, 0.92 * slow_result.avgLatency);
+    // And the relieved global ring runs at lower relative load.
+    EXPECT_LT(fast_result.ringLevelUtilization[0],
+              slow_result.ringLevelUtilization[0]);
+}
+
+TEST(DoubleSpeed, NoEffectWhereGlobalRingIsNotTheBottleneck)
+{
+    // Paper Section 6: for systems whose cross-over happens before a
+    // third level is needed, the double-speed global ring changes
+    // little. A 2-level system has no third-level pressure: speed-ups
+    // should be marginal.
+    SystemConfig normal = SystemConfig::ring("2:6", 64);
+    normal.workload.outstandingT = 4;
+    normal.sim = mediumSim();
+    SystemConfig fast = normal;
+    fast.globalRingSpeed = 2;
+    const double slow_lat = runSystem(normal).avgLatency;
+    const double fast_lat = runSystem(fast).avgLatency;
+    EXPECT_GT(fast_lat, 0.75 * slow_lat); // no dramatic change
+    EXPECT_LT(fast_lat, slow_lat * 1.1);  // and surely no slowdown
+}
+
+TEST(DoubleSpeed, ConservationHoldsAtHigherMultipliers)
+{
+    for (const std::uint32_t speed : {2u, 3u}) {
+        SystemConfig cfg = SystemConfig::ring("4:3:4", 128);
+        cfg.globalRingSpeed = speed;
+        cfg.workload.outstandingT = 4;
+        cfg.sim = mediumSim();
+        System system(cfg);
+        system.step(5000);
+        const WorkloadCounters &c = system.counters();
+        const auto in_flight =
+            static_cast<std::uint64_t>(system.totalOutstanding());
+        EXPECT_EQ(c.remoteIssued + c.localIssued,
+                  c.remoteCompleted + c.localCompleted + in_flight)
+            << "speed " << speed;
+        EXPECT_GT(c.remoteCompleted, 0u);
+    }
+}
+
+TEST(DoubleSpeed, SpeedOneIsTheDefaultBehaviour)
+{
+    SystemConfig a = SystemConfig::ring("2:3:4", 64);
+    a.workload.outstandingT = 2;
+    a.sim = mediumSim();
+    SystemConfig b = a;
+    b.globalRingSpeed = 1;
+    const RunResult ra = runSystem(a);
+    const RunResult rb = runSystem(b);
+    EXPECT_DOUBLE_EQ(ra.avgLatency, rb.avgLatency);
+    EXPECT_EQ(ra.samples, rb.samples);
+}
+
+} // namespace
+} // namespace hrsim

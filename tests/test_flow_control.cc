@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit and invariant tests for the ring flow-control machinery:
+ * occupancy accounting (bubble + phase gates), the wait/escape
+ * counters, and the buffer-sizing knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "proto/packet_factory.hh"
+#include "ring/ring_network.hh"
+
+namespace hrsim
+{
+namespace
+{
+
+TEST(RingOccupancy, AdmissionArithmetic)
+{
+    RingOccupancy occ;
+    occ.capacity = 30;
+    occ.bubble = 1;
+    occ.reserveDown = 5;
+
+    EXPECT_TRUE(occ.canAdmitDown(29));
+    EXPECT_FALSE(occ.canAdmitDown(30));
+    EXPECT_TRUE(occ.canAdmitUp(24));
+    EXPECT_FALSE(occ.canAdmitUp(25));
+
+    occ.add(20);
+    EXPECT_TRUE(occ.canAdmitDown(9));
+    EXPECT_FALSE(occ.canAdmitDown(10));
+    EXPECT_TRUE(occ.canAdmitUp(4));
+    EXPECT_FALSE(occ.canAdmitUp(5));
+
+    occ.add(-20);
+    EXPECT_EQ(occ.occupied, 0);
+}
+
+TEST(RingOccupancyDeath, NegativeOccupancyPanics)
+{
+    RingOccupancy occ;
+    occ.capacity = 10;
+    EXPECT_DEATH(occ.add(-1), "occupied");
+}
+
+TEST(RingOccupancy, DrainsToZeroAfterTraffic)
+{
+    // Occupancy accounting must balance exactly: after all packets
+    // deliver, every ring's counter returns to zero.
+    RingNetwork::Params params;
+    params.topo = RingTopology::parse("2:3:4");
+    params.cacheLineBytes = 64;
+    RingNetwork net(params);
+    PacketFactory factory(ChannelSpec::ring(), 64);
+
+    int delivered = 0;
+    net.setDeliveryHandler(
+        [&](const Packet &, Cycle) { ++delivered; });
+
+    // Cross-level traffic in both directions, mixed sizes.
+    int sent = 0;
+    for (NodeId src = 0; src < 24; src += 5) {
+        for (NodeId dst = 0; dst < 24; dst += 7) {
+            if (src == dst)
+                continue;
+            const Packet pkt =
+                factory.makeRequest(src, dst, (src + dst) % 2, 0);
+            if (net.canInject(src, pkt)) {
+                net.inject(src, pkt);
+                ++sent;
+            }
+        }
+    }
+    Cycle now = 0;
+    while (delivered < sent && now < 5000)
+        net.tick(now++);
+    ASSERT_EQ(delivered, sent);
+    for (Cycle i = 0; i < 10; ++i)
+        net.tick(now++);
+
+    EXPECT_EQ(net.flitsInFlight(), 0u);
+    for (int r = 0; r < static_cast<int>(net.structure().rings.size());
+         ++r) {
+        EXPECT_EQ(net.ringOccupancy(r).occupied, 0) << "ring " << r;
+    }
+}
+
+TEST(RingOccupancy, SingleRingIsUngated)
+{
+    RingNetwork::Params params;
+    params.topo = RingTopology::parse("8");
+    params.cacheLineBytes = 64;
+    RingNetwork net(params);
+    EXPECT_EQ(net.ringOccupancy(0).bubble, 0);
+    EXPECT_EQ(net.ringOccupancy(0).reserveDown, 0);
+}
+
+TEST(RingOccupancy, HierarchyRingsAreGated)
+{
+    RingNetwork::Params params;
+    params.topo = RingTopology::parse("2:4");
+    params.cacheLineBytes = 64; // cl = 5 flits
+    RingNetwork net(params);
+    for (int r = 0; r < 3; ++r) {
+        EXPECT_EQ(net.ringOccupancy(r).bubble, 1) << r;
+        EXPECT_EQ(net.ringOccupancy(r).reserveDown, 5) << r;
+    }
+    // Root ring: 2 IRI slots * (1 latch + 5 buffer).
+    EXPECT_EQ(net.ringOccupancy(0).capacity, 12);
+}
+
+TEST(FlowControl, EscapesOccurOnlyUnderOversaturation)
+{
+    // A comfortably-sized hierarchy at the paper's load should never
+    // need the recirculation escape; a 2x oversubscribed one should
+    // use it.
+    SimConfig sim;
+    sim.warmupCycles = 3000;
+    sim.batchCycles = 3000;
+    sim.numBatches = 3;
+
+    {
+        // Two second-level rings: comfortably inside the paper's
+        // 3-sustainable-ring bisection limit.
+        SystemConfig cfg = SystemConfig::ring("2:3:6", 64);
+        cfg.workload.outstandingT = 4;
+        cfg.sim = sim;
+        System system(cfg);
+        const RunResult result = system.run();
+        auto &net = static_cast<RingNetwork &>(system.network());
+        // The escape must be rare relative to traffic at the paper's
+        // own operating points (< 2% of completed transactions).
+        EXPECT_LT(net.totalEscapes(), result.samples / 50 + 10);
+    }
+    {
+        SystemConfig cfg = SystemConfig::ring("6:3:6", 64);
+        cfg.workload.outstandingT = 4;
+        cfg.sim = sim;
+        System system(cfg);
+        system.run();
+        auto &net = static_cast<RingNetwork &>(system.network());
+        EXPECT_GT(net.totalEscapes(), 0u);
+    }
+}
+
+TEST(FlowControl, WaitLimitKnobIsHonoured)
+{
+    // With an enormous wait limit the escape never fires at moderate
+    // load; with limit 1 blocked worms bail out almost immediately,
+    // raising the escape count under the same traffic.
+    SimConfig sim;
+    sim.warmupCycles = 2000;
+    sim.batchCycles = 2000;
+    sim.numBatches = 2;
+
+    std::uint64_t escapes_patient = 0;
+    std::uint64_t escapes_eager = 0;
+    {
+        SystemConfig cfg = SystemConfig::ring("4:3:6", 64);
+        cfg.workload.outstandingT = 4;
+        cfg.sim = sim;
+        cfg.ringIriWaitLimit = 1000000;
+        System system(cfg);
+        system.run();
+        escapes_patient = static_cast<RingNetwork &>(system.network())
+                              .totalEscapes();
+    }
+    {
+        SystemConfig cfg = SystemConfig::ring("4:3:6", 64);
+        cfg.workload.outstandingT = 4;
+        cfg.sim = sim;
+        cfg.ringIriWaitLimit = 1;
+        System system(cfg);
+        system.run();
+        escapes_eager = static_cast<RingNetwork &>(system.network())
+                            .totalEscapes();
+    }
+    EXPECT_EQ(escapes_patient, 0u);
+    EXPECT_GT(escapes_eager, escapes_patient);
+}
+
+TEST(FlowControl, DeeperIriQueuesReduceBlocking)
+{
+    SimConfig sim;
+    sim.warmupCycles = 3000;
+    sim.batchCycles = 3000;
+    sim.numBatches = 3;
+
+    double lat_shallow = 0.0;
+    double lat_deep = 0.0;
+    std::uint64_t waits_shallow = 0;
+    std::uint64_t waits_deep = 0;
+    {
+        SystemConfig cfg = SystemConfig::ring("3:3:6", 64);
+        cfg.workload.outstandingT = 4;
+        cfg.sim = sim;
+        System system(cfg);
+        lat_shallow = system.run().avgLatency;
+        waits_shallow = static_cast<RingNetwork &>(system.network())
+                            .totalWaitCycles();
+    }
+    {
+        SystemConfig cfg = SystemConfig::ring("3:3:6", 64);
+        cfg.workload.outstandingT = 4;
+        cfg.sim = sim;
+        cfg.ringIriQueuePackets = 4;
+        System system(cfg);
+        lat_deep = system.run().avgLatency;
+        waits_deep = static_cast<RingNetwork &>(system.network())
+                         .totalWaitCycles();
+    }
+    // Deeper queues must reduce blocking; latency may shift either
+    // way slightly (more buffering can lengthen queueing delays at
+    // the bottleneck) but not blow up.
+    EXPECT_LT(waits_deep, waits_shallow);
+    EXPECT_LT(lat_deep, lat_shallow * 1.25);
+}
+
+TEST(FlowControl, QueueDepthZeroRejected)
+{
+    SystemConfig cfg = SystemConfig::ring("2:4", 32);
+    cfg.ringIriQueuePackets = 0;
+    EXPECT_THROW(System system(cfg), ConfigError);
+}
+
+} // namespace
+} // namespace hrsim

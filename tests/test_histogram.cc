@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the log-bucketed latency histogram and its
+ * integration into RunResult percentiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "stats/histogram.hh"
+
+namespace hrsim
+{
+namespace
+{
+
+TEST(Histogram, EmptyReportsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.p50(), 0.0);
+    EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, SingleValuePercentilesBracketIt)
+{
+    Histogram h;
+    h.add(100.0);
+    // Log buckets: the answer lies within one bucket (~19%) of 100.
+    EXPECT_NEAR(h.p50(), 100.0, 20.0);
+    EXPECT_NEAR(h.p99(), 100.0, 20.0);
+}
+
+TEST(Histogram, UniformRampPercentiles)
+{
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.add(static_cast<double>(i));
+    // Relative error of a 2^(1/4) bucket is ~9%; allow 12%.
+    EXPECT_NEAR(h.p50(), 500.0, 60.0);
+    EXPECT_NEAR(h.p95(), 950.0, 115.0);
+    EXPECT_NEAR(h.p99(), 990.0, 120.0);
+}
+
+TEST(Histogram, OrderingOfPercentiles)
+{
+    Histogram h;
+    for (int i = 0; i < 10000; ++i)
+        h.add(10.0 + (i % 700));
+    EXPECT_LE(h.p50(), h.p95());
+    EXPECT_LE(h.p95(), h.p99());
+}
+
+TEST(Histogram, TinyAndHugeValuesAreClamped)
+{
+    Histogram h(1e6);
+    h.add(0.0);
+    h.add(0.5);
+    h.add(1e9); // beyond max: final bucket
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_GE(h.percentile(1.0), h.percentile(0.0));
+}
+
+TEST(Histogram, MergeCombinesCounts)
+{
+    Histogram a;
+    Histogram b;
+    for (int i = 0; i < 100; ++i)
+        a.add(50.0);
+    for (int i = 0; i < 100; ++i)
+        b.add(800.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 200u);
+    // Median between the two spikes; p99 near the upper spike.
+    EXPECT_GT(a.p99(), 600.0);
+    EXPECT_LT(a.p50(), 600.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.add(5.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.p50(), 0.0);
+}
+
+TEST(HistogramIntegration, RunResultPercentilesPopulated)
+{
+    SystemConfig cfg = SystemConfig::ring("2:4", 64);
+    cfg.sim.warmupCycles = 1500;
+    cfg.sim.batchCycles = 1500;
+    cfg.sim.numBatches = 3;
+    const RunResult result = runSystem(cfg);
+    ASSERT_GT(result.samples, 0u);
+    EXPECT_GT(result.latencyP50, 0.0);
+    EXPECT_LE(result.latencyP50, result.latencyP95);
+    EXPECT_LE(result.latencyP95, result.latencyP99);
+    // The mean lies between the median and the tail for these
+    // right-skewed distributions (sanity, with a wide margin).
+    EXPECT_GT(result.latencyP99, result.avgLatency * 0.8);
+}
+
+TEST(HistogramIntegration, PercentilesTightAtLowLoad)
+{
+    SystemConfig cfg = SystemConfig::ring("4", 32);
+    cfg.workload.missRateC = 0.002; // nearly unloaded
+    cfg.sim.warmupCycles = 3000;
+    cfg.sim.batchCycles = 3000;
+    cfg.sim.numBatches = 3;
+    const RunResult result = runSystem(cfg);
+    ASSERT_GT(result.samples, 0u);
+    // At zero load the distribution is narrow: p99 within ~2x p50.
+    EXPECT_LT(result.latencyP99, 2.0 * result.latencyP50);
+}
+
+} // namespace
+} // namespace hrsim

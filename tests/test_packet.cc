@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for packet types, the paper's sizing rules, and the
+ * packet factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "proto/packet.hh"
+#include "proto/packet_factory.hh"
+
+namespace hrsim
+{
+namespace
+{
+
+TEST(PacketType, Classification)
+{
+    EXPECT_TRUE(isRequest(PacketType::ReadRequest));
+    EXPECT_TRUE(isRequest(PacketType::WriteRequest));
+    EXPECT_FALSE(isRequest(PacketType::ReadResponse));
+    EXPECT_FALSE(isRequest(PacketType::WriteResponse));
+
+    // Read responses and write requests carry the cache line.
+    EXPECT_TRUE(carriesData(PacketType::ReadResponse));
+    EXPECT_TRUE(carriesData(PacketType::WriteRequest));
+    EXPECT_FALSE(carriesData(PacketType::ReadRequest));
+    EXPECT_FALSE(carriesData(PacketType::WriteResponse));
+}
+
+TEST(PacketType, ResponsePairing)
+{
+    EXPECT_EQ(responseFor(PacketType::ReadRequest),
+              PacketType::ReadResponse);
+    EXPECT_EQ(responseFor(PacketType::WriteRequest),
+              PacketType::WriteResponse);
+}
+
+TEST(PacketType, Names)
+{
+    EXPECT_EQ(toString(PacketType::ReadRequest), "ReadRequest");
+    EXPECT_EQ(toString(PacketType::WriteResponse), "WriteResponse");
+}
+
+TEST(ChannelSpec, RingCacheLinePacketSizes)
+{
+    // Paper Section 2.2: ring cl packets are 2/3/5/9 flits for
+    // 16/32/64/128-byte lines (16 B flits, 1-flit header).
+    const ChannelSpec ring = ChannelSpec::ring();
+    EXPECT_EQ(ring.cacheLineFlits(16), 2u);
+    EXPECT_EQ(ring.cacheLineFlits(32), 3u);
+    EXPECT_EQ(ring.cacheLineFlits(64), 5u);
+    EXPECT_EQ(ring.cacheLineFlits(128), 9u);
+}
+
+TEST(ChannelSpec, MeshCacheLinePacketSizes)
+{
+    // Paper Section 2.2: mesh cl packets are 8/12/20/36 flits for
+    // 16/32/64/128-byte lines (4 B flits, 4-flit header).
+    const ChannelSpec mesh = ChannelSpec::mesh();
+    EXPECT_EQ(mesh.cacheLineFlits(16), 8u);
+    EXPECT_EQ(mesh.cacheLineFlits(32), 12u);
+    EXPECT_EQ(mesh.cacheLineFlits(64), 20u);
+    EXPECT_EQ(mesh.cacheLineFlits(128), 36u);
+}
+
+TEST(ChannelSpec, HeaderOnlyPackets)
+{
+    const ChannelSpec ring = ChannelSpec::ring();
+    const ChannelSpec mesh = ChannelSpec::mesh();
+    EXPECT_EQ(ring.packetFlits(PacketType::ReadRequest, 64), 1u);
+    EXPECT_EQ(ring.packetFlits(PacketType::WriteResponse, 64), 1u);
+    EXPECT_EQ(mesh.packetFlits(PacketType::ReadRequest, 64), 4u);
+    EXPECT_EQ(mesh.packetFlits(PacketType::WriteResponse, 64), 4u);
+}
+
+TEST(ChannelSpec, DataPackets)
+{
+    const ChannelSpec ring = ChannelSpec::ring();
+    EXPECT_EQ(ring.packetFlits(PacketType::ReadResponse, 64), 5u);
+    EXPECT_EQ(ring.packetFlits(PacketType::WriteRequest, 64), 5u);
+}
+
+TEST(Flit, HeadAndTailFlags)
+{
+    Packet pkt;
+    pkt.id = 9;
+    pkt.sizeFlits = 3;
+    const Flit head = makeFlit(pkt, 0);
+    const Flit body = makeFlit(pkt, 1);
+    const Flit tail = makeFlit(pkt, 2);
+    EXPECT_TRUE(head.isHead());
+    EXPECT_FALSE(head.isTail());
+    EXPECT_FALSE(body.isHead());
+    EXPECT_FALSE(body.isTail());
+    EXPECT_FALSE(tail.isHead());
+    EXPECT_TRUE(tail.isTail());
+}
+
+TEST(Flit, SingleFlitPacketIsHeadAndTail)
+{
+    Packet pkt;
+    pkt.sizeFlits = 1;
+    const Flit only = makeFlit(pkt, 0);
+    EXPECT_TRUE(only.isHead());
+    EXPECT_TRUE(only.isTail());
+}
+
+TEST(Flit, PacketRoundTripThroughFlit)
+{
+    Packet pkt;
+    pkt.id = 1234;
+    pkt.type = PacketType::WriteRequest;
+    pkt.src = 3;
+    pkt.dst = 17;
+    pkt.sizeFlits = 5;
+    pkt.issueCycle = 998877;
+    const Packet back = packetFromFlit(makeFlit(pkt, 2));
+    EXPECT_EQ(back.id, pkt.id);
+    EXPECT_EQ(back.type, pkt.type);
+    EXPECT_EQ(back.src, pkt.src);
+    EXPECT_EQ(back.dst, pkt.dst);
+    EXPECT_EQ(back.sizeFlits, pkt.sizeFlits);
+    EXPECT_EQ(back.issueCycle, pkt.issueCycle);
+}
+
+TEST(PacketFactory, RequestFields)
+{
+    PacketFactory factory(ChannelSpec::ring(), 64);
+    const Packet pkt = factory.makeRequest(2, 5, true, 100);
+    EXPECT_EQ(pkt.type, PacketType::ReadRequest);
+    EXPECT_EQ(pkt.src, 2);
+    EXPECT_EQ(pkt.dst, 5);
+    EXPECT_EQ(pkt.sizeFlits, 1u);
+    EXPECT_EQ(pkt.issueCycle, 100u);
+}
+
+TEST(PacketFactory, ResponseMirrorsRequest)
+{
+    PacketFactory factory(ChannelSpec::mesh(), 32);
+    const Packet req = factory.makeRequest(2, 5, true, 100);
+    const Packet resp = factory.makeResponse(req);
+    EXPECT_EQ(resp.type, PacketType::ReadResponse);
+    EXPECT_EQ(resp.src, 5);
+    EXPECT_EQ(resp.dst, 2);
+    EXPECT_EQ(resp.sizeFlits, 12u); // carries the 32 B line
+    EXPECT_EQ(resp.issueCycle, 100u); // round-trip timing preserved
+    EXPECT_NE(resp.id, req.id);
+}
+
+TEST(PacketFactory, WriteSizes)
+{
+    PacketFactory factory(ChannelSpec::ring(), 128);
+    const Packet req = factory.makeRequest(0, 1, false, 0);
+    EXPECT_EQ(req.type, PacketType::WriteRequest);
+    EXPECT_EQ(req.sizeFlits, 9u); // data travels with the request
+    const Packet resp = factory.makeResponse(req);
+    EXPECT_EQ(resp.sizeFlits, 1u); // ack is header-only
+}
+
+TEST(PacketFactory, IdsAreUnique)
+{
+    PacketFactory factory(ChannelSpec::ring(), 32);
+    const Packet a = factory.makeRequest(0, 1, true, 0);
+    const Packet b = factory.makeRequest(0, 1, true, 0);
+    const Packet c = factory.makeResponse(a);
+    EXPECT_NE(a.id, b.id);
+    EXPECT_NE(b.id, c.id);
+    EXPECT_NE(a.id, c.id);
+}
+
+TEST(PacketFactory, ClFlitsAccessor)
+{
+    PacketFactory ring(ChannelSpec::ring(), 128);
+    PacketFactory mesh(ChannelSpec::mesh(), 128);
+    EXPECT_EQ(ring.cacheLineFlits(), 9u);
+    EXPECT_EQ(mesh.cacheLineFlits(), 36u);
+}
+
+} // namespace
+} // namespace hrsim

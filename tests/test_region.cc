@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the M-MRP access-region builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.hh"
+#include "workload/region.hh"
+
+namespace hrsim
+{
+namespace
+{
+
+TEST(RegionCount, FullLocalityCoversEveryone)
+{
+    EXPECT_EQ(regionRemoteCount(16, 1.0), 15);
+    EXPECT_EQ(regionRemoteCount(121, 1.0), 120);
+}
+
+TEST(RegionCount, FractionalRounding)
+{
+    EXPECT_EQ(regionRemoteCount(11, 0.2), 2);  // 0.2 * 10
+    EXPECT_EQ(regionRemoteCount(100, 0.1), 10); // 0.1 * 99 = 9.9
+    EXPECT_EQ(regionRemoteCount(4, 0.3), 1);   // 0.3 * 3 = 0.9
+}
+
+TEST(RegionCount, RejectsBadInputs)
+{
+    EXPECT_THROW(regionRemoteCount(4, 0.0), ConfigError);
+    EXPECT_THROW(regionRemoteCount(4, 1.5), ConfigError);
+    EXPECT_THROW(regionRemoteCount(0, 0.5), ConfigError);
+}
+
+TEST(RingRegion, IncludesSelfFirst)
+{
+    const auto region = ringRegion(3, 8, 0.5);
+    ASSERT_FALSE(region.empty());
+    EXPECT_EQ(region.front(), 3);
+}
+
+TEST(RingRegion, FullLocalityIsWholeMachine)
+{
+    const auto region = ringRegion(2, 8, 1.0);
+    std::set<NodeId> unique(region.begin(), region.end());
+    EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(RingRegion, ContiguousAndCentered)
+{
+    // R = 0.5 on 9 PMs: 4 remote PMs, split 2 left / 2 right.
+    const auto region = ringRegion(4, 9, 0.5);
+    std::set<NodeId> unique(region.begin(), region.end());
+    const std::set<NodeId> expected = {2, 3, 4, 5, 6};
+    EXPECT_EQ(unique, expected);
+}
+
+TEST(RingRegion, WrapsAroundTheEnds)
+{
+    const auto region = ringRegion(0, 10, 0.4); // 4 remote: 2 + 2
+    std::set<NodeId> unique(region.begin(), region.end());
+    const std::set<NodeId> expected = {8, 9, 0, 1, 2};
+    EXPECT_EQ(unique, expected);
+}
+
+TEST(RingRegion, ClippedVariantStaysOnLine)
+{
+    const auto region = ringRegion(0, 10, 0.4, /*wrap=*/false);
+    std::set<NodeId> unique(region.begin(), region.end());
+    // The window slides inward: still 5 PMs, but all in [0, 4].
+    const std::set<NodeId> expected = {0, 1, 2, 3, 4};
+    EXPECT_EQ(unique, expected);
+}
+
+TEST(RingRegion, ClippedAtUpperEnd)
+{
+    const auto region = ringRegion(9, 10, 0.4, /*wrap=*/false);
+    std::set<NodeId> unique(region.begin(), region.end());
+    const std::set<NodeId> expected = {5, 6, 7, 8, 9};
+    EXPECT_EQ(unique, expected);
+}
+
+TEST(RingRegion, WrapAndClipAgreeInTheMiddle)
+{
+    const auto wrapped = ringRegion(5, 11, 0.3, true);
+    const auto clipped = ringRegion(5, 11, 0.3, false);
+    std::set<NodeId> a(wrapped.begin(), wrapped.end());
+    std::set<NodeId> b(clipped.begin(), clipped.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(RingRegion, NoDuplicates)
+{
+    for (int pm = 0; pm < 12; ++pm) {
+        const auto region = ringRegion(pm, 12, 1.0);
+        std::set<NodeId> unique(region.begin(), region.end());
+        EXPECT_EQ(unique.size(), region.size());
+    }
+}
+
+TEST(MeshRegion, IncludesSelfFirst)
+{
+    const auto region = meshRegion(4, 3, 0.5);
+    ASSERT_FALSE(region.empty());
+    EXPECT_EQ(region.front(), 4);
+}
+
+TEST(MeshRegion, FullLocalityIsWholeMachine)
+{
+    const auto region = meshRegion(0, 4, 1.0);
+    std::set<NodeId> unique(region.begin(), region.end());
+    EXPECT_EQ(unique.size(), 16u);
+}
+
+TEST(MeshRegion, NearestByManhattanDistance)
+{
+    // Center of a 3x3 mesh (id 4): the 4 remote nearest are the
+    // direct neighbors 1, 3, 5, 7.
+    const auto region = meshRegion(4, 3, 0.5); // 4 remote
+    std::set<NodeId> unique(region.begin(), region.end());
+    const std::set<NodeId> expected = {4, 1, 3, 5, 7};
+    EXPECT_EQ(unique, expected);
+}
+
+TEST(MeshRegion, CornerNeighborhood)
+{
+    // Corner 0 of a 3x3 mesh: nearest two at distance 1 are 1 and 3.
+    const auto region = meshRegion(0, 3, 0.25); // 2 remote
+    std::set<NodeId> unique(region.begin(), region.end());
+    const std::set<NodeId> expected = {0, 1, 3};
+    EXPECT_EQ(unique, expected);
+}
+
+TEST(MeshRegion, DistanceNeverDecreasesAlongTheList)
+{
+    const int width = 5;
+    const auto region = meshRegion(7, width, 1.0);
+    const auto dist = [&](NodeId a, NodeId b) {
+        return std::abs(a % width - b % width) +
+               std::abs(a / width - b / width);
+    };
+    for (std::size_t i = 2; i < region.size(); ++i)
+        EXPECT_LE(dist(7, region[i - 1]), dist(7, region[i]));
+}
+
+TEST(MeshRegion, Deterministic)
+{
+    const auto a = meshRegion(11, 6, 0.3);
+    const auto b = meshRegion(11, 6, 0.3);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace hrsim

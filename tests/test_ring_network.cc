@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Behavioral tests for the hierarchical ring network: hand-traced
+ * zero-load latencies, hierarchical routing, transit priority,
+ * wormhole integrity and the double-speed global ring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "proto/packet_factory.hh"
+#include "ring/ring_network.hh"
+
+namespace hrsim
+{
+namespace
+{
+
+struct Delivery
+{
+    Packet pkt;
+    Cycle when;
+};
+
+class RingHarness
+{
+  public:
+    explicit RingHarness(const std::string &topo,
+                         std::uint32_t line_bytes = 32,
+                         std::uint32_t global_speed = 1,
+                         bool bypass = true)
+        : net_(makeParams(topo, line_bytes, global_speed, bypass)),
+          factory_(ChannelSpec::ring(), line_bytes)
+    {
+        net_.setDeliveryHandler([this](const Packet &pkt, Cycle now) {
+            deliveries_.push_back({pkt, now});
+        });
+    }
+
+    static RingNetwork::Params
+    makeParams(const std::string &topo, std::uint32_t line_bytes,
+               std::uint32_t global_speed, bool bypass)
+    {
+        RingNetwork::Params params;
+        params.topo = RingTopology::parse(topo);
+        params.cacheLineBytes = line_bytes;
+        params.globalRingSpeed = global_speed;
+        params.nicBypass = bypass;
+        return params;
+    }
+
+    Packet
+    sendRead(NodeId src, NodeId dst)
+    {
+        const Packet pkt = factory_.makeRequest(src, dst, true, now_);
+        EXPECT_TRUE(net_.canInject(src, pkt));
+        net_.inject(src, pkt);
+        return pkt;
+    }
+
+    Packet
+    sendWrite(NodeId src, NodeId dst)
+    {
+        const Packet pkt = factory_.makeRequest(src, dst, false, now_);
+        EXPECT_TRUE(net_.canInject(src, pkt));
+        net_.inject(src, pkt);
+        return pkt;
+    }
+
+    void
+    run(Cycle cycles)
+    {
+        for (Cycle i = 0; i < cycles; ++i)
+            net_.tick(now_++);
+    }
+
+    /** Run until @a count deliveries or @a limit cycles. */
+    void
+    runUntilDelivered(std::size_t count, Cycle limit = 10000)
+    {
+        while (deliveries_.size() < count && now_ < limit)
+            net_.tick(now_++);
+        ASSERT_GE(deliveries_.size(), count)
+            << "undelivered after " << limit << " cycles";
+    }
+
+    RingNetwork net_;
+    PacketFactory factory_;
+    std::vector<Delivery> deliveries_;
+    Cycle now_ = 0;
+};
+
+TEST(RingNetwork, AdjacentSingleFlitLatency)
+{
+    // One-flit read request between ring neighbors: injected before
+    // cycle 0, transmitted in cycle 1, sunk in cycle 2.
+    RingHarness h("2");
+    h.sendRead(0, 1);
+    h.runUntilDelivered(1);
+    EXPECT_EQ(h.deliveries_[0].when, 2u);
+    EXPECT_EQ(h.deliveries_[0].pkt.dst, 1);
+}
+
+TEST(RingNetwork, ZeroLoadLatencyIsSizePlusDistance)
+{
+    // Single ring: delivery cycle = packet flits + forward distance.
+    for (const int dst : {1, 2, 3}) {
+        RingHarness h("4");
+        h.sendRead(0, static_cast<NodeId>(dst));
+        h.runUntilDelivered(1);
+        EXPECT_EQ(h.deliveries_[0].when,
+                  static_cast<Cycle>(1 + dst))
+            << "dst " << dst;
+    }
+}
+
+TEST(RingNetwork, WritePacketCarriesTheLine)
+{
+    // 32 B line -> 3-flit write request; adjacent: 3 + 1 cycles.
+    RingHarness h("4", 32);
+    h.sendWrite(0, 1);
+    h.runUntilDelivered(1);
+    EXPECT_EQ(h.deliveries_[0].when, 4u);
+}
+
+TEST(RingNetwork, UnidirectionalWrapsAround)
+{
+    // dst "behind" the source must travel the long way: distance 3
+    // on a 4-ring from 1 to 0.
+    RingHarness h("4");
+    h.sendRead(1, 0);
+    h.runUntilDelivered(1);
+    EXPECT_EQ(h.deliveries_[0].when, 4u); // 1 flit + 3 hops
+}
+
+TEST(RingNetwork, TwoLevelCrossRingLatency)
+{
+    // "2:2": NIC0,NIC1,IRI on each leaf. 0 -> 2 crosses both IRIs:
+    // 4 links + 2 queue passes + 1 flit = 7 cycles.
+    RingHarness h("2:2");
+    h.sendRead(0, 2);
+    h.runUntilDelivered(1);
+    EXPECT_EQ(h.deliveries_[0].when, 7u);
+}
+
+TEST(RingNetwork, SameLeafTrafficStaysLocal)
+{
+    RingHarness h("2:2");
+    h.sendRead(0, 1);
+    h.runUntilDelivered(1);
+    EXPECT_EQ(h.deliveries_[0].when, 2u); // never leaves the leaf
+    // The global ring carried nothing: check via utilization.
+}
+
+TEST(RingNetwork, ThreeLevelRoutingDelivers)
+{
+    RingHarness h("2:2:2");
+    h.sendRead(0, 7); // opposite corner of the hierarchy
+    h.runUntilDelivered(1);
+    EXPECT_EQ(h.deliveries_[0].pkt.dst, 7);
+    // Path: 0->1->IRI(leaf) [2 links], up [1], mid ring link(s),
+    // up [1], global, down... just require it beat a generous bound.
+    EXPECT_LE(h.deliveries_[0].when, 20u);
+}
+
+TEST(RingNetwork, AllPairsDeliverExactlyOnce)
+{
+    RingHarness h("2:3");
+    const int pms = h.net_.numProcessors();
+    int sent = 0;
+    for (NodeId src = 0; src < pms; ++src) {
+        for (NodeId dst = 0; dst < pms; ++dst) {
+            if (src == dst)
+                continue;
+            RingHarness single("2:3");
+            single.sendRead(src, dst);
+            single.runUntilDelivered(1);
+            EXPECT_EQ(single.deliveries_[0].pkt.dst, dst);
+            EXPECT_EQ(single.deliveries_[0].pkt.src, src);
+            ++sent;
+        }
+    }
+    EXPECT_EQ(sent, pms * (pms - 1));
+}
+
+TEST(RingNetwork, TransitHasPriorityOverInjection)
+{
+    // NIC1 wants to inject a long write while a transit worm from
+    // NIC0 passes through. The transit worm (sent first) must not be
+    // delayed by the injection: its latency equals the zero-load
+    // value, and the injected worm finishes later.
+    RingHarness h("4", 128); // 9-flit data packets
+    h.sendWrite(0, 2);       // transit through NIC1
+    h.run(1);                // keep NIC1's queue empty this cycle
+    h.sendWrite(1, 2);       // becomes visible as the worm arrives
+    h.runUntilDelivered(2);
+
+    Cycle transit_done = 0;
+    Cycle injected_done = 0;
+    for (const auto &d : h.deliveries_) {
+        if (d.pkt.src == 0)
+            transit_done = d.when;
+        else
+            injected_done = d.when;
+    }
+    EXPECT_EQ(transit_done, 9u + 2u); // zero-load: unaffected
+    EXPECT_GT(injected_done, transit_done);
+}
+
+TEST(RingNetwork, WormsDoNotInterleaveAtTheSink)
+{
+    // Two long worms from different sources to the same sink: both
+    // arrive complete (delivery implies the tail followed its head
+    // through a single contiguous stream).
+    RingHarness h("6", 128);
+    h.sendWrite(0, 3);
+    h.sendWrite(1, 3);
+    h.sendWrite(2, 3);
+    h.runUntilDelivered(3);
+    EXPECT_EQ(h.deliveries_.size(), 3u);
+    for (const auto &d : h.deliveries_)
+        EXPECT_EQ(d.pkt.dst, 3);
+}
+
+TEST(RingNetwork, NoBypassAddsABufferPass)
+{
+    RingHarness fast("4", 32, 1, /*bypass=*/true);
+    RingHarness slow("4", 32, 1, /*bypass=*/false);
+    fast.sendRead(0, 3);
+    slow.sendRead(0, 3);
+    fast.runUntilDelivered(1);
+    slow.runUntilDelivered(1);
+    // Without the bypass every intermediate NIC (2 of them) adds one
+    // ring-buffer pass.
+    EXPECT_EQ(fast.deliveries_[0].when, 4u);
+    EXPECT_EQ(slow.deliveries_[0].when, 6u);
+}
+
+TEST(RingNetwork, DoubleSpeedGlobalRingIsNotSlower)
+{
+    RingHarness normal("2:2", 32, 1);
+    RingHarness fast("2:2", 32, 2);
+    normal.sendRead(0, 2);
+    fast.sendRead(0, 2);
+    normal.runUntilDelivered(1);
+    fast.runUntilDelivered(1);
+    EXPECT_LE(fast.deliveries_[0].when, normal.deliveries_[0].when);
+}
+
+TEST(RingNetwork, FlitsInFlightDrainsToZero)
+{
+    RingHarness h("2:3", 64);
+    h.sendWrite(0, 5);
+    h.sendRead(3, 1);
+    h.runUntilDelivered(2);
+    h.run(5);
+    EXPECT_EQ(h.net_.flitsInFlight(), 0u);
+}
+
+TEST(RingNetwork, InjectionBackpressureIsVisible)
+{
+    // The request output queue holds exactly one cache-line packet.
+    RingHarness h("4", 32);
+    const Packet w1 = h.factory_.makeRequest(0, 1, false, 0);
+    ASSERT_TRUE(h.net_.canInject(0, w1));
+    h.net_.inject(0, w1);
+    const Packet w2 = h.factory_.makeRequest(0, 1, false, 0);
+    EXPECT_FALSE(h.net_.canInject(0, w2)); // queue full this cycle
+    // A response still fits: split request/response queues.
+    Packet fake_req = h.factory_.makeRequest(1, 0, true, 0);
+    std::swap(fake_req.src, fake_req.dst);
+    const Packet resp = h.factory_.makeResponse(fake_req);
+    EXPECT_TRUE(h.net_.canInject(0, resp));
+}
+
+TEST(RingNetwork, UtilizationTracksGlobalTraffic)
+{
+    RingHarness h("2:2");
+    h.net_.utilization().startMeasurement(0);
+    h.sendRead(0, 2);
+    h.sendRead(2, 0);
+    h.runUntilDelivered(2);
+    h.net_.utilization().stopMeasurement(h.now_);
+    EXPECT_GT(h.net_.levelUtilization(0), 0.0);
+    EXPECT_GT(h.net_.levelUtilization(1), 0.0);
+}
+
+TEST(RingNetwork, LocalTrafficLeavesGlobalRingIdle)
+{
+    RingHarness h("2:2");
+    h.net_.utilization().startMeasurement(0);
+    h.sendRead(0, 1);
+    h.sendRead(2, 3);
+    h.runUntilDelivered(2);
+    h.net_.utilization().stopMeasurement(h.now_);
+    EXPECT_EQ(h.net_.levelUtilization(0), 0.0);
+    EXPECT_GT(h.net_.levelUtilization(1), 0.0);
+}
+
+TEST(RingNetwork, RejectsBadSpeed)
+{
+    RingNetwork::Params params;
+    params.topo = RingTopology::parse("4");
+    params.globalRingSpeed = 0;
+    EXPECT_THROW(RingNetwork net(params), ConfigError);
+}
+
+} // namespace
+} // namespace hrsim

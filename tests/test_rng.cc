@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+
+namespace hrsim
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStreamIsReproducible)
+{
+    Rng a(42, 7);
+    Rng b(42, 7);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentStreamsDiffer)
+{
+    Rng a(42, 0);
+    Rng b(42, 1);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1, 0);
+    Rng b(2, 0);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval)
+{
+    Rng rng(123);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(99);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    // Standard error ~ 1/sqrt(12 n) ~ 0.0009; allow 5 sigma.
+    EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_LT(rng.uniformInt(bound), bound);
+    }
+}
+
+TEST(Rng, UniformIntCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntIsUnbiased)
+{
+    // Chi-square-ish check over 16 buckets.
+    Rng rng(5);
+    const int buckets = 16;
+    const int n = 160000;
+    std::vector<int> counts(buckets, 0);
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(buckets)];
+    const double expected = static_cast<double>(n) / buckets;
+    for (const int count : counts) {
+        // 5 sigma of a binomial with p = 1/16.
+        EXPECT_NEAR(count, expected, 5.0 * std::sqrt(expected));
+    }
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(3);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.04))
+            ++hits;
+    }
+    // Mean 4000, sigma ~62; allow 5 sigma.
+    EXPECT_NEAR(hits, 4000, 310);
+}
+
+TEST(Rng, BernoulliDegenerateCases)
+{
+    Rng rng(4);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, SplitmixAdvancesState)
+{
+    std::uint64_t state = 0;
+    const std::uint64_t a = splitmix64(state);
+    const std::uint64_t b = splitmix64(state);
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace hrsim

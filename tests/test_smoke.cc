@@ -1,0 +1,52 @@
+/**
+ * @file
+ * End-to-end smoke tests: tiny ring and mesh systems run and deliver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+
+namespace hrsim
+{
+namespace
+{
+
+SimConfig
+shortSim()
+{
+    SimConfig sim;
+    sim.warmupCycles = 500;
+    sim.batchCycles = 500;
+    sim.numBatches = 3;
+    return sim;
+}
+
+TEST(Smoke, SingleRingRuns)
+{
+    SystemConfig cfg = SystemConfig::ring("4", 32);
+    cfg.sim = shortSim();
+    const RunResult result = runSystem(cfg);
+    EXPECT_GT(result.samples, 0u);
+    EXPECT_GT(result.avgLatency, 0.0);
+}
+
+TEST(Smoke, TwoLevelRingRuns)
+{
+    SystemConfig cfg = SystemConfig::ring("2:4", 32);
+    cfg.sim = shortSim();
+    const RunResult result = runSystem(cfg);
+    EXPECT_GT(result.samples, 0u);
+}
+
+TEST(Smoke, MeshRuns)
+{
+    SystemConfig cfg = SystemConfig::mesh(3, 32, 4);
+    cfg.sim = shortSim();
+    const RunResult result = runSystem(cfg);
+    EXPECT_GT(result.samples, 0u);
+    EXPECT_GT(result.avgLatency, 0.0);
+}
+
+} // namespace
+} // namespace hrsim

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for RunningStats, BatchMeans and UtilizationTracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "stats/batch_means.hh"
+#include "stats/running_stats.hh"
+#include "stats/utilization.hh"
+
+namespace hrsim
+{
+namespace
+{
+
+// ---------------------------------------------------------------- //
+// RunningStats
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_EQ(stats.mean(), 0.0);
+    EXPECT_EQ(stats.variance(), 0.0);
+    EXPECT_EQ(stats.sum(), 0.0);
+}
+
+TEST(RunningStats, HandComputedMoments)
+{
+    RunningStats stats;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stats.add(x);
+    EXPECT_EQ(stats.count(), 8u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    // Population variance is 4; sample variance is 32/7.
+    EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceIsZero)
+{
+    RunningStats stats;
+    stats.add(3.5);
+    EXPECT_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+    EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    RunningStats a;
+    RunningStats b;
+    RunningStats all;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i) * 10.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a;
+    a.add(1.0);
+    RunningStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(RunningStats, ResetClears)
+{
+    RunningStats stats;
+    stats.add(5.0);
+    stats.reset();
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_EQ(stats.mean(), 0.0);
+}
+
+// ---------------------------------------------------------------- //
+// BatchMeans
+
+TEST(BatchMeans, WarmupSamplesAreDiscarded)
+{
+    BatchMeans bm(100, 50, 2);
+    bm.add(0, 1000.0);
+    bm.add(99, 1000.0);
+    EXPECT_EQ(bm.sampleCount(), 0u);
+    bm.add(100, 10.0);
+    EXPECT_EQ(bm.sampleCount(), 1u);
+    EXPECT_DOUBLE_EQ(bm.mean(), 10.0);
+}
+
+TEST(BatchMeans, SamplesBeyondWindowAreIgnored)
+{
+    BatchMeans bm(100, 50, 2);
+    EXPECT_EQ(bm.endCycle(), 200u);
+    bm.add(200, 42.0);
+    bm.add(5000, 42.0);
+    EXPECT_EQ(bm.sampleCount(), 0u);
+    EXPECT_TRUE(bm.done(200));
+    EXPECT_FALSE(bm.done(199));
+}
+
+TEST(BatchMeans, BatchAssignment)
+{
+    BatchMeans bm(10, 10, 3);
+    bm.add(10, 1.0); // batch 0
+    bm.add(19, 3.0); // batch 0
+    bm.add(20, 5.0); // batch 1
+    bm.add(39, 7.0); // batch 2
+    EXPECT_DOUBLE_EQ(bm.batchMean(0), 2.0);
+    EXPECT_DOUBLE_EQ(bm.batchMean(1), 5.0);
+    EXPECT_DOUBLE_EQ(bm.batchMean(2), 7.0);
+    EXPECT_DOUBLE_EQ(bm.mean(), 4.0);
+}
+
+TEST(BatchMeans, HalfWidthZeroForIdenticalBatches)
+{
+    BatchMeans bm(0, 10, 4);
+    for (Cycle c = 0; c < 40; ++c)
+        bm.add(c, 5.0);
+    EXPECT_DOUBLE_EQ(bm.halfWidth95(), 0.0);
+    EXPECT_DOUBLE_EQ(bm.mean(), 5.0);
+}
+
+TEST(BatchMeans, HalfWidthFromBatchVariance)
+{
+    BatchMeans bm(0, 10, 2);
+    bm.add(5, 4.0);  // batch 0 mean 4
+    bm.add(15, 6.0); // batch 1 mean 6
+    // sd of means = sqrt(2), se = 1, hw = 1.96.
+    EXPECT_NEAR(bm.halfWidth95(), 1.96, 1e-9);
+}
+
+TEST(BatchMeans, RejectsDegenerateConfig)
+{
+    EXPECT_THROW(BatchMeans(0, 0, 3), ConfigError);
+    EXPECT_THROW(BatchMeans(0, 10, 0), ConfigError);
+}
+
+// ---------------------------------------------------------------- //
+// UtilizationTracker
+
+TEST(Utilization, FullyBusyLinkIsOne)
+{
+    UtilizationTracker util;
+    const auto g = util.group("ring");
+    const auto link = util.addLink(g);
+    util.startMeasurement(0);
+    for (Cycle c = 0; c < 10; ++c)
+        util.recordTransfer(link);
+    util.stopMeasurement(10);
+    EXPECT_DOUBLE_EQ(util.groupUtilization(g), 1.0);
+    EXPECT_DOUBLE_EQ(util.totalUtilization(), 1.0);
+}
+
+TEST(Utilization, GroupsAreIndependent)
+{
+    UtilizationTracker util;
+    const auto ga = util.group("a");
+    const auto gb = util.group("b");
+    const auto la = util.addLink(ga);
+    util.addLink(gb);
+    util.startMeasurement(0);
+    for (int i = 0; i < 5; ++i)
+        util.recordTransfer(la);
+    util.stopMeasurement(10);
+    EXPECT_DOUBLE_EQ(util.groupUtilization(ga), 0.5);
+    EXPECT_DOUBLE_EQ(util.groupUtilization(gb), 0.0);
+    EXPECT_DOUBLE_EQ(util.totalUtilization(), 0.25);
+}
+
+TEST(Utilization, GroupLookupByNameIsIdempotent)
+{
+    UtilizationTracker util;
+    const auto a = util.group("x");
+    const auto b = util.group("x");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(util.numGroups(), 1u);
+    EXPECT_EQ(util.groupName(a), "x");
+}
+
+TEST(Utilization, SpeedFactorRaisesCapacity)
+{
+    UtilizationTracker util;
+    const auto g = util.group("global");
+    const auto link = util.addLink(g, 2);
+    util.startMeasurement(0);
+    for (int i = 0; i < 10; ++i)
+        util.recordTransfer(link); // one flit per cycle on a 2x link
+    util.stopMeasurement(10);
+    EXPECT_DOUBLE_EQ(util.groupUtilization(g), 0.5);
+}
+
+TEST(Utilization, TransfersOutsideWindowIgnored)
+{
+    UtilizationTracker util;
+    const auto g = util.group("ring");
+    const auto link = util.addLink(g);
+    util.recordTransfer(link); // before the window opens
+    util.startMeasurement(100);
+    util.recordTransfer(link);
+    util.stopMeasurement(110);
+    EXPECT_DOUBLE_EQ(util.groupUtilization(g), 0.1);
+}
+
+TEST(Utilization, EmptyGroupReportsZero)
+{
+    UtilizationTracker util;
+    const auto g = util.group("empty");
+    util.startMeasurement(0);
+    util.stopMeasurement(10);
+    EXPECT_DOUBLE_EQ(util.groupUtilization(g), 0.0);
+}
+
+} // namespace
+} // namespace hrsim

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the trace-driven workload: file round trips, synthesis,
+ * replay semantics and whole-system integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/system.hh"
+#include "workload/trace.hh"
+
+namespace hrsim
+{
+namespace
+{
+
+TEST(Trace, ConstructorSortsByCycle)
+{
+    Trace trace({{30, 0, 1, true},
+                 {10, 1, 0, false},
+                 {20, 0, 2, true}});
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.records()[0].cycle, 10u);
+    EXPECT_EQ(trace.records()[1].cycle, 20u);
+    EXPECT_EQ(trace.records()[2].cycle, 30u);
+}
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    Trace original({{5, 0, 3, true},
+                    {7, 1, 2, false},
+                    {7, 2, 0, true}});
+    std::stringstream buffer;
+    original.save(buffer);
+    const Trace loaded = Trace::load(buffer);
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i)
+        EXPECT_EQ(loaded.records()[i], original.records()[i]);
+}
+
+TEST(Trace, LoadSkipsCommentsAndBlankLines)
+{
+    std::istringstream in(
+        "# header comment\n"
+        "\n"
+        "3 0 1 R\n"
+        "   # indented comment\n"
+        "9 1 0 W\n");
+    const Trace trace = Trace::load(in);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_TRUE(trace.records()[0].isRead);
+    EXPECT_FALSE(trace.records()[1].isRead);
+}
+
+TEST(Trace, LoadRejectsGarbage)
+{
+    std::istringstream bad_kind("1 0 1 X\n");
+    EXPECT_THROW(Trace::load(bad_kind), ConfigError);
+    std::istringstream short_line("1 0\n");
+    EXPECT_THROW(Trace::load(short_line), ConfigError);
+    std::istringstream negative("1 -2 1 R\n");
+    EXPECT_THROW(Trace::load(negative), ConfigError);
+}
+
+TEST(Trace, ForPmFiltersAndPreservesOrder)
+{
+    Trace trace({{1, 0, 1, true},
+                 {2, 1, 0, true},
+                 {3, 0, 2, false}});
+    const auto mine = trace.forPm(0);
+    ASSERT_EQ(mine.size(), 2u);
+    EXPECT_EQ(mine[0].cycle, 1u);
+    EXPECT_EQ(mine[1].cycle, 3u);
+    EXPECT_EQ(trace.maxNode(), 2);
+}
+
+TEST(Trace, SynthesizeUniformStatistics)
+{
+    const Trace trace =
+        Trace::synthesizeUniform(8, 50000, 0.04, 0.7, 99);
+    // ~8 * 50000 * 0.04 = 16000 records; allow 5%.
+    EXPECT_NEAR(static_cast<double>(trace.size()), 16000.0, 800.0);
+    std::size_t reads = 0;
+    for (const TraceRecord &rec : trace.records()) {
+        EXPECT_NE(rec.pm, rec.target); // uniform-remote: never self
+        EXPECT_LT(rec.target, 8);
+        if (rec.isRead)
+            ++reads;
+    }
+    EXPECT_NEAR(static_cast<double>(reads) /
+                    static_cast<double>(trace.size()),
+                0.7, 0.02);
+}
+
+TEST(Trace, SynthesisIsDeterministic)
+{
+    const Trace a = Trace::synthesizeUniform(4, 1000, 0.1, 0.5, 7);
+    const Trace b = Trace::synthesizeUniform(4, 1000, 0.1, 0.5, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a.records()[i], b.records()[i]);
+}
+
+TEST(TraceReplay, DrivesARingSystemToCompletion)
+{
+    const Trace trace =
+        Trace::synthesizeUniform(8, 3000, 0.03, 0.7, 11);
+    SystemConfig cfg = SystemConfig::ring("2:4", 32);
+    cfg.trace = &trace;
+    cfg.sim.warmupCycles = 1000;
+    cfg.sim.batchCycles = 1000;
+    cfg.sim.numBatches = 2;
+    const RunResult result = runSystem(cfg);
+    EXPECT_GT(result.samples, 0u);
+    EXPECT_GT(result.avgLatency, 0.0);
+}
+
+TEST(TraceReplay, EveryReferenceCompletesAfterDrain)
+{
+    const Trace trace =
+        Trace::synthesizeUniform(9, 1000, 0.02, 0.7, 13);
+    SystemConfig cfg = SystemConfig::mesh(3, 32, 4);
+    cfg.trace = &trace;
+    System system(cfg);
+    system.step(1000 + 5000); // trace horizon plus generous drain
+    const WorkloadCounters &c = system.counters();
+    EXPECT_EQ(c.missesGenerated, trace.size());
+    EXPECT_EQ(c.remoteCompleted + c.localCompleted, trace.size());
+    EXPECT_EQ(system.totalOutstanding(), 0);
+}
+
+TEST(TraceReplay, HonoursOutstandingLimit)
+{
+    // 20 references all due at cycle 0 from one PM: with T = 2, at
+    // most 2 may ever be outstanding.
+    std::vector<TraceRecord> records;
+    for (int i = 0; i < 20; ++i)
+        records.push_back({0, 0, 1, true});
+    const Trace trace{std::vector<TraceRecord>(records)};
+    SystemConfig cfg = SystemConfig::ring("4", 32);
+    cfg.trace = &trace;
+    cfg.workload.outstandingT = 2;
+    System system(cfg);
+    for (int step = 0; step < 500; ++step) {
+        system.step(1);
+        ASSERT_LE(system.totalOutstanding(), 2);
+    }
+    EXPECT_EQ(system.counters().remoteCompleted, 20u);
+}
+
+TEST(TraceReplay, ReplayIsDeterministic)
+{
+    const Trace trace =
+        Trace::synthesizeUniform(8, 2000, 0.04, 0.7, 21);
+    SystemConfig cfg = SystemConfig::ring("2:4", 64);
+    cfg.trace = &trace;
+    cfg.sim.warmupCycles = 500;
+    cfg.sim.batchCycles = 500;
+    cfg.sim.numBatches = 2;
+    const RunResult a = runSystem(cfg);
+    const RunResult b = runSystem(cfg);
+    EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
+    EXPECT_EQ(a.samples, b.samples);
+}
+
+TEST(TraceReplay, RejectsTraceBeyondTopology)
+{
+    const Trace trace = Trace::synthesizeUniform(16, 100, 0.1, 0.7, 3);
+    SystemConfig cfg = SystemConfig::ring("2:4", 32); // only 8 PMs
+    cfg.trace = &trace;
+    EXPECT_THROW(System system(cfg), ConfigError);
+}
+
+TEST(TraceReplay, SameTraceComparesNetworksFairly)
+{
+    // The same reference stream on a ring and a mesh: identical work,
+    // different interconnects — the library's apples-to-apples mode.
+    const Trace trace =
+        Trace::synthesizeUniform(9, 4000, 0.03, 0.7, 5);
+    SystemConfig ring = SystemConfig::ring("3:3", 64);
+    ring.trace = &trace;
+    ring.sim.warmupCycles = 1000;
+    ring.sim.batchCycles = 1000;
+    ring.sim.numBatches = 3;
+    SystemConfig mesh = SystemConfig::mesh(3, 64, 4);
+    mesh.trace = &trace;
+    mesh.sim = ring.sim;
+    const RunResult ring_result = runSystem(ring);
+    const RunResult mesh_result = runSystem(mesh);
+    EXPECT_GT(ring_result.samples, 0u);
+    EXPECT_GT(mesh_result.samples, 0u);
+    // 9 PMs with uniform traffic: the small ring should beat the
+    // small mesh (the paper's small-system regime).
+    EXPECT_LT(ring_result.avgLatency, mesh_result.avgLatency);
+}
+
+} // namespace
+} // namespace hrsim

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Command-line driver: run any single simulation the library can
+ * express and print the full metric set, optionally as CSV.
+ *
+ * Examples:
+ *   hrsim_cli --ring 3:3:6 --line 64 --r 0.3 --t 4
+ *   hrsim_cli --mesh 8 --line 128 --buffers 1 --c 0.08 --csv
+ *   hrsim_cli --ring 5:3:6 --speed 2 --slotted --seed 7
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/log.hh"
+#include "core/system.hh"
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+        "usage: %s (--ring A:B:C | --mesh WIDTH) [options]\n"
+        "\n"
+        "network:\n"
+        "  --ring TOPO       hierarchical ring, e.g. 2:3:4\n"
+        "  --mesh W          square W x W mesh\n"
+        "  --line BYTES      cache line size: 16|32|64|128 (32)\n"
+        "  --buffers FLITS   mesh buffers: 1|4|0=cl-sized (4)\n"
+        "  --speed N         global ring clock multiplier (1)\n"
+        "  --slotted         slotted instead of wormhole switching\n"
+        "  --no-bypass       disable the ring NIC bypass path\n"
+        "\n"
+        "workload:\n"
+        "  --r R             locality region parameter (1.0)\n"
+        "  --c C             cache miss rate per cycle (0.04)\n"
+        "  --t T             outstanding transactions (4)\n"
+        "  --mem CYCLES      memory service time (20)\n"
+        "  --pipelined-mem   pipelined instead of serialized memory\n"
+        "\n"
+        "measurement:\n"
+        "  --warmup CYCLES   discarded first batch (4000)\n"
+        "  --batch CYCLES    measured batch length (4000)\n"
+        "  --batches N       number of measured batches (5)\n"
+        "  --seed N          master RNG seed\n"
+        "  --csv             one machine-readable CSV line\n",
+        argv0);
+}
+
+double
+argDouble(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        hrsim::fatal(std::string("missing value for ") + argv[i]);
+    return std::atof(argv[++i]);
+}
+
+long
+argLong(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        hrsim::fatal(std::string("missing value for ") + argv[i]);
+    return std::atol(argv[++i]);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hrsim;
+
+    SystemConfig cfg;
+    bool have_network = false;
+    bool csv = false;
+    std::string label;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const char *arg = argv[i];
+            if (!std::strcmp(arg, "--ring")) {
+                if (i + 1 >= argc)
+                    fatal("missing topology for --ring");
+                label = std::string("ring ") + argv[i + 1];
+                cfg.kind = NetworkKind::HierarchicalRing;
+                cfg.ringTopo = RingTopology::parse(argv[++i]);
+                have_network = true;
+            } else if (!std::strcmp(arg, "--mesh")) {
+                const long w = argLong(argc, argv, i);
+                label = "mesh " + std::to_string(w) + "x" +
+                        std::to_string(w);
+                cfg.kind = NetworkKind::Mesh;
+                cfg.meshWidth = static_cast<int>(w);
+                have_network = true;
+            } else if (!std::strcmp(arg, "--line")) {
+                cfg.cacheLineBytes = static_cast<std::uint32_t>(
+                    argLong(argc, argv, i));
+            } else if (!std::strcmp(arg, "--buffers")) {
+                cfg.meshBufferFlits = static_cast<std::uint32_t>(
+                    argLong(argc, argv, i));
+            } else if (!std::strcmp(arg, "--speed")) {
+                cfg.globalRingSpeed = static_cast<std::uint32_t>(
+                    argLong(argc, argv, i));
+            } else if (!std::strcmp(arg, "--slotted")) {
+                cfg.ringSlotted = true;
+            } else if (!std::strcmp(arg, "--no-bypass")) {
+                cfg.ringBypass = false;
+            } else if (!std::strcmp(arg, "--r")) {
+                cfg.workload.localityR = argDouble(argc, argv, i);
+            } else if (!std::strcmp(arg, "--c")) {
+                cfg.workload.missRateC = argDouble(argc, argv, i);
+            } else if (!std::strcmp(arg, "--t")) {
+                cfg.workload.outstandingT =
+                    static_cast<int>(argLong(argc, argv, i));
+            } else if (!std::strcmp(arg, "--mem")) {
+                cfg.workload.memoryLatency =
+                    static_cast<std::uint32_t>(argLong(argc, argv, i));
+            } else if (!std::strcmp(arg, "--pipelined-mem")) {
+                cfg.workload.memorySerialized = false;
+            } else if (!std::strcmp(arg, "--warmup")) {
+                cfg.sim.warmupCycles = static_cast<Cycle>(
+                    argLong(argc, argv, i));
+            } else if (!std::strcmp(arg, "--batch")) {
+                cfg.sim.batchCycles = static_cast<Cycle>(
+                    argLong(argc, argv, i));
+            } else if (!std::strcmp(arg, "--batches")) {
+                cfg.sim.numBatches = static_cast<std::uint32_t>(
+                    argLong(argc, argv, i));
+            } else if (!std::strcmp(arg, "--seed")) {
+                cfg.sim.seed = static_cast<std::uint64_t>(
+                    argLong(argc, argv, i));
+            } else if (!std::strcmp(arg, "--csv")) {
+                csv = true;
+            } else if (!std::strcmp(arg, "--help") ||
+                       !std::strcmp(arg, "-h")) {
+                usage(argv[0]);
+                return 0;
+            } else {
+                fatal(std::string("unknown option: ") + arg);
+            }
+        }
+        if (!have_network)
+            fatal("one of --ring or --mesh is required");
+
+        const RunResult result = runSystem(cfg);
+
+        if (csv) {
+            std::printf("label,processors,line,R,C,T,latency,ci95,"
+                        "p50,p95,p99,util,samples,throughput_per_pm\n");
+            std::printf("%s,%d,%u,%.3f,%.4f,%d,%.2f,%.2f,%.2f,%.2f,"
+                        "%.2f,%.4f,%llu,%.6f\n",
+                        label.c_str(), cfg.numProcessors(),
+                        cfg.cacheLineBytes, cfg.workload.localityR,
+                        cfg.workload.missRateC,
+                        cfg.workload.outstandingT, result.avgLatency,
+                        result.latencyCI95, result.latencyP50,
+                        result.latencyP95, result.latencyP99,
+                        result.networkUtilization,
+                        static_cast<unsigned long long>(result.samples),
+                        result.throughputPerPm);
+            return 0;
+        }
+
+        std::printf("%s, %d PMs, %uB lines, R=%.2f C=%.3f T=%d\n",
+                    label.c_str(), cfg.numProcessors(),
+                    cfg.cacheLineBytes, cfg.workload.localityR,
+                    cfg.workload.missRateC, cfg.workload.outstandingT);
+        std::printf("  latency  : %.1f cycles (+/- %.1f at 95%%)\n",
+                    result.avgLatency, result.latencyCI95);
+        std::printf("  p50/p95/p99: %.0f / %.0f / %.0f cycles\n",
+                    result.latencyP50, result.latencyP95,
+                    result.latencyP99);
+        std::printf("  samples  : %llu remote round trips\n",
+                    static_cast<unsigned long long>(result.samples));
+        std::printf("  net util : %.1f%%\n",
+                    100.0 * result.networkUtilization);
+        for (std::size_t level = 0;
+             level < result.ringLevelUtilization.size(); ++level) {
+            std::printf("  ring L%zu  : %.1f%%%s\n", level,
+                        100.0 * result.ringLevelUtilization[level],
+                        level == 0 ? " (global)" : "");
+        }
+        std::printf("  thpt/PM  : %.4f transactions/cycle\n",
+                    result.throughputPerPm);
+        return 0;
+    } catch (const ConfigError &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        usage(argv[0]);
+        return 1;
+    } catch (const StallError &err) {
+        std::fprintf(stderr, "simulation stalled: %s\n", err.what());
+        return 2;
+    }
+}

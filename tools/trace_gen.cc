@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Trace generator: writes a synthetic uniform reference trace in the
+ * hrsim text format to stdout, for use with SystemConfig::trace or
+ * external tooling.
+ *
+ * Usage: trace_gen PROCESSORS CYCLES [miss_rate=0.04]
+ *                  [read_fraction=0.7] [seed=1]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/log.hh"
+#include "workload/trace.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hrsim;
+
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: %s PROCESSORS CYCLES [miss_rate=0.04] "
+                     "[read_fraction=0.7] [seed=1]\n",
+                     argv[0]);
+        return 1;
+    }
+    try {
+        const int pms = std::atoi(argv[1]);
+        const auto cycles =
+            static_cast<Cycle>(std::atoll(argv[2]));
+        const double miss = argc > 3 ? std::atof(argv[3]) : 0.04;
+        const double reads = argc > 4 ? std::atof(argv[4]) : 0.7;
+        const auto seed = static_cast<std::uint64_t>(
+            argc > 5 ? std::atoll(argv[5]) : 1);
+
+        const Trace trace =
+            Trace::synthesizeUniform(pms, cycles, miss, reads, seed);
+        trace.save(std::cout);
+        std::fprintf(stderr, "%zu references for %d PMs over %llu "
+                             "cycles\n",
+                     trace.size(), pms,
+                     static_cast<unsigned long long>(cycles));
+        return 0;
+    } catch (const ConfigError &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    }
+}
