@@ -12,16 +12,44 @@
 #define HRSIM_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/analysis.hh"
 #include "core/experiment.hh"
+#include "core/sweep.hh"
 #include "core/system.hh"
 #include "workload/region.hh"
 
 namespace hrsim::bench
 {
+
+/**
+ * Worker threads for figure sweeps: HRSIM_JOBS if set (>= 1), else
+ * one per hardware thread. Results are bit-identical at any setting
+ * (see SweepRunner's determinism contract), so parallelism is safe to
+ * default on.
+ */
+inline unsigned
+benchJobs()
+{
+    if (const char *env = std::getenv("HRSIM_JOBS")) {
+        const long jobs = std::atol(env);
+        if (jobs >= 1)
+            return static_cast<unsigned>(jobs);
+    }
+    return 0; // SweepRunner resolves 0 to hardware_concurrency()
+}
+
+/** Process-wide sweep runner shared by every figure in a binary. */
+inline SweepRunner &
+benchRunner()
+{
+    static SweepRunner runner{SweepOptions{benchJobs(), false}};
+    return runner;
+}
 
 /** Measurement protocol used by all figure benches. */
 inline SimConfig
@@ -58,12 +86,25 @@ meshConfig(int width, std::uint32_t line_bytes,
     return cfg;
 }
 
+/** Run @a points on the shared pool, adding avgLatency per point. */
+inline void
+sweepIntoReport(Report &report, const std::string &series,
+                const std::vector<SystemConfig> &points)
+{
+    const std::vector<RunResult> results = benchRunner().run(points);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        report.add(series, points[i].numProcessors(),
+                   results[i].avgLatency);
+    }
+}
+
 /** Add the ring ladder (Table 2 topologies) to a report series. */
 inline void
 runRingLadder(Report &report, const std::string &series,
               std::uint32_t line_bytes, int t, double r,
               std::uint32_t global_speed = 1, int max_nodes = 128)
 {
+    std::vector<SystemConfig> points;
     for (const std::string &topo : standardRingLadder(line_bytes)) {
         SystemConfig cfg =
             ringConfig(topo, line_bytes, t, r, global_speed);
@@ -73,9 +114,9 @@ runRingLadder(Report &report, const std::string &series,
         // PM (e.g. R = 0.1 on a 4-node system).
         if (regionRemoteCount(cfg.numProcessors(), r) == 0)
             continue;
-        const RunResult result = runSystem(cfg);
-        report.add(series, cfg.numProcessors(), result.avgLatency);
+        points.push_back(cfg);
     }
+    sweepIntoReport(report, series, points);
 }
 
 /** Add the square-mesh sweep to a report series. */
@@ -84,14 +125,15 @@ runMeshSweep(Report &report, const std::string &series,
              std::uint32_t line_bytes, std::uint32_t buffer_flits,
              int t, double r, int max_nodes = 121)
 {
+    std::vector<SystemConfig> points;
     for (const int width : standardMeshWidths(max_nodes)) {
         SystemConfig cfg =
             meshConfig(width, line_bytes, buffer_flits, t, r);
         if (regionRemoteCount(cfg.numProcessors(), r) == 0)
             continue;
-        const RunResult result = runSystem(cfg);
-        report.add(series, cfg.numProcessors(), result.avgLatency);
+        points.push_back(cfg);
     }
+    sweepIntoReport(report, series, points);
 }
 
 /** Print table, cross-over (if both series named), then CSV. */

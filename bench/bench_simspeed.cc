@@ -3,10 +3,17 @@
  * google-benchmark harness measuring the simulator's own throughput
  * (simulated node-cycles per wall-second) for representative ring and
  * mesh configurations.
+ *
+ * Each topology is measured twice: the Legacy variants force the
+ * every-cycle tick loop (sim.idleSkip = false), the Fast variants use
+ * the skip-idle scheduler, so the speedup of the hot-path work is
+ * measured, not asserted. BM_Sweep* measure the parallel sweep engine
+ * end to end (wall-clock per whole figure-style sweep).
  */
 
 #include <benchmark/benchmark.h>
 
+#include "core/sweep.hh"
 #include "core/system.hh"
 
 namespace
@@ -15,18 +22,20 @@ namespace
 using namespace hrsim;
 
 SystemConfig
-ringCfg(const char *topo)
+ringCfg(const char *topo, bool idle_skip)
 {
     SystemConfig cfg = SystemConfig::ring(topo, 64);
     cfg.workload.outstandingT = 4;
+    cfg.sim.idleSkip = idle_skip;
     return cfg;
 }
 
 SystemConfig
-meshCfg(int width)
+meshCfg(int width, bool idle_skip)
 {
     SystemConfig cfg = SystemConfig::mesh(width, 64, 4);
     cfg.workload.outstandingT = 4;
+    cfg.sim.idleSkip = idle_skip;
     return cfg;
 }
 
@@ -49,31 +58,95 @@ runCycles(benchmark::State &state, const SystemConfig &cfg)
 void
 BM_RingSmall(benchmark::State &state)
 {
-    runCycles(state, ringCfg("2:4"));
+    runCycles(state, ringCfg("2:4", true));
 }
 
 void
 BM_RingLarge(benchmark::State &state)
 {
-    runCycles(state, ringCfg("3:3:12"));
+    runCycles(state, ringCfg("3:3:12", true));
 }
 
 void
 BM_MeshSmall(benchmark::State &state)
 {
-    runCycles(state, meshCfg(3));
+    runCycles(state, meshCfg(3, true));
 }
 
 void
 BM_MeshLarge(benchmark::State &state)
 {
-    runCycles(state, meshCfg(11));
+    runCycles(state, meshCfg(11, true));
+}
+
+void
+BM_RingLargeLegacy(benchmark::State &state)
+{
+    runCycles(state, ringCfg("3:3:12", false));
+}
+
+void
+BM_MeshLargeLegacy(benchmark::State &state)
+{
+    runCycles(state, meshCfg(11, false));
+}
+
+/** A figure-style point list: the paper's mid-size rings and meshes
+ *  with a short measurement protocol, so one benchmark iteration is
+ *  one whole sweep. */
+std::vector<SystemConfig>
+sweepPoints()
+{
+    std::vector<SystemConfig> points;
+    for (const char *topo : {"4", "8", "2:4", "2:8", "3:3:4"})
+        points.push_back(ringCfg(topo, true));
+    for (const int width : {2, 3, 4, 5, 6})
+        points.push_back(meshCfg(width, true));
+    for (auto &cfg : points) {
+        cfg.sim.warmupCycles = 1000;
+        cfg.sim.batchCycles = 1000;
+        cfg.sim.numBatches = 3;
+    }
+    return points;
+}
+
+void
+runSweepBench(benchmark::State &state, unsigned jobs)
+{
+    const std::vector<SystemConfig> points = sweepPoints();
+    SweepOptions opts;
+    opts.jobs = jobs;
+    SweepRunner runner(opts);
+    std::uint64_t swept = 0;
+    for (auto _ : state) {
+        const auto results = runner.run(points);
+        benchmark::DoNotOptimize(results.front().avgLatency);
+        swept += points.size();
+    }
+    state.counters["points/s"] = benchmark::Counter(
+        static_cast<double>(swept), benchmark::Counter::kIsRate);
+}
+
+void
+BM_SweepSerial(benchmark::State &state)
+{
+    runSweepBench(state, 1);
+}
+
+void
+BM_SweepParallel4(benchmark::State &state)
+{
+    runSweepBench(state, 4);
 }
 
 BENCHMARK(BM_RingSmall);
 BENCHMARK(BM_RingLarge);
+BENCHMARK(BM_RingLargeLegacy);
 BENCHMARK(BM_MeshSmall);
 BENCHMARK(BM_MeshLarge);
+BENCHMARK(BM_MeshLargeLegacy);
+BENCHMARK(BM_SweepSerial);
+BENCHMARK(BM_SweepParallel4)->UseRealTime();
 
 } // namespace
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Run the simulator-throughput benchmark and emit BENCH_simspeed.json
+# (google-benchmark JSON: node-cycles/s per config, fast vs legacy
+# tick loops, and sweep-engine points/s) so the performance trajectory
+# is tracked across PRs.
+#
+# Usage: scripts/run_simspeed.sh [output.json]
+#   BUILD_DIR=build   build tree containing bench/bench_simspeed
+set -euo pipefail
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-BENCH_simspeed.json}
+BENCH="$BUILD_DIR/bench/bench_simspeed"
+
+if [[ ! -x "$BENCH" ]]; then
+    echo "error: $BENCH not built (cmake -B $BUILD_DIR -S . && \
+cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+fi
+
+"$BENCH" \
+    --benchmark_out="$OUT" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions="${HRSIM_BENCH_REPS:-1}" \
+    --benchmark_min_time="${HRSIM_BENCH_MIN_TIME:-0.5}"
+
+echo "wrote $OUT"

@@ -18,13 +18,24 @@
  * With these rules, the result of a simulated cycle is independent of
  * the order in which components are evaluated, provided each queue has
  * a single producer and a single consumer per cycle (asserted).
+ *
+ * Storage is a single ring buffer allocated once at setCapacity():
+ * these queues sit on the simulator's per-cycle hot path (every flit
+ * of every packet moves through several of them), so steady-state
+ * operation performs no heap allocation at all. Visible and staged
+ * elements share the ring: staged pushes are appended after the
+ * visible region and commit() simply extends the visible count. The
+ * canPush() accounting (visible + popped-this-cycle + staged <
+ * capacity) guarantees the writer can never overrun the reader even
+ * though popped slots are reused physically before commit().
  */
 
 #ifndef HRSIM_COMMON_STAGED_FIFO_HH
 #define HRSIM_COMMON_STAGED_FIFO_HH
 
 #include <cstddef>
-#include <deque>
+#include <utility>
+#include <vector>
 
 #include "common/log.hh"
 
@@ -37,23 +48,30 @@ class StagedFifo
   public:
     /** Construct a FIFO holding at most @a capacity elements. */
     explicit StagedFifo(std::size_t capacity = 0)
-        : capacity_(capacity)
-    {}
+    {
+        capacity_ = capacity;
+        store_.resize(capacity_);
+    }
 
     /** Change the capacity; only legal on an empty queue. */
     void
     setCapacity(std::size_t capacity)
     {
-        HRSIM_ASSERT(empty() && staged_.empty());
+        HRSIM_ASSERT(visible_ == 0 && staged_ == 0);
         capacity_ = capacity;
+        store_.clear();
+        store_.resize(capacity_);
+        head_ = 0;
+        tail_ = 0;
+        poppedThisCycle_ = 0;
     }
 
     std::size_t capacity() const { return capacity_; }
 
     /** Elements visible to the consumer this cycle. */
-    std::size_t size() const { return items_.size(); }
+    std::size_t size() const { return visible_; }
 
-    bool empty() const { return items_.empty(); }
+    bool empty() const { return visible_ == 0; }
 
     /**
      * Occupancy as seen by a producer: visible elements, plus slots
@@ -62,7 +80,7 @@ class StagedFifo
     std::size_t
     producerOccupancy() const
     {
-        return items_.size() + poppedThisCycle_ + staged_.size();
+        return visible_ + poppedThisCycle_ + staged_;
     }
 
     /** May a producer stage an element this cycle? */
@@ -81,24 +99,27 @@ class StagedFifo
     push(T value)
     {
         HRSIM_ASSERT(canPush());
-        staged_.push_back(std::move(value));
+        store_[tail_] = std::move(value);
+        tail_ = advance(tail_);
+        ++staged_;
     }
 
     /** Oldest visible element. Queue must be non-empty. */
     const T &
     front() const
     {
-        HRSIM_ASSERT(!items_.empty());
-        return items_.front();
+        HRSIM_ASSERT(visible_ > 0);
+        return store_[head_];
     }
 
     /** Remove and return the oldest visible element. */
     T
     pop()
     {
-        HRSIM_ASSERT(!items_.empty());
-        T value = std::move(items_.front());
-        items_.pop_front();
+        HRSIM_ASSERT(visible_ > 0);
+        T value = std::move(store_[head_]);
+        head_ = advance(head_);
+        --visible_;
         ++poppedThisCycle_;
         return value;
     }
@@ -107,9 +128,8 @@ class StagedFifo
     void
     commit()
     {
-        for (auto &value : staged_)
-            items_.push_back(std::move(value));
-        staged_.clear();
+        visible_ += staged_;
+        staged_ = 0;
         poppedThisCycle_ = 0;
     }
 
@@ -117,8 +137,10 @@ class StagedFifo
     void
     clear()
     {
-        items_.clear();
-        staged_.clear();
+        head_ = 0;
+        tail_ = 0;
+        visible_ = 0;
+        staged_ = 0;
         poppedThisCycle_ = 0;
     }
 
@@ -126,13 +148,22 @@ class StagedFifo
     std::size_t
     totalSize() const
     {
-        return items_.size() + staged_.size();
+        return visible_ + staged_;
     }
 
   private:
-    std::size_t capacity_;
-    std::deque<T> items_;
-    std::deque<T> staged_;
+    std::size_t
+    advance(std::size_t index) const
+    {
+        return index + 1 == capacity_ ? 0 : index + 1;
+    }
+
+    std::size_t capacity_ = 0;
+    std::vector<T> store_;
+    std::size_t head_ = 0;   //!< oldest visible element
+    std::size_t tail_ = 0;   //!< next write position
+    std::size_t visible_ = 0;
+    std::size_t staged_ = 0;
     std::size_t poppedThisCycle_ = 0;
 };
 

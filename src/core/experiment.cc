@@ -21,10 +21,11 @@ Report::add(const std::string &series, double x, double y)
     for (auto &data : series_) {
         if (data.name == series) {
             data.points.emplace_back(x, y);
+            data.byX.emplace(x, y); // keep the first y, as value() did
             return;
         }
     }
-    series_.push_back(SeriesData{series, {{x, y}}});
+    series_.push_back(SeriesData{series, {{x, y}}, {{x, y}}});
 }
 
 const Report::SeriesData *
@@ -43,11 +44,10 @@ Report::value(const std::string &series, double x) const
     const SeriesData *data = find(series);
     if (!data)
         return std::nullopt;
-    for (const auto &[px, py] : data->points) {
-        if (px == x)
-            return py;
-    }
-    return std::nullopt;
+    const auto it = data->byX.find(x);
+    if (it == data->byX.end())
+        return std::nullopt;
+    return it->second;
 }
 
 std::vector<std::string>
@@ -103,17 +103,13 @@ Report::print(std::ostream &out) const
             out << std::left << std::setw(xw) << x;
         }
         for (std::size_t s = 0; s < series_.size(); ++s) {
-            bool found = false;
-            for (const auto &[px, py] : series_[s].points) {
-                if (px == x) {
-                    out << std::setw(widths[s]) << std::fixed
-                        << std::setprecision(1) << py;
-                    found = true;
-                    break;
-                }
-            }
-            if (!found)
+            const auto it = series_[s].byX.find(x);
+            if (it != series_[s].byX.end()) {
+                out << std::setw(widths[s]) << std::fixed
+                    << std::setprecision(1) << it->second;
+            } else {
                 out << std::setw(widths[s]) << "-";
+            }
         }
         out << "\n";
     }

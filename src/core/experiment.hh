@@ -15,6 +15,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace hrsim
@@ -52,6 +53,8 @@ class Report
     {
         std::string name;
         std::vector<std::pair<double, double>> points;
+        /** First y recorded per x — lookups without point scans. */
+        std::unordered_map<double, double> byX;
     };
 
     const SeriesData *find(const std::string &series) const;

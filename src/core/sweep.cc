@@ -1,0 +1,150 @@
+#include "core/sweep.hh"
+
+#include "common/rng.hh"
+
+namespace hrsim
+{
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts)
+{
+    jobs_ = opts.jobs != 0 ? opts.jobs
+                           : std::thread::hardware_concurrency();
+    if (jobs_ == 0)
+        jobs_ = 1;
+    // jobs == 1 runs inline on the caller; no pool needed. Otherwise
+    // the pool is fixed for the runner's lifetime: the caller also
+    // drains points, so jobs N means N-1 pool threads plus the
+    // caller.
+    if (jobs_ > 1) {
+        workers_.reserve(jobs_ - 1);
+        for (unsigned i = 0; i + 1 < jobs_; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+SweepRunner::~SweepRunner()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+std::uint64_t
+SweepRunner::pointSeed(std::uint64_t base, std::size_t index)
+{
+    // splitmix64 over a base/index mix: well-distributed, and a pure
+    // function of (base, index) so scheduling cannot perturb it.
+    std::uint64_t state =
+        base ^ (static_cast<std::uint64_t>(index) + 1) *
+                   0x9e3779b97f4a7c15ULL;
+    return splitmix64(state);
+}
+
+void
+SweepRunner::runPoint(Batch &batch, std::size_t index) const
+{
+    try {
+        SystemConfig cfg = (*batch.points)[index];
+        if (opts_.reseedPoints)
+            cfg.sim.seed = pointSeed(cfg.sim.seed, index);
+        (*batch.results)[index] = runSystem(cfg);
+    } catch (...) {
+        (*batch.errors)[index] = std::current_exception();
+    }
+}
+
+void
+SweepRunner::drain(Batch &batch)
+{
+    const std::size_t total = batch.points->size();
+    std::size_t mine = 0;
+    for (;;) {
+        const std::size_t index =
+            batch.next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= total)
+            break;
+        runPoint(batch, index);
+        ++mine;
+    }
+    if (mine > 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        batch.completed += mine;
+        if (batch.completed == total)
+            done_.notify_all();
+    }
+}
+
+void
+SweepRunner::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Batch *batch = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_.wait(lock, [&] {
+                return stop_ || (batch_ != nullptr &&
+                                 generation_ != seen);
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            batch = batch_;
+        }
+        drain(*batch);
+    }
+}
+
+std::vector<RunResult>
+SweepRunner::run(const std::vector<SystemConfig> &points)
+{
+    std::vector<RunResult> results(points.size());
+    std::vector<std::exception_ptr> errors(points.size());
+
+    Batch batch;
+    batch.points = &points;
+    batch.results = &results;
+    batch.errors = &errors;
+
+    if (jobs_ == 1 || points.size() <= 1) {
+        // Serial: identical to calling runSystem() point by point.
+        for (std::size_t i = 0; i < points.size(); ++i)
+            runPoint(batch, i);
+    } else {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            batch_ = &batch;
+            ++generation_;
+        }
+        wake_.notify_all();
+        drain(batch); // the caller is a worker too
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            done_.wait(lock, [&] {
+                return batch.completed == points.size();
+            });
+            batch_ = nullptr;
+        }
+    }
+
+    for (auto &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+    return results;
+}
+
+std::vector<RunResult>
+runSweep(const std::vector<SystemConfig> &points, unsigned jobs)
+{
+    SweepOptions opts;
+    opts.jobs = jobs;
+    SweepRunner runner(opts);
+    return runner.run(points);
+}
+
+} // namespace hrsim

@@ -52,11 +52,25 @@ System::System(const SystemConfig &cfg)
             lastProgress_ = when;
             const auto dst = static_cast<std::size_t>(pkt.dst);
             HRSIM_ASSERT(dst < processors_.size());
-            if (isRequest(pkt.type))
+            if (isRequest(pkt.type)) {
                 memories_[dst]->onRequest(pkt, when);
-            else
+                if (!memActive_[dst]) {
+                    memActive_[dst] = 1;
+                    activeMems_.push_back(pkt.dst);
+                }
+            } else {
                 processors_[dst]->onResponse(pkt, when);
+                // A sleeping processor gains a free slot: it must be
+                // ticked again from the next cycle on.
+                if (procWake_[dst] > when + 1)
+                    procWake_[dst] = when + 1;
+            }
         });
+
+    const auto num_pms = processors_.size();
+    procWake_.assign(num_pms, 0);
+    memActive_.assign(num_pms, 0);
+    activeMems_.reserve(num_pms);
 }
 
 System::~System() = default;
@@ -139,10 +153,36 @@ System::buildWorkload()
 void
 System::tickOnce()
 {
-    for (auto &processor : processors_)
-        processor->tick(now_);
-    for (auto &memory : memories_)
-        memory->tick(now_);
+    if (cfg_.sim.idleSkip) {
+        // Fast path: tick only components with work to do. The
+        // nextWake()/syncSkipped() contract keeps every metric
+        // bit-identical to the every-cycle path below.
+        for (std::size_t i = 0; i < processors_.size(); ++i) {
+            if (procWake_[i] > now_)
+                continue;
+            processors_[i]->tick(now_);
+            procWake_[i] = processors_[i]->nextWake(now_);
+        }
+        for (std::size_t i = 0; i < activeMems_.size();) {
+            const auto pm = static_cast<std::size_t>(activeMems_[i]);
+            memories_[pm]->tick(now_);
+            if (memories_[pm]->pendingResponses() == 0) {
+                // Drained: drop from the active list (order within
+                // the list is immaterial — memories only touch their
+                // own NIC queue).
+                memActive_[pm] = 0;
+                activeMems_[i] = activeMems_.back();
+                activeMems_.pop_back();
+            } else {
+                ++i;
+            }
+        }
+    } else {
+        for (auto &processor : processors_)
+            processor->tick(now_);
+        for (auto &memory : memories_)
+            memory->tick(now_);
+    }
     network_->tick(now_);
 
     // Issue/completion activity also counts as forward progress (a
@@ -210,6 +250,10 @@ System::run()
         tickOnce();
     }
     util.stopMeasurement(end);
+    // Credit cycles skipped by sleeping processors at the horizon so
+    // counters match the every-cycle path exactly.
+    for (auto &processor : processors_)
+        processor->syncSkipped(end);
 
     RunResult result;
     result.avgLatency = latency_.mean();

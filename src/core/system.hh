@@ -55,6 +55,13 @@ struct SimConfig
     std::uint64_t seed = 0x9b1c6e7a2d4f5031ULL;
     /** Cycles without any delivery before declaring a stall. */
     Cycle watchdogCycles = 50000;
+    /**
+     * Skip ticking provably-idle components (saturated processors,
+     * memories with empty completion queues). Metrics are identical
+     * either way — the flag exists so the legacy every-cycle path can
+     * be benchmarked and regression-checked against the fast one.
+     */
+    bool idleSkip = true;
 };
 
 struct SystemConfig
@@ -169,6 +176,14 @@ class System
     Cycle now_ = 0;
     Cycle lastProgress_ = 0;
     std::uint64_t lastActivity_ = 0;
+
+    // Skip-idle bookkeeping (used when cfg_.sim.idleSkip).
+    /** Per-PM cycle of the next required processor tick. */
+    std::vector<Cycle> procWake_;
+    /** PMs whose memory has a non-empty completion queue. */
+    std::vector<NodeId> activeMems_;
+    /** Membership flags for activeMems_ (one per PM). */
+    std::vector<std::uint8_t> memActive_;
 };
 
 /** Build a System from @a cfg, run it, and return the metrics. */

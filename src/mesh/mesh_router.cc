@@ -135,9 +135,26 @@ MeshRouter::pushDownstream(int out, const Flit &flit, Cycle now)
         port.util->recordTransfer(port.link);
 }
 
+bool
+MeshRouter::quiescent() const
+{
+    // Nothing visible to arbitrate or forward this cycle. Staged
+    // flits pushed by neighbors only become visible at commit(), and
+    // an owned-but-starved output port does no work either, so
+    // evaluate() is a provable no-op in this state.
+    for (const auto &buf : inBuf_) {
+        if (!buf.empty())
+            return false;
+    }
+    return outResp_.empty() && outReq_.empty();
+}
+
 void
 MeshRouter::evaluate(Cycle now)
 {
+    if (quiescent())
+        return;
+
     // 1. Collect output requests from unbound inputs with a routable
     //    head flit at their front.
     std::array<std::uint8_t, NumMeshPorts> requests{};

@@ -71,6 +71,9 @@ class MeshRouter
     /** Route, arbitrate and traverse one cycle. */
     void evaluate(Cycle now);
 
+    /** No visible flit anywhere: evaluate() would be a no-op. */
+    bool quiescent() const;
+
     /** End-of-cycle commit of all router FIFOs. */
     void commit();
 

@@ -168,6 +168,14 @@ RingIri::computeAcceptanceUpper()
 void
 RingIri::evaluateLower()
 {
+    // Quiescent fast path: nothing latched, buffered or descending
+    // means there is nothing to divert, forward or inject this cycle.
+    if (!lower_.in.cur && lower_.transitBuf.empty() &&
+        downResp_.empty() && downReq_.empty()) {
+        lowerEscaped_ = 0; // an escaped head that moved on re-decides
+        return;
+    }
+
     // 1. Divert a ring-changing worm's flit into its up queue.
     if (lower_.in.cur &&
         routeLower(*lower_.in.cur) == WormRoute::ChangeRing) {
@@ -205,6 +213,13 @@ RingIri::evaluateLower()
 void
 RingIri::evaluateUpper()
 {
+    // Quiescent fast path, mirroring evaluateLower().
+    if (!upper_.in.cur && upper_.transitBuf.empty() &&
+        upResp_.empty() && upReq_.empty()) {
+        upperEscaped_ = 0;
+        return;
+    }
+
     // 1. Divert a ring-changing worm's flit into its down queue.
     if (upper_.in.cur &&
         routeUpper(*upper_.in.cur) == WormRoute::ChangeRing) {

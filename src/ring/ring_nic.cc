@@ -31,6 +31,15 @@ RingNic::computeAcceptance()
 void
 RingNic::evaluate(Cycle now)
 {
+    // Quiescent fast path: no latch flit and nothing visible in any
+    // queue means there is nothing to sink, forward or inject. (A
+    // worm holding the output link but starved of flits also does no
+    // work, and staged arrivals only become visible at commit.)
+    if (!side_.in.cur && side_.transitBuf.empty() &&
+        outResp_.empty() && outReq_.empty()) {
+        return;
+    }
+
     // 1. Sink a latch flit destined for this PM.
     if (side_.in.cur && !isTransit(*side_.in.cur)) {
         const Flit flit = *side_.in.cur;

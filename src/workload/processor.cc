@@ -43,9 +43,37 @@ Processor::tryIssue(const PendingMiss &miss, Cycle now)
     return true;
 }
 
+Cycle
+Processor::nextWake(Cycle now) const
+{
+    if (stalled_ && outstanding_ >= cfg_.outstandingT) {
+        // Saturated: tryIssue fails on the outstanding check alone
+        // until a completion frees a slot. Local completions are
+        // timed; remote ones re-arm us via the delivery path.
+        return localDue_.empty() ? neverWake : localDue_.front();
+    }
+    return now + 1;
+}
+
+void
+Processor::syncSkipped(Cycle now)
+{
+    if (lastTick_ != neverWake && now > lastTick_ + 1) {
+        // Every skipped cycle would have counted one blocked cycle
+        // and retried an issue that provably fails (nextWake()
+        // precondition), so bulk-credit the counter.
+        HRSIM_ASSERT(stalled_);
+        counters_.blockedCycles += now - lastTick_ - 1;
+        lastTick_ = now - 1;
+    }
+}
+
 void
 Processor::tick(Cycle now)
 {
+    syncSkipped(now);
+    lastTick_ = now;
+
     // Retire local accesses that completed by now.
     while (!localDue_.empty() && localDue_.front() <= now) {
         localDue_.pop_front();

@@ -73,6 +73,18 @@ class Processor : public TrafficSource
     /** Called by the system when a response packet arrives. */
     void onResponse(const Packet &pkt, Cycle now) override;
 
+    /**
+     * Skip-idle contract: while blocked with all T transactions
+     * outstanding the processor's tick is pure bookkeeping (one
+     * blocked cycle counted, a retry that cannot succeed), so it
+     * sleeps until the next local completion — or, with none in
+     * flight, until a response delivery re-arms it.
+     */
+    Cycle nextWake(Cycle now) const override;
+
+    /** Credit blockedCycles for ticks skipped while asleep. */
+    void syncSkipped(Cycle now) override;
+
     /** Also record remote latencies into @a histogram (optional). */
     void
     setHistogram(Histogram *histogram) override
@@ -107,6 +119,8 @@ class Processor : public TrafficSource
     int outstanding_ = 0;
     bool stalled_ = false;
     PendingMiss stalledMiss_{invalidNode, true};
+    /** Cycle of the last tick() (neverWake until the first one). */
+    Cycle lastTick_ = neverWake;
 
     /** Completion times of in-flight local accesses (sorted). */
     std::deque<Cycle> localDue_;

@@ -20,6 +20,10 @@ namespace hrsim
 class TrafficSource
 {
   public:
+    /** Wake sentinel: the source needs no tick until an external
+     *  event (a response delivery) re-arms it. */
+    static constexpr Cycle neverWake = ~Cycle{0};
+
     virtual ~TrafficSource() = default;
 
     /** Advance one cycle: generate and issue work. */
@@ -33,6 +37,29 @@ class TrafficSource
 
     /** Is the source blocked from issuing? */
     virtual bool blocked() const = 0;
+
+    /**
+     * Earliest cycle this source next needs a tick, queried right
+     * after tick(@a now). The driver promises to tick the source at
+     * (or before, if a response delivery re-arms it earlier) the
+     * returned cycle. The default — every cycle — is always safe;
+     * sources return a later cycle (or neverWake) only when the
+     * skipped ticks are provably free of side effects beyond what
+     * syncSkipped() reconstructs.
+     */
+    virtual Cycle
+    nextWake(Cycle now) const
+    {
+        return now + 1;
+    }
+
+    /**
+     * Account for ticks skipped in (lastTick, @a now) under the
+     * nextWake() contract; called before a wake-up tick and at end of
+     * run so counters match an every-cycle (skip-free) simulation
+     * exactly. Default: nothing to reconstruct.
+     */
+    virtual void syncSkipped(Cycle now) { (void)now; }
 
     /** Also record remote latencies into @a histogram (optional). */
     virtual void setHistogram(Histogram *histogram) = 0;

@@ -161,7 +161,7 @@ TEST(StagedFifoDeath, PushBeyondCapacityPanics)
 TEST(StagedFifoDeath, PopEmptyPanics)
 {
     StagedFifo<int> fifo(1);
-    EXPECT_DEATH(fifo.pop(), "items_");
+    EXPECT_DEATH(fifo.pop(), "visible_");
 }
 
 } // namespace

@@ -7,14 +7,19 @@
  *   hrsim_cli --ring 3:3:6 --line 64 --r 0.3 --t 4
  *   hrsim_cli --mesh 8 --line 128 --buffers 1 --c 0.08 --csv
  *   hrsim_cli --ring 5:3:6 --speed 2 --slotted --seed 7
+ *   hrsim_cli --sweep both --line 64 --jobs 4
+ *   hrsim_cli --sweep ring --line 32 --list-sweep
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/log.hh"
+#include "core/analysis.hh"
+#include "core/sweep.hh"
 #include "core/system.hh"
 
 namespace
@@ -47,7 +52,18 @@ usage(const char *argv0)
         "  --batch CYCLES    measured batch length (4000)\n"
         "  --batches N       number of measured batches (5)\n"
         "  --seed N          master RNG seed\n"
-        "  --csv             one machine-readable CSV line\n",
+        "  --csv             one machine-readable CSV line\n"
+        "\n"
+        "sweep mode (instead of a single point):\n"
+        "  --sweep KIND      run the standard figure sweep, KIND =\n"
+        "                    ring (Table 2 ladder) | mesh (square\n"
+        "                    widths) | both; prints one CSV row per\n"
+        "                    point, in a fixed order\n"
+        "  --jobs N          sweep worker threads (default 1; 1 runs\n"
+        "                    the points serially, exactly as repeated\n"
+        "                    single-point invocations; any N yields\n"
+        "                    bit-identical output)\n"
+        "  --list-sweep      print the sweep's points and exit\n",
         argv0);
 }
 
@@ -67,6 +83,72 @@ argLong(int argc, char **argv, int &i)
     return std::atol(argv[++i]);
 }
 
+const char *
+argString(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        hrsim::fatal(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+}
+
+void
+printCsvHeader()
+{
+    std::printf("label,processors,line,R,C,T,latency,ci95,"
+                "p50,p95,p99,util,samples,throughput_per_pm\n");
+}
+
+void
+printCsvRow(const std::string &label, const hrsim::SystemConfig &cfg,
+            const hrsim::RunResult &result)
+{
+    std::printf("%s,%d,%u,%.3f,%.4f,%d,%.2f,%.2f,%.2f,%.2f,"
+                "%.2f,%.4f,%llu,%.6f\n",
+                label.c_str(), cfg.numProcessors(),
+                cfg.cacheLineBytes, cfg.workload.localityR,
+                cfg.workload.missRateC, cfg.workload.outstandingT,
+                result.avgLatency, result.latencyCI95,
+                result.latencyP50, result.latencyP95,
+                result.latencyP99, result.networkUtilization,
+                static_cast<unsigned long long>(result.samples),
+                result.throughputPerPm);
+}
+
+/**
+ * The standard figure sweep: the Table 2 ring ladder and/or the
+ * square-mesh widths, every point inheriting the workload and
+ * measurement settings of @a base.
+ */
+void
+buildSweep(const hrsim::SystemConfig &base, const std::string &kind,
+           std::vector<hrsim::SystemConfig> &points,
+           std::vector<std::string> &labels)
+{
+    using namespace hrsim;
+    if (kind != "ring" && kind != "mesh" && kind != "both")
+        fatal("--sweep expects ring, mesh or both, got: " + kind);
+    if (kind == "ring" || kind == "both") {
+        for (const std::string &topo : standardRingLadder(
+                 static_cast<int>(base.cacheLineBytes))) {
+            SystemConfig cfg = base;
+            cfg.kind = NetworkKind::HierarchicalRing;
+            cfg.ringTopo = RingTopology::parse(topo);
+            points.push_back(cfg);
+            labels.push_back("ring " + topo);
+        }
+    }
+    if (kind == "mesh" || kind == "both") {
+        for (const int width : standardMeshWidths()) {
+            SystemConfig cfg = base;
+            cfg.kind = NetworkKind::Mesh;
+            cfg.meshWidth = width;
+            points.push_back(cfg);
+            labels.push_back("mesh " + std::to_string(width) + "x" +
+                             std::to_string(width));
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -78,6 +160,9 @@ main(int argc, char **argv)
     bool have_network = false;
     bool csv = false;
     std::string label;
+    std::string sweep_kind;
+    bool list_sweep = false;
+    unsigned jobs = 1;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -135,6 +220,15 @@ main(int argc, char **argv)
                     argLong(argc, argv, i));
             } else if (!std::strcmp(arg, "--csv")) {
                 csv = true;
+            } else if (!std::strcmp(arg, "--sweep")) {
+                sweep_kind = argString(argc, argv, i);
+            } else if (!std::strcmp(arg, "--list-sweep")) {
+                list_sweep = true;
+            } else if (!std::strcmp(arg, "--jobs")) {
+                const long n = argLong(argc, argv, i);
+                if (n < 1)
+                    fatal("--jobs needs a worker count >= 1");
+                jobs = static_cast<unsigned>(n);
             } else if (!std::strcmp(arg, "--help") ||
                        !std::strcmp(arg, "-h")) {
                 usage(argv[0]);
@@ -143,25 +237,37 @@ main(int argc, char **argv)
                 fatal(std::string("unknown option: ") + arg);
             }
         }
+        if (!sweep_kind.empty() || list_sweep) {
+            if (sweep_kind.empty())
+                sweep_kind = "both";
+            std::vector<SystemConfig> points;
+            std::vector<std::string> labels;
+            buildSweep(cfg, sweep_kind, points, labels);
+            if (list_sweep) {
+                std::printf("label,processors\n");
+                for (std::size_t p = 0; p < points.size(); ++p) {
+                    std::printf("%s,%d\n", labels[p].c_str(),
+                                points[p].numProcessors());
+                }
+                return 0;
+            }
+            SweepOptions opts;
+            opts.jobs = jobs;
+            SweepRunner runner(opts);
+            const std::vector<RunResult> results = runner.run(points);
+            printCsvHeader();
+            for (std::size_t p = 0; p < points.size(); ++p)
+                printCsvRow(labels[p], points[p], results[p]);
+            return 0;
+        }
         if (!have_network)
             fatal("one of --ring or --mesh is required");
 
         const RunResult result = runSystem(cfg);
 
         if (csv) {
-            std::printf("label,processors,line,R,C,T,latency,ci95,"
-                        "p50,p95,p99,util,samples,throughput_per_pm\n");
-            std::printf("%s,%d,%u,%.3f,%.4f,%d,%.2f,%.2f,%.2f,%.2f,"
-                        "%.2f,%.4f,%llu,%.6f\n",
-                        label.c_str(), cfg.numProcessors(),
-                        cfg.cacheLineBytes, cfg.workload.localityR,
-                        cfg.workload.missRateC,
-                        cfg.workload.outstandingT, result.avgLatency,
-                        result.latencyCI95, result.latencyP50,
-                        result.latencyP95, result.latencyP99,
-                        result.networkUtilization,
-                        static_cast<unsigned long long>(result.samples),
-                        result.throughputPerPm);
+            printCsvHeader();
+            printCsvRow(label, cfg, result);
             return 0;
         }
 
