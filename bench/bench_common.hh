@@ -36,9 +36,17 @@ inline unsigned
 benchJobs()
 {
     if (const char *env = std::getenv("HRSIM_JOBS")) {
-        const long jobs = std::atol(env);
-        if (jobs >= 1)
+        char *end = nullptr;
+        const long jobs = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || jobs < 1) {
+            std::fprintf(stderr,
+                         "warning: ignoring invalid HRSIM_JOBS=\"%s\" "
+                         "(want an integer >= 1); using hardware "
+                         "concurrency\n",
+                         env);
+        } else {
             return static_cast<unsigned>(jobs);
+        }
     }
     return 0; // SweepRunner resolves 0 to hardware_concurrency()
 }

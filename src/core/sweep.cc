@@ -94,8 +94,17 @@ SweepRunner::workerLoop()
                 return;
             seen = generation_;
             batch = batch_;
+            // Attach under the same lock as the capture: run() must
+            // not destroy the batch while any worker still holds a
+            // pointer to it, even a late worker that finds no work.
+            ++batch->attached;
         }
         drain(*batch);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--batch->attached == 0)
+                done_.notify_all();
+        }
     }
 }
 
@@ -123,9 +132,14 @@ SweepRunner::run(const std::vector<SystemConfig> &points)
         wake_.notify_all();
         drain(batch); // the caller is a worker too
         {
+            // Wait for every point to finish AND every worker to let
+            // go of the batch before destroying it: a worker that
+            // captured batch_ after the last point was claimed still
+            // enters drain() and touches batch.next / batch.points.
             std::unique_lock<std::mutex> lock(mu_);
             done_.wait(lock, [&] {
-                return batch.completed == points.size();
+                return batch.completed == points.size() &&
+                       batch.attached == 0;
             });
             batch_ = nullptr;
         }

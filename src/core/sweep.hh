@@ -78,6 +78,7 @@ class SweepRunner
         std::vector<std::exception_ptr> *errors = nullptr;
         std::atomic<std::size_t> next{0};
         std::size_t completed = 0; //!< guarded by mu_
+        std::size_t attached = 0;  //!< workers inside drain(); mu_
     };
 
     void workerLoop();

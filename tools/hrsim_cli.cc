@@ -62,7 +62,8 @@ usage(const char *argv0)
         "  --jobs N          sweep worker threads (default 1; 1 runs\n"
         "                    the points serially, exactly as repeated\n"
         "                    single-point invocations; any N yields\n"
-        "                    bit-identical output)\n"
+        "                    bit-identical output; only meaningful\n"
+        "                    with --sweep)\n"
         "  --list-sweep      print the sweep's points and exit\n",
         argv0);
 }
@@ -163,6 +164,7 @@ main(int argc, char **argv)
     std::string sweep_kind;
     bool list_sweep = false;
     unsigned jobs = 1;
+    bool jobs_given = false;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -229,6 +231,7 @@ main(int argc, char **argv)
                 if (n < 1)
                     fatal("--jobs needs a worker count >= 1");
                 jobs = static_cast<unsigned>(n);
+                jobs_given = true;
             } else if (!std::strcmp(arg, "--help") ||
                        !std::strcmp(arg, "-h")) {
                 usage(argv[0]);
@@ -262,6 +265,11 @@ main(int argc, char **argv)
         }
         if (!have_network)
             fatal("one of --ring or --mesh is required");
+        if (jobs_given) {
+            std::fprintf(stderr,
+                         "warning: --jobs only applies to --sweep "
+                         "mode; running the single point serially\n");
+        }
 
         const RunResult result = runSystem(cfg);
 
