@@ -25,7 +25,7 @@ main()
             SystemConfig cfg = meshConfig(width, 64, 4, 4, 1.0);
             cfg.meshRoundRobin = rr;
             report.add(series, width * width,
-                       runSystem(cfg).avgLatency);
+                       runPoint(series, cfg).avgLatency);
         }
     }
     emit(report);

@@ -24,7 +24,7 @@ main()
             SystemConfig cfg = ringConfig(topo, 32, 4, 1.0);
             cfg.ringBypass = bypass;
             report.add(series, cfg.numProcessors(),
-                       runSystem(cfg).avgLatency);
+                       runPoint(series, cfg).avgLatency);
         }
     }
     emit(report);

@@ -26,7 +26,7 @@ main()
             SystemConfig cfg = ringConfig(topo, 64, 4, 1.0);
             cfg.ringIriQueuePackets = packets;
             report.add(series, cfg.numProcessors(),
-                       runSystem(cfg).avgLatency);
+                       runPoint(series, cfg).avgLatency);
         }
     }
     emit(report);

@@ -25,7 +25,7 @@ main()
             SystemConfig cfg = ringConfig(topo, 64, 4, 0.2);
             cfg.ringWrapRegion = wrap;
             report.add(series, cfg.numProcessors(),
-                       runSystem(cfg).avgLatency);
+                       runPoint(series, cfg).avgLatency);
         }
     }
     emit(report);

@@ -6,21 +6,31 @@
  * fresh simulations, prints the series as an aligned table, appends
  * machine-readable CSV, and (where the paper calls one out) prints
  * the derived statistic such as the ring/mesh cross-over point.
+ *
+ * Setting HRSIM_METRICS_OUT=FILE additionally serializes every point
+ * the binary simulates — full metric registry plus run manifest — to
+ * FILE in the standard hrsim-metrics-v1 JSON schema, labelled
+ * "<series> P=<processors>" so each plotted sample can be traced back
+ * to its underlying counters (see EXPERIMENTS.md).
  */
 
 #ifndef HRSIM_BENCH_BENCH_COMMON_HH
 #define HRSIM_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/analysis.hh"
 #include "core/experiment.hh"
 #include "core/sweep.hh"
 #include "core/system.hh"
+#include "obs/manifest.hh"
+#include "obs/metric_sink.hh"
 #include "workload/region.hh"
 
 namespace hrsim::bench
@@ -94,6 +104,85 @@ meshConfig(int width, std::uint32_t line_bytes,
     return cfg;
 }
 
+/**
+ * Process-wide HRSIM_METRICS_OUT collector: accumulates the metric
+ * point of every simulated config and writes one hrsim-metrics-v1
+ * JSON artifact when the binary exits. Disabled (and free) unless the
+ * environment variable is set.
+ */
+class BenchMetricsDump
+{
+  public:
+    static BenchMetricsDump &
+    instance()
+    {
+        static BenchMetricsDump dump;
+        return dump;
+    }
+
+    void
+    add(const std::string &series, const SystemConfig &cfg,
+        const RunResult &result)
+    {
+        if (path_.empty())
+            return;
+        if (points_.empty())
+            baseCfg_ = cfg;
+        points_.push_back(metricPoint(
+            series + " P=" + std::to_string(cfg.numProcessors()),
+            result));
+        nodeCycles_ += static_cast<double>(result.cycles) *
+                       cfg.numProcessors();
+    }
+
+    ~BenchMetricsDump()
+    {
+        if (path_.empty() || points_.empty())
+            return;
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        unsigned jobs = benchJobs();
+        if (jobs == 0)
+            jobs = std::thread::hardware_concurrency();
+        try {
+            writeMetricsFile(path_, "json",
+                             makeManifest(baseCfg_, jobs, wall,
+                                          nodeCycles_),
+                             points_);
+        } catch (const std::exception &err) {
+            std::fprintf(stderr,
+                         "warning: HRSIM_METRICS_OUT write failed: "
+                         "%s\n",
+                         err.what());
+        }
+    }
+
+  private:
+    BenchMetricsDump()
+    {
+        if (const char *env = std::getenv("HRSIM_METRICS_OUT"))
+            path_ = env;
+    }
+
+    std::string path_;
+    std::vector<MetricPoint> points_;
+    SystemConfig baseCfg_;
+    double nodeCycles_ = 0.0;
+    std::chrono::steady_clock::time_point start_ =
+        std::chrono::steady_clock::now();
+};
+
+/** runSystem() plus HRSIM_METRICS_OUT bookkeeping for one point. */
+inline RunResult
+runPoint(const std::string &series, const SystemConfig &cfg)
+{
+    RunResult result = runSystem(cfg);
+    BenchMetricsDump::instance().add(series, cfg, result);
+    return result;
+}
+
 /** Run @a points on the shared pool, adding avgLatency per point. */
 inline void
 sweepIntoReport(Report &report, const std::string &series,
@@ -103,6 +192,8 @@ sweepIntoReport(Report &report, const std::string &series,
     for (std::size_t i = 0; i < points.size(); ++i) {
         report.add(series, points[i].numProcessors(),
                    results[i].avgLatency);
+        BenchMetricsDump::instance().add(series, points[i],
+                                         results[i]);
     }
 }
 

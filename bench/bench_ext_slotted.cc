@@ -32,7 +32,7 @@ main()
                 SystemConfig cfg = ringConfig(topo, line, 4, 1.0);
                 cfg.ringSlotted = slotted;
                 report.add(series, cfg.numProcessors(),
-                           runSystem(cfg).avgLatency);
+                           runPoint(series, cfg).avgLatency);
             }
         }
         emit(report);

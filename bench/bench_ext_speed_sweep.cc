@@ -34,7 +34,7 @@ main()
         for (int j = 2; j * 18 <= 130; ++j) {
             const std::string topo = std::to_string(j) + ":3:6";
             SystemConfig cfg = ringConfig(topo, 64, 4, 1.0, speed);
-            const RunResult result = runSystem(cfg);
+            const RunResult result = runPoint(series, cfg);
             latency.add(series, j * 18, result.avgLatency);
             util.add(series, j * 18,
                      100.0 * result.ringLevelUtilization[0]);

@@ -29,9 +29,10 @@ main()
                  {2, 4, 6, 8, 12, 16, 24, 32, 48, 64}) {
                 SystemConfig cfg = ringConfig(
                     std::to_string(nodes), line, t, 1.0);
-                const RunResult result = runSystem(cfg);
-                report.add("T=" + std::to_string(t), nodes,
-                           result.avgLatency);
+                const std::string series =
+                    "T=" + std::to_string(t);
+                const RunResult result = runPoint(series, cfg);
+                report.add(series, nodes, result.avgLatency);
             }
         }
         emit(report);

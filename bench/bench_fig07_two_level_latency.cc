@@ -52,13 +52,13 @@ main()
         {
             SystemConfig cfg =
                 ringConfig(std::to_string(m), line, 4, 1.0);
-            report.add(series, m, runSystem(cfg).avgLatency);
+            report.add(series, m, runPoint(series, cfg).avgLatency);
         }
         for (int k = 2; k * m <= 64; ++k) {
             const std::string topo =
                 std::to_string(k) + ":" + std::to_string(m);
             SystemConfig cfg = ringConfig(topo, line, 4, 1.0);
-            report.add(series, k * m, runSystem(cfg).avgLatency);
+            report.add(series, k * m, runPoint(series, cfg).avgLatency);
         }
     }
     emit(report);

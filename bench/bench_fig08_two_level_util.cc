@@ -52,7 +52,7 @@ main()
             const std::string topo =
                 std::to_string(k) + ":" + std::to_string(m);
             SystemConfig cfg = ringConfig(topo, line, 4, 1.0);
-            const RunResult result = runSystem(cfg);
+            const RunResult result = runPoint(series, cfg);
             global.add(series, k * m,
                        100.0 * result.ringLevelUtilization[0]);
             local.add(series, k * m,

@@ -51,13 +51,13 @@ main()
         {
             const std::string topo = "3:" + std::to_string(m);
             SystemConfig cfg = ringConfig(topo, line, 4, 1.0);
-            report.add(series, 3 * m, runSystem(cfg).avgLatency);
+            report.add(series, 3 * m, runPoint(series, cfg).avgLatency);
         }
         for (int j = 2; j * 3 * m <= 130; ++j) {
             const std::string topo =
                 std::to_string(j) + ":3:" + std::to_string(m);
             SystemConfig cfg = ringConfig(topo, line, 4, 1.0);
-            report.add(series, j * 3 * m, runSystem(cfg).avgLatency);
+            report.add(series, j * 3 * m, runPoint(series, cfg).avgLatency);
         }
     }
     emit(report);

@@ -47,7 +47,7 @@ main()
             const std::string topo =
                 std::to_string(j) + ":3:" + std::to_string(m);
             SystemConfig cfg = ringConfig(topo, line, 4, 1.0);
-            const RunResult result = runSystem(cfg);
+            const RunResult result = runPoint(series, cfg);
             report.add(series, j * 3 * m,
                        100.0 * result.ringLevelUtilization[0]);
         }

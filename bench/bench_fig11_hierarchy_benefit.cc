@@ -49,7 +49,7 @@ main()
             for (const std::string &topo : ladder.topologies) {
                 SystemConfig cfg = ringConfig(topo, 32, 2, r);
                 report.add(ladder.name, cfg.numProcessors(),
-                           runSystem(cfg).avgLatency);
+                           runPoint(ladder.name, cfg).avgLatency);
             }
         }
         emit(report);

@@ -24,7 +24,8 @@ main()
     for (const std::uint32_t line : {16u, 32u, 64u, 128u}) {
         for (const int width : standardMeshWidths(121)) {
             SystemConfig cfg = meshConfig(width, line, 4, 4, 1.0);
-            const RunResult result = runSystem(cfg);
+            const RunResult result =
+                runPoint(std::to_string(line) + "B", cfg);
             report.add(std::to_string(line) + "B", width * width,
                        100.0 * result.networkUtilization);
         }

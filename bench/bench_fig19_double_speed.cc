@@ -52,7 +52,7 @@ main()
                 SystemConfig cfg =
                     ringConfig(topo, line, 4, 1.0, speed);
                 report.add(series, j * 3 * m,
-                           runSystem(cfg).avgLatency);
+                           runPoint(series, cfg).avgLatency);
             }
         }
     }

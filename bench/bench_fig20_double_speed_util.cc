@@ -49,7 +49,7 @@ main()
                     std::to_string(j) + ":3:" + std::to_string(m);
                 SystemConfig cfg =
                     ringConfig(topo, line, 4, 1.0, speed);
-                const RunResult result = runSystem(cfg);
+                const RunResult result = runPoint(series, cfg);
                 report.add(series, j * 3 * m,
                            100.0 * result.ringLevelUtilization[0]);
             }

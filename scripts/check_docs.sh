@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Fail when hrsim_cli --help mentions a flag that README.md's CLI
+# reference does not document. Run as a ctest (docs_check) so the CLI
+# table cannot silently drift out of date.
+#
+# Usage: scripts/check_docs.sh HRSIM_CLI README
+set -u
+
+if [[ $# -ne 2 ]]; then
+    echo "usage: $0 HRSIM_CLI README" >&2
+    exit 2
+fi
+
+cli=$1
+readme=$2
+
+if [[ ! -x "$cli" ]]; then
+    echo "error: $cli is not executable" >&2
+    exit 2
+fi
+if [[ ! -r "$readme" ]]; then
+    echo "error: cannot read $readme" >&2
+    exit 2
+fi
+
+missing=0
+# Every long option the help text mentions, deduplicated.
+for flag in $("$cli" --help 2>&1 | grep -oE -- '--[a-z][a-z-]*' | sort -u); do
+    # Word-boundary match so --r does not accept --ring as coverage.
+    if ! grep -qE -- "${flag}([^a-z-]|$)" "$readme"; then
+        echo "README.md does not document $flag" >&2
+        missing=1
+    fi
+done
+
+if [[ $missing -ne 0 ]]; then
+    echo "docs check failed: update the CLI reference in $readme" >&2
+    exit 1
+fi
+echo "docs check passed: every hrsim_cli flag is documented"

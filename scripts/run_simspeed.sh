@@ -2,15 +2,21 @@
 # Run the simulator-throughput benchmark and emit BENCH_simspeed.json
 # (google-benchmark JSON: node-cycles/s per config, fast vs legacy
 # tick loops, and sweep-engine points/s) so the performance trajectory
-# is tracked across PRs.
+# is tracked across PRs. Also emits a metrics artifact with hrsim_cli
+# and validates it against scripts/metrics_schema.json, so a schema
+# regression fails the same CI step that tracks performance.
 #
-# Usage: scripts/run_simspeed.sh [output.json]
+# Usage: scripts/run_simspeed.sh [output.json] [metrics.json]
 #   BUILD_DIR=build   build tree containing bench/bench_simspeed
 set -euo pipefail
 
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=${1:-BENCH_simspeed.json}
+METRICS_OUT=${2:-BENCH_simspeed_metrics.json}
 BENCH="$BUILD_DIR/bench/bench_simspeed"
+CLI="$BUILD_DIR/tools/hrsim_cli"
+CHECK="$BUILD_DIR/tools/metrics_check"
+SCHEMA="$(dirname "$0")/metrics_schema.json"
 
 if [[ ! -x "$BENCH" ]]; then
     echo "error: $BENCH not built (cmake -B $BUILD_DIR -S . && \
@@ -25,3 +31,13 @@ fi
     --benchmark_min_time="${HRSIM_BENCH_MIN_TIME:-0.5}"
 
 echo "wrote $OUT"
+
+if [[ -x "$CLI" && -x "$CHECK" ]]; then
+    "$CLI" --ring 3:3:12 --warmup 1000 --batch 1000 --batches 3 \
+        --metrics-out "$METRICS_OUT" >/dev/null
+    "$CHECK" "$SCHEMA" "$METRICS_OUT"
+    echo "wrote $METRICS_OUT (schema-valid)"
+else
+    echo "warning: hrsim_cli/metrics_check not built; skipping the \
+metrics schema check" >&2
+fi

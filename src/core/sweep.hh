@@ -14,6 +14,12 @@
  * produce bit-identical RunResults in the same order, regardless of
  * scheduling. The optional reseedPoints mode derives per-point seeds
  * from (base seed, point index) — also independent of scheduling.
+ *
+ * The contract extends through the observability layer: each point's
+ * RunResult carries the materialized MetricRegistry samples
+ * (RunResult::metrics), which are part of the same pure function of
+ * the config — wall-clock timing lives only in the run manifest, so
+ * `--jobs 1` and `--jobs N` serialize byte-identical metric sections.
  */
 
 #ifndef HRSIM_CORE_SWEEP_HH

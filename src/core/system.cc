@@ -71,6 +71,8 @@ System::System(const SystemConfig &cfg)
     procWake_.assign(num_pms, 0);
     memActive_.assign(num_pms, 0);
     activeMems_.reserve(num_pms);
+
+    registerSystemMetrics();
 }
 
 System::~System() = default;
@@ -151,8 +153,68 @@ System::buildWorkload()
 }
 
 void
+System::registerSystemMetrics()
+{
+    metrics_.addCounter("workload.misses_generated",
+                        &counters_.missesGenerated);
+    metrics_.addCounter("workload.remote_issued",
+                        &counters_.remoteIssued);
+    metrics_.addCounter("workload.remote_completed",
+                        &counters_.remoteCompleted);
+    metrics_.addCounter("workload.local_issued",
+                        &counters_.localIssued);
+    metrics_.addCounter("workload.local_completed",
+                        &counters_.localCompleted);
+    metrics_.addCounter("workload.blocked_cycles",
+                        &counters_.blockedCycles);
+
+    metrics_.addGauge("latency.avg",
+                      [this]() { return latency_.mean(); });
+    metrics_.addGauge("latency.ci95",
+                      [this]() { return latency_.halfWidth95(); });
+    metrics_.addCounter("latency.samples",
+                        [this]() { return latency_.sampleCount(); });
+    metrics_.addHistogram("latency", &histogram_);
+
+    metrics_.addGauge("sim.cycles", [this]() {
+        return static_cast<double>(now_);
+    });
+    metrics_.addGauge("sim.outstanding", [this]() {
+        return static_cast<double>(totalOutstanding());
+    });
+    metrics_.addGauge("sim.pending_responses", [this]() {
+        return static_cast<double>(totalPendingResponses());
+    });
+
+    metrics_.addGauge("net.util", [this]() {
+        return network_->utilization().totalUtilization();
+    });
+    metrics_.addGauge("throughput.per_pm", [this]() {
+        const double measured =
+            static_cast<double>(cfg_.sim.batchCycles) *
+            cfg_.sim.numBatches;
+        return static_cast<double>(latency_.sampleCount()) /
+               (measured *
+                static_cast<double>(network_->numProcessors()));
+    });
+
+    network_->registerMetrics(metrics_);
+}
+
+void
+System::setTracer(FlitTracer *tracer)
+{
+    tracer_ = tracer;
+    network_->setTracer(tracer);
+}
+
+void
 System::tickOnce()
 {
+    if constexpr (FlitTracer::compiledIn()) {
+        if (tracer_)
+            tracer_->setCycle(now_);
+    }
     if (cfg_.sim.idleSkip) {
         // Fast path: tick only components with work to do. The
         // nextWake()/syncSkipped() contract keeps every metric
@@ -244,10 +306,19 @@ System::run()
     const Cycle end = latency_.endCycle();
     UtilizationTracker &util = network_->utilization();
 
+    std::vector<MetricSnapshot> snapshots;
     while (now_ < end) {
         if (now_ == cfg_.sim.warmupCycles)
             util.startMeasurement(now_);
         tickOnce();
+        if (cfg_.sim.metricsEvery != 0 && now_ < end &&
+            now_ % cfg_.sim.metricsEvery == 0) {
+            // Snapshots are read-only: markSnapshot() provisionally
+            // times the utilization window and the registry samplers
+            // only read component state.
+            util.markSnapshot(now_);
+            snapshots.push_back({now_, metrics_.snapshot()});
+        }
     }
     util.stopMeasurement(end);
     // Credit cycles skipped by sleeping processors at the horizon so
@@ -282,6 +353,8 @@ System::run()
     result.throughputPerPm =
         static_cast<double>(result.samples) /
         (measured * static_cast<double>(network_->numProcessors()));
+    result.metrics = metrics_.snapshot();
+    result.snapshots = std::move(snapshots);
     return result;
 }
 

@@ -7,6 +7,12 @@
  * measurement machinery, then runs the batch-means protocol and
  * returns the paper's metrics: average remote round-trip latency and
  * network / per-ring-level utilization.
+ *
+ * Every system also owns a MetricRegistry (src/obs/) into which it
+ * and its network register named counters and gauges at
+ * construction; run() materializes them into RunResult::metrics
+ * (plus periodic RunResult::snapshots when SimConfig::metricsEvery
+ * is set), and setTracer() attaches an opt-in flit-event tracer.
  */
 
 #ifndef HRSIM_CORE_SYSTEM_HH
@@ -18,6 +24,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/metric_registry.hh"
 #include "proto/packet_factory.hh"
 #include "ring/ring_network.hh"
 #include "sim/network.hh"
@@ -62,6 +69,13 @@ struct SimConfig
      * be benchmarked and regression-checked against the fast one.
      */
     bool idleSkip = true;
+    /**
+     * Record a mid-run metric snapshot every N cycles (0 = none, the
+     * default). Snapshots land in RunResult::snapshots; reading them
+     * never perturbs the simulation, so results stay bit-identical
+     * with snapshots on or off.
+     */
+    Cycle metricsEvery = 0;
 };
 
 struct SystemConfig
@@ -128,6 +142,15 @@ struct RunResult
     Cycle cycles = 0;
     /** Remote completions per cycle per PM over the whole run. */
     double throughputPerPm = 0.0;
+
+    /**
+     * End-of-run materialization of the system's MetricRegistry,
+     * sorted by name. Deterministic: a pure function of the config,
+     * byte-identical between serial and parallel sweeps.
+     */
+    std::vector<MetricSample> metrics;
+    /** Mid-run snapshots (SimConfig::metricsEvery; empty if 0). */
+    std::vector<MetricSnapshot> snapshots;
 };
 
 class System
@@ -159,9 +182,21 @@ class System
     const BatchMeans &latency() const { return latency_; }
     const Histogram &latencyHistogram() const { return histogram_; }
 
+    /** Every named metric of this system (see src/obs/). */
+    const MetricRegistry &metrics() const { return metrics_; }
+
+    /**
+     * Attach (or detach, with nullptr) a flit-event tracer. The
+     * tracer observes inject/hop/eject events without touching any
+     * simulation state, so results are identical with tracing on or
+     * off. Not owned; must outlive the System or be detached first.
+     */
+    void setTracer(FlitTracer *tracer);
+
   private:
     void buildNetwork();
     void buildWorkload();
+    void registerSystemMetrics();
     void tickOnce();
 
     SystemConfig cfg_;
@@ -172,6 +207,8 @@ class System
     BatchMeans latency_;
     Histogram histogram_;
     WorkloadCounters counters_;
+    MetricRegistry metrics_;
+    FlitTracer *tracer_ = nullptr;
 
     Cycle now_ = 0;
     Cycle lastProgress_ = 0;

@@ -1,6 +1,7 @@
 #include "mesh/mesh_network.hh"
 
 #include "common/log.hh"
+#include "obs/metric_registry.hh"
 
 namespace hrsim
 {
@@ -24,6 +25,7 @@ MeshNetwork::MeshNetwork(const Params &params)
             [this](const Packet &pkt, Cycle when) {
                 delivered(pkt, when);
             });
+        routers_.back()->setTracerSlot(&tracer_);
     }
 
     meshGroup_ = util_.group("mesh");
@@ -71,6 +73,8 @@ MeshNetwork::inject(NodeId pm, const Packet &pkt)
     if (pkt.dst == broadcastNode)
         fatal("MeshNetwork: meshes have no broadcast; send unicasts");
     routers_[static_cast<std::size_t>(pm)]->inject(pkt);
+    HRSIM_TRACE_FLIT(tracer_, FlitEvent::Inject, pkt.id, pm,
+                     routers_[static_cast<std::size_t>(pm)]->flitCount());
 }
 
 void
@@ -97,6 +101,21 @@ double
 MeshNetwork::networkUtilization() const
 {
     return util_.groupUtilization(meshGroup_);
+}
+
+void
+MeshNetwork::registerMetrics(MetricRegistry &registry) const
+{
+    registry.addGauge("mesh.util",
+                      [this]() { return networkUtilization(); });
+    for (std::size_t id = 0; id < routers_.size(); ++id) {
+        const MeshRouter *router = routers_[id].get();
+        registry.addGauge("mesh.r" + std::to_string(id) + ".flits",
+                          [router]() {
+                              return static_cast<double>(
+                                  router->flitCount());
+                          });
+    }
 }
 
 MeshRouter &

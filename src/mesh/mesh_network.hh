@@ -49,6 +49,7 @@ class MeshNetwork : public Network
         return util_;
     }
     std::uint64_t flitsInFlight() const override;
+    void registerMetrics(MetricRegistry &registry) const override;
 
     /** Mesh-link utilization in [0, 1] (the paper's Figure 13). */
     double networkUtilization() const;

@@ -133,6 +133,11 @@ MeshRouter::pushDownstream(int out, const Flit &flit, Cycle now)
     port.neighbor->inBuf_[static_cast<std::size_t>(facing)].push(flit);
     if (port.util)
         port.util->recordTransfer(port.link);
+    HRSIM_TRACE_FLIT(
+        tracerSlot_ ? *tracerSlot_ : nullptr, FlitEvent::Hop,
+        flit.packet, id_,
+        port.neighbor->inBuf_[static_cast<std::size_t>(facing)]
+            .totalSize());
 }
 
 bool

@@ -22,6 +22,7 @@
 
 #include "common/staged_fifo.hh"
 #include "common/types.hh"
+#include "obs/flit_trace.hh"
 #include "proto/packet.hh"
 #include "stats/utilization.hh"
 
@@ -81,6 +82,12 @@ class MeshRouter
     void inject(const Packet &pkt);
     void setDeliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
+    /**
+     * Point at the owning network's tracer pointer so hop events
+     * follow --trace-flits attachment after construction.
+     */
+    void setTracerSlot(FlitTracer *const *slot) { tracerSlot_ = slot; }
+
     NodeId id() const { return id_; }
 
     /** Directional input buffer (for tests). */
@@ -134,6 +141,7 @@ class MeshRouter
     std::array<Output, NumMeshPorts> out_;
 
     DeliverFn deliver_;
+    FlitTracer *const *tracerSlot_ = nullptr;
 };
 
 } // namespace hrsim

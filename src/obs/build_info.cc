@@ -1,0 +1,42 @@
+#include "obs/build_info.hh"
+
+#include "obs/flit_trace.hh"
+
+#ifndef HRSIM_GIT_DESCRIBE
+#define HRSIM_GIT_DESCRIBE "unknown"
+#endif
+#ifndef HRSIM_BUILD_TYPE
+#define HRSIM_BUILD_TYPE "unknown"
+#endif
+#ifndef HRSIM_CXX_FLAGS
+#define HRSIM_CXX_FLAGS ""
+#endif
+
+namespace hrsim
+{
+
+const char *
+buildGitDescribe()
+{
+    return HRSIM_GIT_DESCRIBE;
+}
+
+const char *
+buildType()
+{
+    return HRSIM_BUILD_TYPE;
+}
+
+const char *
+buildCxxFlags()
+{
+    return HRSIM_CXX_FLAGS;
+}
+
+bool
+buildHasFlitTrace()
+{
+    return HRSIM_TRACE_FLITS != 0;
+}
+
+} // namespace hrsim

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Build provenance captured at compile time.
+ *
+ * The values are baked into obs/build_info.cc via compile definitions
+ * set by CMake at configure time (HRSIM_GIT_DESCRIBE,
+ * HRSIM_BUILD_TYPE, HRSIM_CXX_FLAGS), so every metrics artifact can
+ * name the exact tree and build that produced it. When the source
+ * tree is not a git checkout the describe string is "unknown".
+ */
+
+#ifndef HRSIM_OBS_BUILD_INFO_HH
+#define HRSIM_OBS_BUILD_INFO_HH
+
+namespace hrsim
+{
+
+/** `git describe --always --dirty` of the built tree. */
+const char *buildGitDescribe();
+
+/** CMAKE_BUILD_TYPE of this binary (e.g. "Release"). */
+const char *buildType();
+
+/** Extra compiler flags the build was configured with. */
+const char *buildCxxFlags();
+
+/** True when the flit-tracer hooks were compiled in. */
+bool buildHasFlitTrace();
+
+} // namespace hrsim
+
+#endif // HRSIM_OBS_BUILD_INFO_HH

@@ -1,0 +1,29 @@
+#include "obs/flit_trace.hh"
+
+#include <ostream>
+
+namespace hrsim
+{
+
+void
+FlitTracer::record(FlitEvent event, PacketId packet, NodeId node,
+                   std::uint64_t queue)
+{
+    const char *name = "hop";
+    switch (event) {
+      case FlitEvent::Inject:
+        name = "inject";
+        break;
+      case FlitEvent::Hop:
+        name = "hop";
+        break;
+      case FlitEvent::Eject:
+        name = "eject";
+        break;
+    }
+    out_ << now_ << ' ' << name << " pkt=" << packet
+         << " node=" << node << " q=" << queue << '\n';
+    ++events_;
+}
+
+} // namespace hrsim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Opt-in flit event tracer.
+ *
+ * When attached (System::setTracer), the tracer logs one line per
+ * network event to its output stream:
+ *
+ *     <cycle> inject pkt=<id> node=<n> q=<occupancy>
+ *     <cycle> hop    pkt=<id> node=<n> q=<occupancy>
+ *     <cycle> eject  pkt=<id> node=<n> q=0
+ *
+ *  - inject: a packet entered its NIC/router from the PM; node is the
+ *    PM id, q the flits buffered in that NIC/router after the inject.
+ *  - hop: one flit crossed one link (wormhole networks only; slotted
+ *    rings trace inject/eject). For ring links, node identifies the
+ *    link driver: a PM id for NIC outputs, -(2*iri+1) for IRI lower
+ *    sides, -(2*iri+2) for IRI upper sides; q is the occupied flit
+ *    slots of the ring being driven. For mesh links, node is the
+ *    driving router's PM id and q the downstream input buffer depth.
+ *  - eject: a packet's tail flit reached its destination PM (node).
+ *
+ * Cost model: tracing is opt-in per run (a null tracer pointer is a
+ * single predictable branch per event site) and the hooks compile to
+ * nothing when the library is built with -DHRSIM_TRACE_FLITS=0, so a
+ * metrics-only production build pays zero instructions for them.
+ * The tracer is passive — attaching it cannot change simulation
+ * results (asserted by tests/test_metrics.cc).
+ */
+
+#ifndef HRSIM_OBS_FLIT_TRACE_HH
+#define HRSIM_OBS_FLIT_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "common/types.hh"
+
+/** Compile-time switch for the trace hooks (CMake: HRSIM_TRACE_FLITS). */
+#ifndef HRSIM_TRACE_FLITS
+#define HRSIM_TRACE_FLITS 1
+#endif
+
+namespace hrsim
+{
+
+enum class FlitEvent : std::uint8_t
+{
+    Inject,
+    Hop,
+    Eject,
+};
+
+class FlitTracer
+{
+  public:
+    /** Stream events to @a out (not owned; must outlive the tracer). */
+    explicit FlitTracer(std::ostream &out) : out_(out) {}
+
+    /** Stamp subsequent events with @a now (set once per cycle). */
+    void setCycle(Cycle now) { now_ = now; }
+
+    /** Log one event at the current cycle. */
+    void record(FlitEvent event, PacketId packet, NodeId node,
+                std::uint64_t queue);
+
+    /** Events recorded so far. */
+    std::uint64_t events() const { return events_; }
+
+    /** True when the hooks were compiled into the library. */
+    static constexpr bool
+    compiledIn()
+    {
+        return HRSIM_TRACE_FLITS != 0;
+    }
+
+  private:
+    std::ostream &out_;
+    Cycle now_ = 0;
+    std::uint64_t events_ = 0;
+};
+
+} // namespace hrsim
+
+/**
+ * Event hook used inside the network models. @a tracer is evaluated
+ * once; the remaining arguments are only evaluated when a tracer is
+ * attached. Compiles to nothing with HRSIM_TRACE_FLITS=0.
+ */
+#if HRSIM_TRACE_FLITS
+#define HRSIM_TRACE_FLIT(tracer, event, packet, node, queue)            \
+    do {                                                                \
+        ::hrsim::FlitTracer *hrsimTracer_ = (tracer);                   \
+        if (hrsimTracer_) {                                             \
+            hrsimTracer_->record((event), (packet), (node),             \
+                                 (queue));                              \
+        }                                                               \
+    } while (0)
+#else
+#define HRSIM_TRACE_FLIT(tracer, event, packet, node, queue) ((void)0)
+#endif
+
+#endif // HRSIM_OBS_FLIT_TRACE_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal JSON document model: parse, navigate, escape.
+ *
+ * The observability layer emits JSON and the tooling (schema
+ * validator, round-trip tests) must read it back without external
+ * dependencies, so this header provides a small recursive-descent
+ * parser over an ordered value tree. Numbers keep their source lexeme
+ * alongside the parsed double, so integer metrics (counters, seeds)
+ * can be compared exactly even past 2^53.
+ *
+ * Parsing accepts strict JSON (RFC 8259) minus \u escapes for code
+ * points outside ASCII (emitted files never contain them: metric
+ * names are [a-z0-9_.-] and all strings originate from configs).
+ */
+
+#ifndef HRSIM_OBS_JSON_HH
+#define HRSIM_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hrsim
+{
+
+struct JsonValue
+{
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    /** Source text of a number (exact integer round-trips). */
+    std::string lexeme;
+    std::string str;
+    std::vector<JsonValue> items;
+    /** Object members in source order (duplicates rejected). */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    /** Parse a complete document; throws ConfigError on bad input. */
+    static JsonValue parse(const std::string &text);
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+
+    /** Number whose lexeme has no fraction or exponent. */
+    bool isInteger() const;
+
+    /** Member lookup on an object; nullptr when absent. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Human-readable kind name (diagnostics). */
+    static const char *kindName(Kind kind);
+};
+
+/** Escape @a text for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &text);
+
+/** Shortest-round-trip formatting of @a value (%.17g, canonical). */
+std::string jsonNumber(double value);
+
+} // namespace hrsim
+
+#endif // HRSIM_OBS_JSON_HH

@@ -1,0 +1,97 @@
+#include "obs/metric_registry.hh"
+
+#include "common/log.hh"
+#include "stats/histogram.hh"
+
+namespace hrsim
+{
+
+bool
+MetricRegistry::validName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= '0' && c <= '9') || c == '_' ||
+                        c == '.' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+void
+MetricRegistry::insert(const std::string &name, Entry entry)
+{
+    if (!validName(name)) {
+        fatal("MetricRegistry: invalid metric name \"" + name +
+              "\" (want [a-z0-9_.-]+)");
+    }
+    if (!entries_.emplace(name, std::move(entry)).second)
+        fatal("MetricRegistry: duplicate metric name \"" + name + "\"");
+}
+
+void
+MetricRegistry::addCounter(const std::string &name, CounterFn fn)
+{
+    Entry entry;
+    entry.kind = MetricKind::Counter;
+    entry.counter = std::move(fn);
+    insert(name, std::move(entry));
+}
+
+void
+MetricRegistry::addCounter(const std::string &name,
+                           const std::uint64_t *value)
+{
+    addCounter(name, [value]() { return *value; });
+}
+
+void
+MetricRegistry::addGauge(const std::string &name, GaugeFn fn)
+{
+    Entry entry;
+    entry.kind = MetricKind::Gauge;
+    entry.gauge = std::move(fn);
+    insert(name, std::move(entry));
+}
+
+void
+MetricRegistry::addHistogram(const std::string &prefix,
+                             const Histogram *histogram)
+{
+    addGauge(prefix + ".p50", [histogram]() { return histogram->p50(); });
+    addGauge(prefix + ".p95", [histogram]() { return histogram->p95(); });
+    addGauge(prefix + ".p99", [histogram]() { return histogram->p99(); });
+    addCounter(prefix + ".count",
+               [histogram]() { return histogram->count(); });
+}
+
+bool
+MetricRegistry::has(const std::string &name) const
+{
+    return entries_.find(name) != entries_.end();
+}
+
+std::vector<MetricSample>
+MetricRegistry::snapshot() const
+{
+    std::vector<MetricSample> samples;
+    samples.reserve(entries_.size());
+    for (const auto &[name, entry] : entries_) {
+        MetricSample sample;
+        sample.name = name;
+        sample.kind = entry.kind;
+        if (entry.kind == MetricKind::Counter) {
+            sample.count = entry.counter();
+            sample.value = static_cast<double>(sample.count);
+        } else {
+            sample.value = entry.gauge();
+        }
+        samples.push_back(std::move(sample));
+    }
+    return samples;
+}
+
+} // namespace hrsim

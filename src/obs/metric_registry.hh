@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Metric registry: the naming and sampling substrate of the
+ * observability layer.
+ *
+ * Every component of a System (processors, memories, ring NICs, IRIs,
+ * mesh routers, the utilization tracker groups) registers named
+ * counters and gauges under stable hierarchical dotted names, e.g.
+ *
+ *     workload.remote_issued        (counter)
+ *     ring.l1.iri3.wait_cycles      (counter)
+ *     mesh.util                     (gauge)
+ *     latency.p99                   (gauge)
+ *
+ * Registration is pull-model: a metric is a sampler callback that
+ * reads the component's own state, so the simulation hot path carries
+ * zero extra cost — values are only materialized when snapshot() is
+ * called (at end of run, or periodically for convergence watching).
+ *
+ * Names must match [a-z0-9_.-]+ and be unique; registering a
+ * duplicate name throws ConfigError (via fatal()), so wiring bugs
+ * surface at construction, not as silently shadowed series.
+ * snapshot() returns samples sorted by name, which makes serialized
+ * output canonical: two runs with identical state serialize to
+ * byte-identical metric sections (the sweep determinism contract
+ * extends through the registry).
+ */
+
+#ifndef HRSIM_OBS_METRIC_REGISTRY_HH
+#define HRSIM_OBS_METRIC_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hrsim
+{
+
+class Histogram;
+
+/** What a metric measures; fixes its serialized representation. */
+enum class MetricKind : std::uint8_t
+{
+    Counter, //!< monotonic event count, serialized as an integer
+    Gauge,   //!< instantaneous value, serialized as a double
+};
+
+/** One materialized metric value. */
+struct MetricSample
+{
+    std::string name;
+    MetricKind kind = MetricKind::Gauge;
+    /** Gauge value (also set, as a double, for counters). */
+    double value = 0.0;
+    /** Exact counter value (0 for gauges). */
+    std::uint64_t count = 0;
+
+    bool
+    operator==(const MetricSample &other) const
+    {
+        return name == other.name && kind == other.kind &&
+               value == other.value && count == other.count;
+    }
+};
+
+/** One point-in-time materialization of a whole registry. */
+struct MetricSnapshot
+{
+    Cycle cycle = 0;
+    std::vector<MetricSample> metrics;
+};
+
+class MetricRegistry
+{
+  public:
+    using CounterFn = std::function<std::uint64_t()>;
+    using GaugeFn = std::function<double()>;
+
+    /** Register a counter sampled via @a fn. */
+    void addCounter(const std::string &name, CounterFn fn);
+
+    /** Register a counter that reads @a value (not owned). */
+    void addCounter(const std::string &name,
+                    const std::uint64_t *value);
+
+    /** Register a gauge sampled via @a fn. */
+    void addGauge(const std::string &name, GaugeFn fn);
+
+    /**
+     * Register a latency histogram (not owned) as the derived metrics
+     * @a prefix.p50/.p95/.p99 (gauges) and @a prefix.count (counter).
+     */
+    void addHistogram(const std::string &prefix,
+                      const Histogram *histogram);
+
+    bool has(const std::string &name) const;
+    std::size_t size() const { return entries_.size(); }
+
+    /** Materialize every metric, sorted by name. */
+    std::vector<MetricSample> snapshot() const;
+
+    /** Valid metric name: non-empty, chars in [a-z0-9_.-]. */
+    static bool validName(const std::string &name);
+
+  private:
+    struct Entry
+    {
+        MetricKind kind;
+        CounterFn counter;
+        GaugeFn gauge;
+    };
+
+    void insert(const std::string &name, Entry entry);
+
+    /** Ordered by name, so snapshots are canonical for free. */
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_OBS_METRIC_REGISTRY_HH

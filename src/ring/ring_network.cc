@@ -2,6 +2,7 @@
 #include <ostream>
 
 #include "common/log.hh"
+#include "obs/metric_registry.hh"
 #include "proto/packet.hh"
 
 namespace hrsim
@@ -102,10 +103,18 @@ RingNetwork::RingNetwork(const Params &params)
                 ring.slots[i].kind == RingSlotDesc::Kind::Nic
                     ? 0
                     : 8 * clFlits_;
+            // Trace-event driver id: PM id for NICs, negative
+            // odd/even pairs for IRI lower/upper sides.
+            NodeId trace_node = ring.slots[i].index;
+            if (ring.slots[i].kind == RingSlotDesc::Kind::IriLower)
+                trace_node = -(2 * ring.slots[i].index + 1);
+            else if (ring.slots[i].kind == RingSlotDesc::Kind::IriUpper)
+                trace_node = -(2 * ring.slots[i].index + 2);
             from.occupancy = &occupancy_[r];
             from.out.connect(&to.in, &to.accept, &util_, link,
                              &occupancy_[r], ring.subtreeLo,
-                             ring.subtreeHi, starvation_limit);
+                             ring.subtreeHi, starvation_limit,
+                             &tracer_, trace_node);
         }
     }
 }
@@ -171,6 +180,8 @@ RingNetwork::inject(NodeId pm, const Packet &pkt)
     if (pkt.dst == broadcastNode)
         fatal("RingNetwork: broadcast requires slotted switching");
     nics_[static_cast<std::size_t>(pm)]->inject(pkt);
+    HRSIM_TRACE_FLIT(tracer_, FlitEvent::Inject, pkt.id, pm,
+                     nics_[static_cast<std::size_t>(pm)]->flitCount());
 }
 
 void
@@ -230,6 +241,48 @@ RingNetwork::levelUtilization(int level) const
     HRSIM_ASSERT(level >= 0 && level < structure_.numLevels);
     return util_.groupUtilization(
         levelGroups_[static_cast<std::size_t>(level)]);
+}
+
+void
+RingNetwork::registerMetrics(MetricRegistry &registry) const
+{
+    for (int level = 0; level < structure_.numLevels; ++level) {
+        registry.addGauge(
+            "ring.l" + std::to_string(level) + ".util",
+            [this, level]() { return levelUtilization(level); });
+    }
+    for (std::size_t i = 0; i < iris_.size(); ++i) {
+        // An IRI is named by the hierarchy level of its parent ring
+        // (the ring its upper side sits on): the IRIs hanging off the
+        // global ring are ring.l0.iri*, and so on down.
+        const int level =
+            structure_
+                .rings[static_cast<std::size_t>(
+                    structure_.iris[i].parentRing)]
+                .level;
+        const std::string prefix = "ring.l" + std::to_string(level) +
+                                   ".iri" + std::to_string(i);
+        const RingIri *iri = iris_[i].get();
+        registry.addCounter(prefix + ".wait_cycles",
+                            [iri]() { return iri->waitCycles(); });
+        registry.addCounter(prefix + ".escapes",
+                            [iri]() { return iri->escapes(); });
+        registry.addGauge(prefix + ".flits", [iri]() {
+            return static_cast<double>(iri->flitCount());
+        });
+    }
+    for (std::size_t pm = 0; pm < nics_.size(); ++pm) {
+        const RingNic *nic = nics_[pm].get();
+        registry.addGauge("ring.nic" + std::to_string(pm) + ".flits",
+                          [nic]() {
+                              return static_cast<double>(
+                                  nic->flitCount());
+                          });
+    }
+    registry.addCounter("ring.wait_cycles",
+                        [this]() { return totalWaitCycles(); });
+    registry.addCounter("ring.escapes",
+                        [this]() { return totalEscapes(); });
 }
 
 } // namespace hrsim

@@ -65,6 +65,7 @@ class RingNetwork : public Network
         return util_;
     }
     std::uint64_t flitsInFlight() const override;
+    void registerMetrics(MetricRegistry &registry) const override;
 
     /** Utilization of the rings at a hierarchy level (0 = global). */
     double levelUtilization(int level) const;

@@ -28,6 +28,7 @@
 
 #include "common/log.hh"
 #include "common/staged_fifo.hh"
+#include "obs/flit_trace.hh"
 #include "proto/packet.hh"
 #include "stats/utilization.hh"
 
@@ -202,12 +203,20 @@ class RingStreamSource : public FlitSource
 class RingOutput
 {
   public:
-    /** Wire to the downstream neighbor (done once at build time). */
+    /**
+     * Wire to the downstream neighbor (done once at build time).
+     * @a tracer_slot points at the owning network's tracer pointer
+     * (may be null when tracing is unused) and @a trace_node names
+     * this link's driver in trace events: the PM id for NIC outputs,
+     * -(2*iri+1) / -(2*iri+2) for IRI lower/upper sides.
+     */
     void
     connect(RingLatch *latch, const bool *accept_flag,
             UtilizationTracker *util, UtilizationTracker::LinkId link,
             RingOccupancy *occupancy, NodeId subtree_lo,
-            NodeId subtree_hi, std::uint32_t starvation_limit)
+            NodeId subtree_hi, std::uint32_t starvation_limit,
+            FlitTracer *const *tracer_slot = nullptr,
+            NodeId trace_node = invalidNode)
     {
         downstream_ = latch;
         acceptFlag_ = accept_flag;
@@ -217,6 +226,8 @@ class RingOutput
         subtreeLo_ = subtree_lo;
         subtreeHi_ = subtree_hi;
         starvationLimit_ = starvation_limit;
+        tracerSlot_ = tracer_slot;
+        traceNode_ = trace_node;
     }
 
     bool downstreamAccepts() const { return *acceptFlag_; }
@@ -302,6 +313,10 @@ class RingOutput
         const Flit flit = source->consume();
         downstream_->staged = flit;
         util_->recordTransfer(link_);
+        HRSIM_TRACE_FLIT(
+            tracerSlot_ ? *tracerSlot_ : nullptr, FlitEvent::Hop,
+            flit.packet, traceNode_,
+            static_cast<std::uint64_t>(occupancy_->occupied));
         if (flit.isTail()) {
             inWorm_ = false;
             wormSrc_ = RingSource::None;
@@ -337,6 +352,8 @@ class RingOutput
     RingOccupancy *occupancy_ = nullptr;
     NodeId subtreeLo_ = 0;
     NodeId subtreeHi_ = 0;
+    FlitTracer *const *tracerSlot_ = nullptr;
+    NodeId traceNode_ = invalidNode;
     std::uint32_t starvationLimit_ = 0;
     std::uint32_t starve_ = 0; //!< cycles a ready queue was passed over
 

@@ -1,6 +1,7 @@
 #include "ring/slotted_network.hh"
 
 #include "common/log.hh"
+#include "obs/metric_registry.hh"
 
 namespace hrsim
 {
@@ -470,6 +471,8 @@ SlottedRingNetwork::inject(NodeId pm, const Packet &pkt)
     HRSIM_ASSERT(pm >= 0 && pm < numProcessors());
     HRSIM_ASSERT(pkt.src == pm);
     nics_[static_cast<std::size_t>(pm)]->inject(pkt);
+    HRSIM_TRACE_FLIT(tracer_, FlitEvent::Inject, pkt.id, pm,
+                     nics_[static_cast<std::size_t>(pm)]->flitCount());
 }
 
 void
@@ -540,6 +543,33 @@ SlottedRingNetwork::levelUtilization(int level) const
     HRSIM_ASSERT(level >= 0 && level < structure_.numLevels);
     return util_.groupUtilization(
         levelGroups_[static_cast<std::size_t>(level)]);
+}
+
+void
+SlottedRingNetwork::registerMetrics(MetricRegistry &registry) const
+{
+    for (int level = 0; level < structure_.numLevels; ++level) {
+        registry.addGauge(
+            "ring.l" + std::to_string(level) + ".util",
+            [this, level]() { return levelUtilization(level); });
+    }
+    for (std::size_t i = 0; i < iris_.size(); ++i) {
+        const int level =
+            structure_
+                .rings[static_cast<std::size_t>(
+                    structure_.iris[i].parentRing)]
+                .level;
+        const std::string prefix = "ring.l" + std::to_string(level) +
+                                   ".iri" + std::to_string(i);
+        const SlottedIri *iri = iris_[i].get();
+        registry.addCounter(prefix + ".retries",
+                            [iri]() { return iri->retries(); });
+        registry.addGauge(prefix + ".flits", [iri]() {
+            return static_cast<double>(iri->flitCount());
+        });
+    }
+    registry.addCounter("ring.retries",
+                        [this]() { return totalRetries(); });
 }
 
 std::uint64_t

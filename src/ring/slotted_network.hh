@@ -193,6 +193,7 @@ class SlottedRingNetwork : public Network
         return util_;
     }
     std::uint64_t flitsInFlight() const override;
+    void registerMetrics(MetricRegistry &registry) const override;
 
     double levelUtilization(int level) const;
     int numLevels() const { return structure_.numLevels; }

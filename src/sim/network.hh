@@ -7,6 +7,11 @@
  * two-phase (evaluate, then commit) discipline internally, accepts
  * packet injections from processing modules, and delivers packets to
  * the registered handler when the tail flit reaches its destination.
+ *
+ * Observability: a network publishes its component counters and
+ * gauges into a MetricRegistry (registerMetrics()) and accepts an
+ * optional FlitTracer that logs inject/hop/eject events; both are
+ * pull-model/opt-in, so the tick hot path is unaffected when unused.
  */
 
 #ifndef HRSIM_SIM_NETWORK_HH
@@ -15,11 +20,14 @@
 #include <functional>
 
 #include "common/types.hh"
+#include "obs/flit_trace.hh"
 #include "proto/packet.hh"
 #include "stats/utilization.hh"
 
 namespace hrsim
 {
+
+class MetricRegistry;
 
 class Network
 {
@@ -57,6 +65,22 @@ class Network
     /** Total flits currently buffered inside the network. */
     virtual std::uint64_t flitsInFlight() const = 0;
 
+    /**
+     * Register this network's counters and gauges under stable
+     * hierarchical names (e.g. "ring.l1.iri3.wait_cycles"). Samplers
+     * capture `this`; the network must outlive registry snapshots.
+     * The default registers nothing (for minimal test networks).
+     */
+    virtual void
+    registerMetrics(MetricRegistry &registry) const
+    {
+        (void)registry;
+    }
+
+    /** Attach (or detach, with nullptr) the flit event tracer. */
+    void setTracer(FlitTracer *tracer) { tracer_ = tracer; }
+    FlitTracer *tracer() const { return tracer_; }
+
   protected:
     /** Deliver @a pkt to the attached PM at cycle @a now. */
     void
@@ -64,7 +88,16 @@ class Network
     {
         if (deliver_)
             deliver_(pkt, now);
+        HRSIM_TRACE_FLIT(tracer_, FlitEvent::Eject, pkt.id, pkt.dst,
+                         0);
     }
+
+    /**
+     * The attached tracer (nullptr when tracing is off). Concrete
+     * networks hand &tracer_ to their link drivers so hop hooks see
+     * tracer attachment without per-link re-wiring.
+     */
+    FlitTracer *tracer_ = nullptr;
 
   private:
     DeliveryHandler deliver_;

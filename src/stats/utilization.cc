@@ -48,6 +48,15 @@ UtilizationTracker::startMeasurement(Cycle now)
 }
 
 void
+UtilizationTracker::markSnapshot(Cycle now)
+{
+    if (!measuring_)
+        return;
+    HRSIM_ASSERT(now >= windowStart_);
+    windowCycles_ = now - windowStart_;
+}
+
+void
 UtilizationTracker::stopMeasurement(Cycle now)
 {
     HRSIM_ASSERT(measuring_);

@@ -9,6 +9,17 @@
  * network mesh utilization come from the same tracker. A link may be
  * registered with a speed factor > 1 (double-clocked global ring), in
  * which case its capacity is factor flits per system cycle.
+ *
+ * The window opens at the end of warmup (startMeasurement) and is
+ * closed once, at the run horizon (stopMeasurement). Transfers
+ * recorded outside an open window are ignored, so the skip-idle tick
+ * scheduler (which never skips a cycle in which any link moves a
+ * flit) leaves every utilization figure bit-identical to the legacy
+ * every-cycle loop. For mid-run metric snapshots (--metrics-every)
+ * markSnapshot() provisionally re-times the still-open window so the
+ * utilization gauges published through the MetricRegistry (e.g.
+ * "ring.l0.util") read values current as of the snapshot cycle;
+ * before the window opens they read 0.
  */
 
 #ifndef HRSIM_STATS_UTILIZATION_HH
@@ -43,6 +54,14 @@ class UtilizationTracker
 
     /** Close the window at cycle @a now. */
     void stopMeasurement(Cycle now);
+
+    /**
+     * Provisionally time the still-open window against @a now so
+     * group/total utilization can be read mid-run (metric
+     * snapshots). No-op when no measurement is in progress; the
+     * final stopMeasurement() overrides any provisional timing.
+     */
+    void markSnapshot(Cycle now);
 
     /** Utilization of a group in [0, 1] over the closed window. */
     double groupUtilization(GroupId group) const;

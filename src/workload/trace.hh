@@ -16,6 +16,10 @@
  * record whose time has come waits until a slot and the NIC output
  * queue are available, so a trace can also be replayed onto a slower
  * network than it was recorded on.
+ *
+ * Not to be confused with the flit-event tracer (obs/flit_trace.hh,
+ * `hrsim_cli --trace-flits`): this module feeds memory references
+ * *into* a simulation, the tracer logs flit movements *out* of one.
  */
 
 #ifndef HRSIM_WORKLOAD_TRACE_HH

@@ -9,11 +9,17 @@
  *   hrsim_cli --ring 5:3:6 --speed 2 --slotted --seed 7
  *   hrsim_cli --sweep both --line 64 --jobs 4
  *   hrsim_cli --sweep ring --line 32 --list-sweep
+ *   hrsim_cli --ring 3:3:12 --metrics-out run.json --metrics-every 2000
+ *   hrsim_cli --sweep ring --jobs 4 --metrics-out sweep.json
+ *   hrsim_cli --mesh 4 --trace-flits flits.log --batches 1
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +27,9 @@
 #include "core/analysis.hh"
 #include "core/sweep.hh"
 #include "core/system.hh"
+#include "obs/flit_trace.hh"
+#include "obs/manifest.hh"
+#include "obs/metric_sink.hh"
 
 namespace
 {
@@ -64,7 +73,18 @@ usage(const char *argv0)
         "                    single-point invocations; any N yields\n"
         "                    bit-identical output; only meaningful\n"
         "                    with --sweep)\n"
-        "  --list-sweep      print the sweep's points and exit\n",
+        "  --list-sweep      print the sweep's points and exit\n"
+        "\n"
+        "observability (see DESIGN.md section 9):\n"
+        "  --metrics-out FILE    write every registered metric plus a\n"
+        "                        run manifest to FILE (- = stdout)\n"
+        "  --metrics-format FMT  metrics serialization: json (default)\n"
+        "                        or csv\n"
+        "  --metrics-every N     also record a metric snapshot every N\n"
+        "                        cycles (0 = off; needs --metrics-out)\n"
+        "  --trace-flits FILE    log every flit inject/hop/eject event\n"
+        "                        to FILE (single runs only; results\n"
+        "                        are unchanged by tracing)\n",
         argv0);
 }
 
@@ -165,6 +185,9 @@ main(int argc, char **argv)
     bool list_sweep = false;
     unsigned jobs = 1;
     bool jobs_given = false;
+    std::string metrics_out;
+    std::string metrics_format = "json";
+    std::string trace_path;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -226,6 +249,15 @@ main(int argc, char **argv)
                 sweep_kind = argString(argc, argv, i);
             } else if (!std::strcmp(arg, "--list-sweep")) {
                 list_sweep = true;
+            } else if (!std::strcmp(arg, "--metrics-out")) {
+                metrics_out = argString(argc, argv, i);
+            } else if (!std::strcmp(arg, "--metrics-format")) {
+                metrics_format = argString(argc, argv, i);
+            } else if (!std::strcmp(arg, "--metrics-every")) {
+                cfg.sim.metricsEvery = static_cast<Cycle>(
+                    argLong(argc, argv, i));
+            } else if (!std::strcmp(arg, "--trace-flits")) {
+                trace_path = argString(argc, argv, i);
             } else if (!std::strcmp(arg, "--jobs")) {
                 const long n = argLong(argc, argv, i);
                 if (n < 1)
@@ -239,6 +271,15 @@ main(int argc, char **argv)
             } else {
                 fatal(std::string("unknown option: ") + arg);
             }
+        }
+        if (metrics_format != "json" && metrics_format != "csv") {
+            fatal("--metrics-format expects json or csv, got: " +
+                  metrics_format);
+        }
+        if (cfg.sim.metricsEvery != 0 && metrics_out.empty()) {
+            std::fprintf(stderr,
+                         "warning: --metrics-every has no effect "
+                         "without --metrics-out\n");
         }
         if (!sweep_kind.empty() || list_sweep) {
             if (sweep_kind.empty())
@@ -254,13 +295,43 @@ main(int argc, char **argv)
                 }
                 return 0;
             }
+            if (!trace_path.empty()) {
+                std::fprintf(stderr,
+                             "warning: --trace-flits applies to "
+                             "single-point runs; ignoring it in "
+                             "sweep mode\n");
+            }
             SweepOptions opts;
             opts.jobs = jobs;
             SweepRunner runner(opts);
+            const auto wall_start = std::chrono::steady_clock::now();
             const std::vector<RunResult> results = runner.run(points);
+            const double wall_seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
             printCsvHeader();
             for (std::size_t p = 0; p < points.size(); ++p)
                 printCsvRow(labels[p], points[p], results[p]);
+            if (!metrics_out.empty()) {
+                // The manifest's config key renders the sweep's base
+                // config: the workload/measurement settings every
+                // point inherits.
+                double node_cycles = 0.0;
+                std::vector<MetricPoint> mpoints;
+                mpoints.reserve(points.size());
+                for (std::size_t p = 0; p < points.size(); ++p) {
+                    mpoints.push_back(
+                        metricPoint(labels[p], results[p]));
+                    node_cycles +=
+                        static_cast<double>(results[p].cycles) *
+                        points[p].numProcessors();
+                }
+                writeMetricsFile(metrics_out, metrics_format,
+                                 makeManifest(cfg, jobs, wall_seconds,
+                                              node_cycles),
+                                 mpoints);
+            }
             return 0;
         }
         if (!have_network)
@@ -271,7 +342,37 @@ main(int argc, char **argv)
                          "mode; running the single point serially\n");
         }
 
-        const RunResult result = runSystem(cfg);
+        System system(cfg);
+        std::ofstream trace_stream;
+        std::unique_ptr<FlitTracer> tracer;
+        if (!trace_path.empty()) {
+            if (!FlitTracer::compiledIn()) {
+                std::fprintf(stderr,
+                             "warning: flit-trace hooks compiled out "
+                             "(HRSIM_TRACE_FLITS=0); the trace will "
+                             "be empty\n");
+            }
+            trace_stream.open(trace_path);
+            if (!trace_stream)
+                fatal("cannot open trace file: " + trace_path);
+            tracer = std::make_unique<FlitTracer>(trace_stream);
+            system.setTracer(tracer.get());
+        }
+        const auto wall_start = std::chrono::steady_clock::now();
+        const RunResult result = system.run();
+        const double wall_seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        if (!metrics_out.empty()) {
+            const double node_cycles =
+                static_cast<double>(result.cycles) *
+                cfg.numProcessors();
+            writeMetricsFile(metrics_out, metrics_format,
+                             makeManifest(cfg, 1, wall_seconds,
+                                          node_cycles),
+                             {metricPoint(label, result)});
+        }
 
         if (csv) {
             printCsvHeader();

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * JSON-schema validator for hrsim metrics artifacts.
+ *
+ * Usage: metrics_check SCHEMA DOCUMENT
+ *
+ * Validates DOCUMENT (an hrsim_cli --metrics-out / HRSIM_METRICS_OUT
+ * JSON file) against SCHEMA (scripts/metrics_schema.json) and exits
+ * non-zero with a path-qualified diagnostic on the first violation.
+ *
+ * The validator implements the JSON-Schema subset the checked-in
+ * schema uses — "type" (object, array, string, number, integer,
+ * boolean), "required", "properties", "additionalProperties"
+ * (schema form), "items" and "const" — with no external
+ * dependencies, so CI can gate every emitted artifact without a
+ * network or a Python environment.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/log.hh"
+#include "obs/json.hh"
+
+namespace
+{
+
+using hrsim::JsonValue;
+
+/** Thrown with the offending document path and reason. */
+struct ValidationError
+{
+    std::string path;
+    std::string reason;
+};
+
+std::string
+loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        hrsim::fatal("cannot open: " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+bool
+matchesType(const JsonValue &value, const std::string &type)
+{
+    if (type == "object")
+        return value.isObject();
+    if (type == "array")
+        return value.isArray();
+    if (type == "string")
+        return value.isString();
+    if (type == "number")
+        return value.isNumber();
+    if (type == "integer")
+        return value.isNumber() && value.isInteger();
+    if (type == "boolean")
+        return value.kind == JsonValue::Kind::Bool;
+    if (type == "null")
+        return value.kind == JsonValue::Kind::Null;
+    hrsim::fatal("schema: unsupported type: " + type);
+}
+
+/** Structural equality for "const" (sufficient for scalars). */
+bool
+sameValue(const JsonValue &a, const JsonValue &b)
+{
+    if (a.kind != b.kind)
+        return false;
+    switch (a.kind) {
+      case JsonValue::Kind::Null:
+        return true;
+      case JsonValue::Kind::Bool:
+        return a.boolean == b.boolean;
+      case JsonValue::Kind::Number:
+        return a.number == b.number;
+      case JsonValue::Kind::String:
+        return a.str == b.str;
+      default:
+        hrsim::fatal("schema: const only supports scalar values");
+    }
+}
+
+void
+validate(const JsonValue &value, const JsonValue &schema,
+         const std::string &path)
+{
+    if (!schema.isObject())
+        hrsim::fatal("schema: every schema node must be an object");
+
+    if (const JsonValue *expect = schema.find("const")) {
+        if (!sameValue(value, *expect)) {
+            throw ValidationError{
+                path, "does not match the required constant"};
+        }
+    }
+
+    if (const JsonValue *type = schema.find("type")) {
+        if (!type->isString())
+            hrsim::fatal("schema: \"type\" must be a string");
+        if (!matchesType(value, type->str)) {
+            throw ValidationError{
+                path, "expected " + type->str + ", got " +
+                          JsonValue::kindName(value.kind)};
+        }
+    }
+
+    if (const JsonValue *required = schema.find("required")) {
+        if (!required->isArray())
+            hrsim::fatal("schema: \"required\" must be an array");
+        for (const JsonValue &key : required->items) {
+            if (!key.isString())
+                hrsim::fatal("schema: \"required\" entries must be "
+                             "strings");
+            if (!value.isObject() || !value.find(key.str)) {
+                throw ValidationError{
+                    path, "missing required member \"" + key.str +
+                              "\""};
+            }
+        }
+    }
+
+    const JsonValue *properties = schema.find("properties");
+    const JsonValue *additional = schema.find("additionalProperties");
+    if ((properties || additional) && value.isObject()) {
+        for (const auto &[key, member] : value.members) {
+            const JsonValue *sub =
+                properties ? properties->find(key) : nullptr;
+            if (!sub)
+                sub = additional;
+            if (sub)
+                validate(member, *sub, path + "." + key);
+        }
+    }
+
+    if (const JsonValue *items = schema.find("items")) {
+        if (value.isArray()) {
+            for (std::size_t i = 0; i < value.items.size(); ++i) {
+                validate(value.items[i], *items,
+                         path + "[" + std::to_string(i) + "]");
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::fprintf(stderr, "usage: %s SCHEMA DOCUMENT\n", argv[0]);
+        return 2;
+    }
+    try {
+        const JsonValue schema = JsonValue::parse(loadFile(argv[1]));
+        const JsonValue doc = JsonValue::parse(loadFile(argv[2]));
+        validate(doc, schema, "$");
+    } catch (const ValidationError &err) {
+        std::fprintf(stderr, "%s: invalid: %s: %s\n", argv[2],
+                     err.path.c_str(), err.reason.c_str());
+        return 1;
+    } catch (const hrsim::ConfigError &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    }
+    std::printf("%s: valid (hrsim metrics schema)\n", argv[2]);
+    return 0;
+}
