@@ -13,8 +13,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <thread>
+
 #include "core/sweep.hh"
 #include "core/system.hh"
+#include "obs/build_info.hh"
 
 namespace
 {
@@ -79,6 +84,28 @@ BM_MeshLarge(benchmark::State &state)
     runCycles(state, meshCfg(11, true));
 }
 
+/**
+ * Mostly-idle network: at C = 0.01 a small ring spends most cycles
+ * with no flit in flight, which is exactly what the active-set
+ * scheduler and the quiescent-gap fast-forward are for. Compare
+ * against BM_RingSmallLowCLegacy for the realized speedup.
+ */
+void
+BM_RingSmallLowC(benchmark::State &state)
+{
+    SystemConfig cfg = ringCfg("2:4", true);
+    cfg.workload.missRateC = 0.01;
+    runCycles(state, cfg);
+}
+
+void
+BM_RingSmallLowCLegacy(benchmark::State &state)
+{
+    SystemConfig cfg = ringCfg("2:4", false);
+    cfg.workload.missRateC = 0.01;
+    runCycles(state, cfg);
+}
+
 void
 BM_RingLargeLegacy(benchmark::State &state)
 {
@@ -140,6 +167,8 @@ BM_SweepParallel4(benchmark::State &state)
 }
 
 BENCHMARK(BM_RingSmall);
+BENCHMARK(BM_RingSmallLowC);
+BENCHMARK(BM_RingSmallLowCLegacy);
 BENCHMARK(BM_RingLarge);
 BENCHMARK(BM_RingLargeLegacy);
 BENCHMARK(BM_MeshSmall);
@@ -150,4 +179,33 @@ BENCHMARK(BM_SweepParallel4)->UseRealTime();
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main: BENCHMARK_MAIN() plus run-context records, so a saved
+ * BENCH_simspeed.json says which build produced it. Without these, a
+ * Debug-build artifact or one taken under HRSIM_FORCE_FULL_SCAN is
+ * indistinguishable from a real Release baseline.
+ */
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::AddCustomContext("hrsim_build_type",
+                                hrsim::buildType());
+    benchmark::AddCustomContext("hrsim_git",
+                                hrsim::buildGitDescribe());
+    const char *jobs_env = std::getenv("HRSIM_JOBS");
+    benchmark::AddCustomContext(
+        "hrsim_jobs",
+        jobs_env != nullptr && jobs_env[0] != '\0'
+            ? jobs_env
+            : std::to_string(std::thread::hardware_concurrency()));
+    const char *force = std::getenv("HRSIM_FORCE_FULL_SCAN");
+    benchmark::AddCustomContext(
+        "hrsim_force_full_scan",
+        force != nullptr && force[0] != '\0' ? force : "0");
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

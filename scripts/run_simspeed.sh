@@ -7,8 +7,32 @@
 # regression fails the same CI step that tracks performance.
 #
 # Usage: scripts/run_simspeed.sh [output.json] [metrics.json]
+#        scripts/run_simspeed.sh --compare BASELINE.json \
+#            [output.json] [metrics.json]
 #   BUILD_DIR=build   build tree containing bench/bench_simspeed
+#
+# --compare runs the benchmark, then prints the per-benchmark speedup
+# of the fresh run against BASELINE.json (old/new rate columns). When
+# the library was built Release, any benchmark more than 10% slower
+# than the baseline fails the script (exit 1); non-Release builds
+# only warn, since Debug timings say nothing about the hot path.
 set -euo pipefail
+
+BASELINE=""
+if [[ "${1:-}" == --compare ]]; then
+    shift
+    BASELINE=${1:?--compare needs a baseline json}
+    shift
+    if [[ ! -r "$BASELINE" ]]; then
+        echo "error: baseline $BASELINE not readable" >&2
+        exit 1
+    fi
+    # Snapshot now: the natural invocation compares against the very
+    # file the fresh run is about to overwrite (BENCH_simspeed.json).
+    BASELINE_SNAP=$(mktemp)
+    trap 'rm -f "$BASELINE_SNAP"' EXIT
+    cp "$BASELINE" "$BASELINE_SNAP"
+fi
 
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=${1:-BENCH_simspeed.json}
@@ -31,6 +55,68 @@ fi
     --benchmark_min_time="${HRSIM_BENCH_MIN_TIME:-0.5}"
 
 echo "wrote $OUT"
+
+if [[ -n "$BASELINE" ]]; then
+    python3 - "$BASELINE_SNAP" "$OUT" "$BASELINE" <<'PY'
+import json
+import sys
+
+REGRESSION_TOLERANCE = 0.10  # >10% slower than baseline fails
+
+def rates(path):
+    """benchmark name -> primary rate counter (node_cycles/s or
+    points/s), skipping aggregate rows of repeated runs."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    out = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("run_type") == "aggregate":
+            continue
+        rate = row.get("node_cycles/s", row.get("points/s"))
+        if rate is not None:
+            out[row["name"]] = float(rate)
+    return doc, out
+
+base_doc, base = rates(sys.argv[1])
+new_doc, new = rates(sys.argv[2])
+
+build_type = str(
+    new_doc.get("context", {}).get("hrsim_build_type", "")).lower()
+enforce = build_type == "release"
+
+print(f"\ncomparison vs {sys.argv[3]} "
+      f"(build_type={build_type or 'unknown'}):")
+print(f"{'benchmark':<24} {'baseline':>12} {'current':>12} "
+      f"{'speedup':>8}")
+regressions = []
+for name in base:
+    if name not in new:
+        print(f"{name:<24} {base[name]:>12.4g} {'missing':>12}")
+        continue
+    ratio = new[name] / base[name] if base[name] > 0 else float("inf")
+    flag = ""
+    if ratio < 1.0 - REGRESSION_TOLERANCE:
+        regressions.append((name, ratio))
+        flag = "  <-- regression"
+    print(f"{name:<24} {base[name]:>12.4g} {new[name]:>12.4g} "
+          f"{ratio:>7.2f}x{flag}")
+for name in new:
+    if name not in base:
+        print(f"{name:<24} {'(new)':>12} {new[name]:>12.4g}")
+
+if regressions:
+    worst = min(regressions, key=lambda item: item[1])
+    msg = (f"{len(regressions)} benchmark(s) regressed >10% "
+           f"(worst: {worst[0]} at {worst[1]:.2f}x)")
+    if enforce:
+        print(f"FAIL: {msg}")
+        sys.exit(1)
+    print(f"warning: {msg} (not enforced: build_type is "
+          f"{build_type or 'unknown'}, not release)")
+else:
+    print("no regressions beyond 10%")
+PY
+fi
 
 if [[ -x "$CLI" && -x "$CHECK" ]]; then
     "$CLI" --ring 3:3:12 --warmup 1000 --batch 1000 --batches 3 \

@@ -20,6 +20,12 @@
  * (RunResult::metrics), which are part of the same pure function of
  * the config — wall-clock timing lives only in the run manifest, so
  * `--jobs 1` and `--jobs N` serialize byte-identical metric sections.
+ *
+ * It also extends through the active-set scheduler (src/sim/
+ * active_set.hh): which components tick and which cycles fast-forward
+ * is itself a pure function of the config, and skipped work is
+ * provably side-effect-free, so scheduled and full-scan runs differ
+ * only in the sched.* introspection metrics.
  */
 
 #ifndef HRSIM_CORE_SWEEP_HH

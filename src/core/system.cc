@@ -1,5 +1,8 @@
 #include "core/system.hh"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "common/log.hh"
 #include "mesh/mesh_network.hh"
 #include "ring/slotted_network.hh"
@@ -71,6 +74,17 @@ System::System(const SystemConfig &cfg)
     procWake_.assign(num_pms, 0);
     memActive_.assign(num_pms, 0);
     activeMems_.reserve(num_pms);
+
+    // Active-set scheduling rides on the idleSkip contract; the
+    // HRSIM_FORCE_FULL_SCAN environment variable (any value but "" or
+    // "0") forces the legacy full-scan path so the two can be
+    // regression-checked against each other.
+    const char *force = std::getenv("HRSIM_FORCE_FULL_SCAN");
+    const bool full_scan =
+        force != nullptr && force[0] != '\0' &&
+        !(force[0] == '0' && force[1] == '\0');
+    activeSched_ = cfg_.sim.idleSkip && !full_scan;
+    network_->setActiveScheduling(activeSched_);
 
     registerSystemMetrics();
 }
@@ -198,6 +212,17 @@ System::registerSystemMetrics()
                 static_cast<double>(network_->numProcessors()));
     });
 
+    // Scheduler introspection. Registered only when active
+    // scheduling is on so full-scan runs stay comparable to
+    // pre-scheduler artifacts (tests strip the sched.* namespace
+    // before comparing the two modes).
+    if (activeSched_) {
+        metrics_.addCounter("sched.skipped_cycles", &skippedCycles_);
+        metrics_.addGauge("sched.active_nodes", [this]() {
+            return static_cast<double>(network_->activeNodeCount());
+        });
+    }
+
     network_->registerMetrics(metrics_);
 }
 
@@ -276,10 +301,61 @@ System::tickOnce()
 }
 
 void
+System::fastForwardQuiescent(Cycle limit)
+{
+    if (!activeSched_ || !network_->isIdle())
+        return;
+
+    Cycle target = limit;
+    // Land exactly on the warmup boundary so measurement starts on
+    // schedule, and never jump past the next watchdog check or
+    // metrics-snapshot tick. <= because run() calls this before its
+    // warmup check: a jump attempted AT the boundary must stay put
+    // (target <= now_ below) or startMeasurement() is skipped.
+    if (now_ <= cfg_.sim.warmupCycles &&
+        target > cfg_.sim.warmupCycles) {
+        target = cfg_.sim.warmupCycles;
+    }
+    if (cfg_.sim.watchdogCycles > 0) {
+        target = std::min(
+            target, lastProgress_ + cfg_.sim.watchdogCycles + 1);
+    }
+    if (cfg_.sim.metricsEvery != 0) {
+        // The tick at k*every - 1 publishes the snapshot for k*every.
+        target = std::min(
+            target, (now_ / cfg_.sim.metricsEvery + 1) *
+                            cfg_.sim.metricsEvery -
+                        1);
+    }
+
+    // Earliest future event: the soonest processor wake or pending
+    // memory completion. (A ready-but-uninjected response implies a
+    // non-idle network next tick, so activeMems_ deadlines are
+    // always in the future here.)
+    for (const Cycle wake : procWake_)
+        target = std::min(target, wake);
+    for (const NodeId pm : activeMems_) {
+        target = std::min(
+            target,
+            memories_[static_cast<std::size_t>(pm)]->nextReady());
+    }
+
+    if (target <= now_)
+        return;
+    skippedCycles_ += target - now_;
+    now_ = target;
+}
+
+void
 System::step(Cycle cycles)
 {
-    for (Cycle i = 0; i < cycles; ++i)
+    const Cycle target = now_ + cycles;
+    while (now_ < target) {
+        fastForwardQuiescent(target);
+        if (now_ >= target)
+            break;
         tickOnce();
+    }
 }
 
 int
@@ -308,6 +384,9 @@ System::run()
 
     std::vector<MetricSnapshot> snapshots;
     while (now_ < end) {
+        fastForwardQuiescent(end);
+        if (now_ >= end)
+            break;
         if (now_ == cfg_.sim.warmupCycles)
             util.startMeasurement(now_);
         tickOnce();

@@ -199,6 +199,19 @@ class System
     void registerSystemMetrics();
     void tickOnce();
 
+    /**
+     * Cycle fast-forward: when the network is empty and every
+     * component is asleep, jump now_ straight to the earliest future
+     * event — the soonest processor wake, the soonest pending memory
+     * completion — clamped so no protocol boundary (warmup start,
+     * metrics snapshot, watchdog check) is stepped over. The skipped
+     * cycles are provably no-ops, so results stay bit-identical; the
+     * count lands in the sched.skipped_cycles metric. No-op unless
+     * active scheduling is on (idleSkip and not forced off via the
+     * HRSIM_FORCE_FULL_SCAN environment variable).
+     */
+    void fastForwardQuiescent(Cycle limit);
+
     SystemConfig cfg_;
     std::unique_ptr<Network> network_;
     std::unique_ptr<PacketFactory> factory_;
@@ -213,6 +226,11 @@ class System
     Cycle now_ = 0;
     Cycle lastProgress_ = 0;
     std::uint64_t lastActivity_ = 0;
+
+    /** Active-set scheduling + fast-forward enabled (see ctor). */
+    bool activeSched_ = false;
+    /** Quiescent cycles fast-forwarded over (sched.skipped_cycles). */
+    std::uint64_t skippedCycles_ = 0;
 
     // Skip-idle bookkeeping (used when cfg_.sim.idleSkip).
     /** Per-PM cycle of the next required processor tick. */

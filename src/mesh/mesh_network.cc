@@ -27,6 +27,9 @@ MeshNetwork::MeshNetwork(const Params &params)
             });
         routers_.back()->setTracerSlot(&tracer_);
     }
+    active_.reset(routers_.size());
+    for (auto &router : routers_)
+        router->setWakeSet(&active_);
 
     meshGroup_ = util_.group("mesh");
     const int w = params_.width;
@@ -73,6 +76,7 @@ MeshNetwork::inject(NodeId pm, const Packet &pkt)
     if (pkt.dst == broadcastNode)
         fatal("MeshNetwork: meshes have no broadcast; send unicasts");
     routers_[static_cast<std::size_t>(pm)]->inject(pkt);
+    active_.add(static_cast<std::uint32_t>(pm));
     HRSIM_TRACE_FLIT(tracer_, FlitEvent::Inject, pkt.id, pm,
                      routers_[static_cast<std::size_t>(pm)]->flitCount());
 }
@@ -82,10 +86,57 @@ MeshNetwork::tick(Cycle now)
 {
     // Two-phase semantics live inside the staged FIFOs, so the
     // evaluation order of routers is immaterial.
-    for (auto &router : routers_)
-        router->evaluate(now);
-    for (auto &router : routers_)
-        router->commit();
+    if (!activeSched_) {
+        for (auto &router : routers_)
+            router->evaluate(now);
+        for (auto &router : routers_)
+            router->commit();
+        return;
+    }
+
+    // Active path: evaluate the start-of-cycle sorted prefix (a
+    // router woken mid-tick was quiescent, so its skipped evaluate is
+    // a no-op; wakes only append, so prefix indices stay stable),
+    // commit the raw list so mid-tick arrivals get published (commits
+    // are per-router bookkeeping — order-free), then put drained
+    // routers to sleep.
+    const std::size_t n = active_.orderedPrefix();
+    for (std::size_t i = 0; i < n; ++i)
+        routers_[active_.at(i)]->evaluate(now);
+    for (const std::uint32_t id : active_.raw())
+        routers_[id]->commit();
+    // Post-commit, staged counts are published, so quiescent() (all
+    // FIFOs visibly empty, short-circuiting) is exactly
+    // flitCount() == 0 — and far cheaper for saturated routers.
+    active_.retain([this](std::uint32_t id) {
+        return !routers_[id]->quiescent();
+    });
+}
+
+void
+MeshNetwork::setActiveScheduling(bool enabled)
+{
+    activeSched_ = enabled;
+    if (!enabled)
+        return;
+    for (std::size_t id = 0; id < routers_.size(); ++id) {
+        if (routers_[id]->flitCount() != 0)
+            active_.add(static_cast<std::uint32_t>(id));
+    }
+}
+
+bool
+MeshNetwork::isIdle() const
+{
+    if (activeSched_)
+        return active_.empty();
+    return flitsInFlight() == 0;
+}
+
+std::size_t
+MeshNetwork::activeNodeCount() const
+{
+    return active_.size();
 }
 
 std::uint64_t

@@ -50,6 +50,9 @@ class MeshNetwork : public Network
     }
     std::uint64_t flitsInFlight() const override;
     void registerMetrics(MetricRegistry &registry) const override;
+    void setActiveScheduling(bool enabled) override;
+    bool isIdle() const override;
+    std::size_t activeNodeCount() const override;
 
     /** Mesh-link utilization in [0, 1] (the paper's Figure 13). */
     double networkUtilization() const;
@@ -72,6 +75,13 @@ class MeshNetwork : public Network
     std::vector<std::unique_ptr<MeshRouter>> routers_;
     UtilizationTracker util_;
     UtilizationTracker::GroupId meshGroup_;
+
+    // Active-set scheduler state (setActiveScheduling). Router
+    // evaluation order is immaterial (two-phase FIFOs), but the set
+    // still iterates in id order so behaviour is easy to reason about
+    // and identical to the full scan by construction.
+    bool activeSched_ = false;
+    ActiveSet active_;
 };
 
 } // namespace hrsim

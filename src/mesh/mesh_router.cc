@@ -131,6 +131,8 @@ MeshRouter::pushDownstream(int out, const Flit &flit, Cycle now)
     Output &port = out_[static_cast<std::size_t>(out)];
     const MeshPort facing = oppositePort(static_cast<MeshPort>(out));
     port.neighbor->inBuf_[static_cast<std::size_t>(facing)].push(flit);
+    if (wakeSet_) // wake a sleeping neighbor
+        wakeSet_->add(static_cast<std::uint32_t>(port.neighbor->id_));
     if (port.util)
         port.util->recordTransfer(port.link);
     HRSIM_TRACE_FLIT(
@@ -243,7 +245,7 @@ MeshRouter::commit()
 bool
 MeshRouter::canInject(const Packet &pkt) const
 {
-    const StagedFifo<Flit> &queue =
+    const MeshFifo &queue =
         isRequest(pkt.type) ? outReq_ : outResp_;
     return queue.producerSpace() >= pkt.sizeFlits;
 }
@@ -252,12 +254,12 @@ void
 MeshRouter::inject(const Packet &pkt)
 {
     HRSIM_ASSERT(canInject(pkt));
-    StagedFifo<Flit> &queue = isRequest(pkt.type) ? outReq_ : outResp_;
+    MeshFifo &queue = isRequest(pkt.type) ? outReq_ : outResp_;
     for (std::uint32_t i = 0; i < pkt.sizeFlits; ++i)
         queue.push(makeFlit(pkt, i));
 }
 
-const StagedFifo<Flit> &
+const MeshFifo &
 MeshRouter::inputBuffer(MeshPort port) const
 {
     HRSIM_ASSERT(port != PortLocal);

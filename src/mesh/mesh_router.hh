@@ -24,6 +24,7 @@
 #include "common/types.hh"
 #include "obs/flit_trace.hh"
 #include "proto/packet.hh"
+#include "sim/active_set.hh"
 #include "stats/utilization.hh"
 
 namespace hrsim
@@ -42,6 +43,13 @@ enum MeshPort : int
 
 /** The port on the neighbor that faces back at @a port. */
 MeshPort oppositePort(MeshPort port);
+
+/**
+ * Router queues skip the StagedFifo small-buffer: six queues per
+ * router would grow MeshRouter ~3x, and the per-cycle sweep over all
+ * routers is cache-footprint-bound (measured slower inline).
+ */
+using MeshFifo = StagedFifo<Flit, 0>;
 
 class MeshRouter
 {
@@ -88,10 +96,16 @@ class MeshRouter
      */
     void setTracerSlot(FlitTracer *const *slot) { tracerSlot_ = slot; }
 
+    /**
+     * The network's router ActiveSet: pushing a flit into a
+     * neighbor's input buffer wakes the neighbor (by its PM id).
+     */
+    void setWakeSet(ActiveSet *set) { wakeSet_ = set; }
+
     NodeId id() const { return id_; }
 
     /** Directional input buffer (for tests). */
-    const StagedFifo<Flit> &inputBuffer(MeshPort port) const;
+    const MeshFifo &inputBuffer(MeshPort port) const;
 
     /** Flits currently buffered in this router. */
     std::uint64_t flitCount() const;
@@ -118,9 +132,9 @@ class MeshRouter
     int y_;
     bool roundRobin_;
 
-    std::array<StagedFifo<Flit>, 4> inBuf_;
-    StagedFifo<Flit> outResp_;
-    StagedFifo<Flit> outReq_;
+    std::array<MeshFifo, 4> inBuf_;
+    MeshFifo outResp_;
+    MeshFifo outReq_;
 
     /** Which queue the local input's current worm drains from. */
     enum class LocalSrc : std::uint8_t { None, Resp, Req };
@@ -142,6 +156,7 @@ class MeshRouter
 
     DeliverFn deliver_;
     FlitTracer *const *tracerSlot_ = nullptr;
+    ActiveSet *wakeSet_ = nullptr;
 };
 
 } // namespace hrsim

@@ -96,6 +96,38 @@ class RingIri
     /** Flits currently buffered in this IRI. */
     std::uint64_t flitCount() const;
 
+    /**
+     * flitCount() == 0, but short-circuiting: the end-of-tick sleep
+     * sweep polls every awake component each cycle, and at
+     * saturation the first load answers the question.
+     */
+    bool
+    empty() const
+    {
+        return !lower_.in.cur && !lower_.in.staged &&
+               !upper_.in.cur && !upper_.in.staged &&
+               lower_.transitBuf.totalSize() == 0 &&
+               upper_.transitBuf.totalSize() == 0 &&
+               upResp_.totalSize() == 0 && upReq_.totalSize() == 0 &&
+               downResp_.totalSize() == 0 && downReq_.totalSize() == 0;
+    }
+
+    /**
+     * Put the (empty) IRI into its sleeping rest state: both sides
+     * accept (an empty latch always computes accept = true) and no
+     * escape lap is armed (the quiescent evaluate paths clear the
+     * escape markers every cycle; an empty IRI has no worm to
+     * escape). Skipping an asleep IRI's ticks is then invisible.
+     */
+    void
+    prepareSleep()
+    {
+        lower_.accept = true;
+        upper_.accept = true;
+        lowerEscaped_ = 0;
+        upperEscaped_ = 0;
+    }
+
     /** One-line buffer state (stall diagnostics). */
     void debugDump(std::ostream &out) const;
 

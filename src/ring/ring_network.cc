@@ -81,6 +81,19 @@ RingNetwork::RingNetwork(const Params &params)
         }
     }
 
+    // Active-set bookkeeping (used when setActiveScheduling(true);
+    // the wake wiring below is installed unconditionally and is
+    // idempotent-cheap in full-scan mode).
+    activeNics_.reset(nics_.size());
+    activeIris_.reset(iris_.size());
+    iriFastUpper_.assign(iris_.size(), 0);
+    for (std::size_t i = 0; i < iris_.size(); ++i) {
+        const bool on_root =
+            structure_.iris[i].parentRing == structure_.rootRing;
+        if (on_root && params_.globalRingSpeed > 1)
+            iriFastUpper_[i] = 1;
+    }
+
     // Wire each ring: slot i's output feeds slot i+1's latch.
     for (std::size_t r = 0; r < structure_.rings.size(); ++r) {
         const RingDesc &ring = structure_.rings[r];
@@ -91,7 +104,15 @@ RingNetwork::RingNetwork(const Params &params)
             is_root_ring ? params_.globalRingSpeed : 1;
         for (std::size_t i = 0; i < n; ++i) {
             RingSide &from = sideAt(ring.slots[i]);
-            RingSide &to = sideAt(ring.slots[(i + 1) % n]);
+            const RingSlotDesc &to_slot = ring.slots[(i + 1) % n];
+            RingSide &to = sideAt(to_slot);
+            // Staging into the downstream latch must wake its owner.
+            ActiveSet *wake_set =
+                to_slot.kind == RingSlotDesc::Kind::Nic
+                    ? &activeNics_
+                    : &activeIris_;
+            const auto wake_id =
+                static_cast<std::uint32_t>(to_slot.index);
             const auto link = util_.addLink(
                 levelGroups_[static_cast<std::size_t>(ring.level)],
                 speed);
@@ -114,7 +135,7 @@ RingNetwork::RingNetwork(const Params &params)
             from.out.connect(&to.in, &to.accept, &util_, link,
                              &occupancy_[r], ring.subtreeLo,
                              ring.subtreeHi, starvation_limit,
-                             &tracer_, trace_node);
+                             &tracer_, trace_node, wake_set, wake_id);
         }
     }
 }
@@ -180,12 +201,22 @@ RingNetwork::inject(NodeId pm, const Packet &pkt)
     if (pkt.dst == broadcastNode)
         fatal("RingNetwork: broadcast requires slotted switching");
     nics_[static_cast<std::size_t>(pm)]->inject(pkt);
+    activeNics_.add(static_cast<std::uint32_t>(pm));
     HRSIM_TRACE_FLIT(tracer_, FlitEvent::Inject, pkt.id, pm,
                      nics_[static_cast<std::size_t>(pm)]->flitCount());
 }
 
 void
 RingNetwork::tick(Cycle now)
+{
+    if (activeSched_)
+        tickActive(now);
+    else
+        tickFullScan(now);
+}
+
+void
+RingNetwork::tickFullScan(Cycle now)
 {
     // Phase A: acceptance flags from start-of-cycle state.
     for (auto &nic : nics_)
@@ -222,6 +253,133 @@ RingNetwork::tick(Cycle now)
         for (RingIri *iri : fastIris_)
             iri->commitUpper();
     }
+}
+
+void
+RingNetwork::tickActive(Cycle now)
+{
+    // Iteration discipline: a component woken mid-tick (a flit
+    // staged into its latch) was empty at the start of the cycle, so
+    // the phase A/B calls the full scan would have made on it are
+    // provably no-ops — only its end-of-cycle commit matters. Phases
+    // A and B therefore iterate a sorted prefix fixed at tick start
+    // (mid-tick wakes only append, so indices stay stable — no
+    // snapshot copy), in ascending node-id order, reproducing the
+    // full scan's per-category order exactly (occupancy updates and
+    // admission checks interleave identically). Commits touch one
+    // component each with no cross-component reads, so they iterate
+    // the raw wake-order list — covering mid-tick wakes — without
+    // re-sorting.
+    const std::size_t nic_n = activeNics_.orderedPrefix();
+    const std::size_t iri_n = activeIris_.orderedPrefix();
+
+    // Phase A: acceptance flags from start-of-cycle state.
+    for (std::size_t i = 0; i < nic_n; ++i)
+        nics_[activeNics_.at(i)]->computeAcceptance();
+    for (std::size_t i = 0; i < iri_n; ++i)
+        iris_[activeIris_.at(i)]->computeAcceptanceLower();
+    for (std::size_t i = 0; i < iri_n; ++i) {
+        const std::uint32_t id = activeIris_.at(i);
+        if (!iriFastUpper_[id])
+            iris_[id]->computeAcceptanceUpper();
+    }
+
+    // Phase B: system-clock domain.
+    for (std::size_t i = 0; i < nic_n; ++i)
+        nics_[activeNics_.at(i)]->evaluate(now);
+    for (std::size_t i = 0; i < iri_n; ++i)
+        iris_[activeIris_.at(i)]->evaluateLower();
+    for (std::size_t i = 0; i < iri_n; ++i) {
+        const std::uint32_t id = activeIris_.at(i);
+        if (!iriFastUpper_[id])
+            iris_[id]->evaluateUpper();
+    }
+
+    // Commit the system-clock domain, including mid-tick wakes.
+    for (const std::uint32_t id : activeNics_.raw())
+        nics_[id]->commit();
+    for (const std::uint32_t id : activeIris_.raw()) {
+        iris_[id]->commitLower();
+        if (!iriFastUpper_[id])
+            iris_[id]->commitUpper();
+    }
+
+    // Fast domain: the global ring runs globalRingSpeed sub-cycles.
+    // Wakes can also happen between sub-cycles (an upper-side
+    // transmit stages into the next IRI's upper latch), so the awake
+    // fast prefix is re-established per sub-cycle and the commit pass
+    // again reads the raw list.
+    if (!fastIris_.empty()) {
+        for (std::uint32_t sub = 0; sub < params_.globalRingSpeed;
+             ++sub) {
+            const std::size_t fast_n = activeIris_.orderedPrefix();
+            for (std::size_t i = 0; i < fast_n; ++i) {
+                const std::uint32_t id = activeIris_.at(i);
+                if (iriFastUpper_[id])
+                    iris_[id]->computeAcceptanceUpper();
+            }
+            for (std::size_t i = 0; i < fast_n; ++i) {
+                const std::uint32_t id = activeIris_.at(i);
+                if (iriFastUpper_[id])
+                    iris_[id]->evaluateUpper();
+            }
+            for (const std::uint32_t id : activeIris_.raw()) {
+                if (iriFastUpper_[id])
+                    iris_[id]->commitUpper();
+            }
+        }
+    }
+
+    // Sleep sweep: drained components leave the sets until a flit
+    // wakes them again.
+    activeNics_.retain([this](std::uint32_t id) {
+        if (!nics_[id]->empty())
+            return true;
+        nics_[id]->prepareSleep();
+        return false;
+    });
+    activeIris_.retain([this](std::uint32_t id) {
+        if (!iris_[id]->empty())
+            return true;
+        iris_[id]->prepareSleep();
+        return false;
+    });
+}
+
+void
+RingNetwork::setActiveScheduling(bool enabled)
+{
+    activeSched_ = enabled;
+    if (!enabled)
+        return;
+    // Establish the invariant "asleep <=> empty": wake everything
+    // holding flits, put everything else into its rest state.
+    for (std::size_t i = 0; i < nics_.size(); ++i) {
+        if (nics_[i]->flitCount() != 0)
+            activeNics_.add(static_cast<std::uint32_t>(i));
+        else
+            nics_[i]->prepareSleep();
+    }
+    for (std::size_t i = 0; i < iris_.size(); ++i) {
+        if (iris_[i]->flitCount() != 0)
+            activeIris_.add(static_cast<std::uint32_t>(i));
+        else
+            iris_[i]->prepareSleep();
+    }
+}
+
+bool
+RingNetwork::isIdle() const
+{
+    if (activeSched_)
+        return activeNics_.empty() && activeIris_.empty();
+    return flitsInFlight() == 0;
+}
+
+std::size_t
+RingNetwork::activeNodeCount() const
+{
+    return activeNics_.size() + activeIris_.size();
 }
 
 std::uint64_t

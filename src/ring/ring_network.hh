@@ -9,6 +9,15 @@
  * of the IRIs sitting on the global ring are then evaluated and
  * committed once per sub-cycle, with their up/down queues acting as
  * the clock-domain crossing.
+ *
+ * With setActiveScheduling(true) the network ticks only awake
+ * components (those holding at least one flit) from two ActiveSets —
+ * one for NICs, one for IRIs — iterated in node-id order so the
+ * per-category evaluation order of the full scan is preserved
+ * exactly. Handing a flit to a sleeping neighbor wakes it (wired via
+ * RingOutput::connect); a component goes back to sleep in the
+ * end-of-tick sweep once it drains. Results are bit-identical to the
+ * full scan — see DESIGN.md section 10 for the invariants.
  */
 
 #ifndef HRSIM_RING_RING_NETWORK_HH
@@ -66,6 +75,9 @@ class RingNetwork : public Network
     }
     std::uint64_t flitsInFlight() const override;
     void registerMetrics(MetricRegistry &registry) const override;
+    void setActiveScheduling(bool enabled) override;
+    bool isIdle() const override;
+    std::size_t activeNodeCount() const override;
 
     /** Utilization of the rings at a hierarchy level (0 = global). */
     double levelUtilization(int level) const;
@@ -95,6 +107,12 @@ class RingNetwork : public Network
     /** The side occupying a slot of a ring. */
     RingSide &sideAt(const RingSlotDesc &slot);
 
+    /** Full-scan tick (legacy path, also the bit-identity oracle). */
+    void tickFullScan(Cycle now);
+
+    /** Active-set tick: only awake components are visited. */
+    void tickActive(Cycle now);
+
     Params params_;
     RingStructure structure_;
     std::uint32_t clFlits_;
@@ -111,6 +129,13 @@ class RingNetwork : public Network
     std::vector<RingIri *> fastIris_;
     /** IRIs whose upper side runs at the system clock. */
     std::vector<RingIri *> slowUpperIris_;
+
+    // Active-set scheduler state (setActiveScheduling).
+    bool activeSched_ = false;
+    ActiveSet activeNics_;
+    ActiveSet activeIris_;
+    /** Per-IRI flag: upper side in the fast (global) domain. */
+    std::vector<std::uint8_t> iriFastUpper_;
 };
 
 } // namespace hrsim

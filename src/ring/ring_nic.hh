@@ -70,6 +70,33 @@ class RingNic
     /** Flits currently buffered in this NIC. */
     std::uint64_t flitCount() const;
 
+    /**
+     * flitCount() == 0, but short-circuiting: the end-of-tick sleep
+     * sweep polls every awake component each cycle, and at
+     * saturation the first load answers the question.
+     */
+    bool
+    empty() const
+    {
+        return !side_.in.cur && !side_.in.staged &&
+               side_.transitBuf.totalSize() == 0 &&
+               outResp_.totalSize() == 0 && outReq_.totalSize() == 0;
+    }
+
+    /**
+     * Put the (empty) NIC into its sleeping rest state: the same
+     * state a full computeAcceptance/evaluate scan would leave an
+     * empty NIC in every cycle, so skipping its ticks while asleep is
+     * invisible. Called by the network's end-of-tick sleep sweep and
+     * when active scheduling is switched on.
+     */
+    void
+    prepareSleep()
+    {
+        // An empty latch always computes accept = true.
+        side_.accept = true;
+    }
+
     /** One-line buffer state (stall diagnostics). */
     void debugDump(std::ostream &out) const;
 

@@ -24,12 +24,11 @@
 #ifndef HRSIM_RING_RING_NODE_HH
 #define HRSIM_RING_RING_NODE_HH
 
-#include <optional>
-
 #include "common/log.hh"
 #include "common/staged_fifo.hh"
 #include "obs/flit_trace.hh"
 #include "proto/packet.hh"
+#include "sim/active_set.hh"
 #include "stats/utilization.hh"
 
 namespace hrsim
@@ -90,17 +89,48 @@ struct RingOccupancy
     }
 };
 
+/**
+ * A maybe-occupied flit slot: std::optional<Flit> flattened into a
+ * plain value plus a tag byte. Identical interface for the subset the
+ * ring code uses, but assignment/reset never run optional's
+ * construct/destroy machinery — a latch copy is a fixed-size copy,
+ * which the tick hot path does once per flit hop.
+ */
+struct FlitSlot
+{
+    Flit flit{};
+    bool full = false;
+
+    explicit operator bool() const { return full; }
+    bool has_value() const { return full; }
+
+    const Flit &operator*() const { return flit; }
+    Flit &operator*() { return flit; }
+    const Flit *operator->() const { return &flit; }
+    Flit *operator->() { return &flit; }
+
+    FlitSlot &
+    operator=(const Flit &value)
+    {
+        flit = value;
+        full = true;
+        return *this;
+    }
+
+    void reset() { full = false; }
+};
+
 /** Single-flit input register with two-phase commit. */
 struct RingLatch
 {
-    std::optional<Flit> cur;
-    std::optional<Flit> staged;
+    FlitSlot cur;
+    FlitSlot staged;
 
     void
     commit()
     {
-        if (staged) {
-            HRSIM_ASSERT(!cur);
+        if (staged.full) {
+            HRSIM_ASSERT(!cur.full);
             cur = staged;
             staged.reset();
         }
@@ -209,6 +239,10 @@ class RingOutput
      * (may be null when tracing is unused) and @a trace_node names
      * this link's driver in trace events: the PM id for NIC outputs,
      * -(2*iri+1) / -(2*iri+2) for IRI lower/upper sides.
+     * @a wake_set / @a wake_id name the downstream component in its
+     * network's active set, so staging a flit into a sleeping
+     * neighbor's latch wakes it (nullptr when the owning network has
+     * no active-set scheduler).
      */
     void
     connect(RingLatch *latch, const bool *accept_flag,
@@ -216,7 +250,8 @@ class RingOutput
             RingOccupancy *occupancy, NodeId subtree_lo,
             NodeId subtree_hi, std::uint32_t starvation_limit,
             FlitTracer *const *tracer_slot = nullptr,
-            NodeId trace_node = invalidNode)
+            NodeId trace_node = invalidNode,
+            ActiveSet *wake_set = nullptr, std::uint32_t wake_id = 0)
     {
         downstream_ = latch;
         acceptFlag_ = accept_flag;
@@ -228,6 +263,8 @@ class RingOutput
         starvationLimit_ = starvation_limit;
         tracerSlot_ = tracer_slot;
         traceNode_ = trace_node;
+        wakeSet_ = wake_set;
+        wakeId_ = wake_id;
     }
 
     bool downstreamAccepts() const { return *acceptFlag_; }
@@ -312,6 +349,8 @@ class RingOutput
         }
         const Flit flit = source->consume();
         downstream_->staged = flit;
+        if (wakeSet_)
+            wakeSet_->add(wakeId_); // wake a sleeping neighbor
         util_->recordTransfer(link_);
         HRSIM_TRACE_FLIT(
             tracerSlot_ ? *tracerSlot_ : nullptr, FlitEvent::Hop,
@@ -354,6 +393,8 @@ class RingOutput
     NodeId subtreeHi_ = 0;
     FlitTracer *const *tracerSlot_ = nullptr;
     NodeId traceNode_ = invalidNode;
+    ActiveSet *wakeSet_ = nullptr; //!< downstream's active set
+    std::uint32_t wakeId_ = 0;     //!< downstream's index therein
     std::uint32_t starvationLimit_ = 0;
     std::uint32_t starve_ = 0; //!< cycles a ready queue was passed over
 

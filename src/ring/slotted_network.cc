@@ -102,6 +102,8 @@ SlottedNic::evaluate(Cycle now, UtilizationTracker &util,
     HRSIM_ASSERT(!downstream->staged);
     if (outgoing) {
         downstream->staged = outgoing;
+        if (wakeSet) // wake a sleeping neighbor
+            wakeSet->add(downstreamComp);
         util.recordTransfer(link);
     }
 }
@@ -224,6 +226,8 @@ SlottedIri::evaluateLower(UtilizationTracker &util,
     HRSIM_ASSERT(!lowerDownstream->staged);
     if (outgoing) {
         lowerDownstream->staged = outgoing;
+        if (wakeSet) // wake a sleeping neighbor
+            wakeSet->add(lowerDownstreamComp);
         util.recordTransfer(link);
     }
 }
@@ -304,6 +308,8 @@ SlottedIri::evaluateUpper(UtilizationTracker &util,
     HRSIM_ASSERT(!upperDownstream->staged);
     if (outgoing) {
         upperDownstream->staged = outgoing;
+        if (wakeSet) // wake a sleeping neighbor
+            wakeSet->add(upperDownstreamComp);
         util.recordTransfer(link);
     }
 }
@@ -400,6 +406,22 @@ SlottedRingNetwork::SlottedRingNetwork(const Params &params)
             util_.group("ring level " + std::to_string(level));
     }
 
+    // Active-set bookkeeping: one combined component index space,
+    // NICs first, then IRIs. Wake wiring is installed unconditionally
+    // (idempotent-cheap in full-scan mode).
+    active_.reset(static_cast<std::size_t>(num_pms) + iris_.size());
+    iriFast_.assign(iris_.size(), 0);
+    for (std::size_t i = 0; i < iris_.size(); ++i) {
+        if (structure_.iris[i].parentRing == structure_.rootRing &&
+            params_.globalRingSpeed > 1) {
+            iriFast_[i] = 1;
+        }
+    }
+    for (auto &nic : nics_)
+        nic->wakeSet = &active_;
+    for (auto &iri : iris_)
+        iri->wakeSet = &active_;
+
     // Wire each ring and build the evaluation schedule.
     for (std::size_t r = 0; r < structure_.rings.size(); ++r) {
         const RingDesc &ring = structure_.rings[r];
@@ -408,7 +430,12 @@ SlottedRingNetwork::SlottedRingNetwork(const Params &params)
         const bool fast = is_root && params_.globalRingSpeed > 1;
         for (std::size_t i = 0; i < n; ++i) {
             const RingSlotDesc &slot = ring.slots[i];
-            SlotPort &to = portAt(ring.slots[(i + 1) % n]);
+            const RingSlotDesc &to_slot = ring.slots[(i + 1) % n];
+            SlotPort &to = portAt(to_slot);
+            const auto to_comp = static_cast<std::uint32_t>(
+                to_slot.kind == RingSlotDesc::Kind::Nic
+                    ? to_slot.index
+                    : num_pms + to_slot.index);
             const auto link = util_.addLink(
                 levelGroups_[static_cast<std::size_t>(ring.level)],
                 is_root ? params_.globalRingSpeed : 1);
@@ -417,25 +444,41 @@ SlottedRingNetwork::SlottedRingNetwork(const Params &params)
             hop.index = slot.index;
             hop.link = link;
             switch (slot.kind) {
-              case RingSlotDesc::Kind::Nic:
+              case RingSlotDesc::Kind::Nic: {
                 hop.kind = Hop::Kind::Nic;
-                nics_[static_cast<std::size_t>(slot.index)]
-                    ->downstream = &to;
+                auto &nic = nics_[static_cast<std::size_t>(slot.index)];
+                nic->downstream = &to;
+                nic->downstreamComp = to_comp;
                 break;
-              case RingSlotDesc::Kind::IriLower:
+              }
+              case RingSlotDesc::Kind::IriLower: {
                 hop.kind = Hop::Kind::IriLower;
-                iris_[static_cast<std::size_t>(slot.index)]
-                    ->lowerDownstream = &to;
+                auto &iri = iris_[static_cast<std::size_t>(slot.index)];
+                iri->lowerDownstream = &to;
+                iri->lowerDownstreamComp = to_comp;
                 break;
-              case RingSlotDesc::Kind::IriUpper:
+              }
+              case RingSlotDesc::Kind::IriUpper: {
                 hop.kind = Hop::Kind::IriUpper;
-                iris_[static_cast<std::size_t>(slot.index)]
-                    ->upperDownstream = &to;
+                auto &iri = iris_[static_cast<std::size_t>(slot.index)];
+                iri->upperDownstream = &to;
+                iri->upperDownstreamComp = to_comp;
                 break;
+              }
             }
             (fast ? fastHops_ : slowHops_).push_back(hop);
         }
     }
+}
+
+std::uint32_t
+SlottedRingNetwork::compOf(const Hop &hop) const
+{
+    const auto pms =
+        static_cast<std::uint32_t>(structure_.numProcessors());
+    return hop.kind == Hop::Kind::Nic
+               ? static_cast<std::uint32_t>(hop.index)
+               : pms + static_cast<std::uint32_t>(hop.index);
 }
 
 SlotPort &
@@ -471,6 +514,7 @@ SlottedRingNetwork::inject(NodeId pm, const Packet &pkt)
     HRSIM_ASSERT(pm >= 0 && pm < numProcessors());
     HRSIM_ASSERT(pkt.src == pm);
     nics_[static_cast<std::size_t>(pm)]->inject(pkt);
+    active_.add(static_cast<std::uint32_t>(pm));
     HRSIM_TRACE_FLIT(tracer_, FlitEvent::Inject, pkt.id, pm,
                      nics_[static_cast<std::size_t>(pm)]->flitCount());
 }
@@ -495,35 +539,116 @@ SlottedRingNetwork::tick(Cycle now)
         }
     };
 
-    for (const Hop &hop : slowHops_)
-        run(hop);
+    if (!activeSched_) {
+        for (const Hop &hop : slowHops_)
+            run(hop);
 
-    // Commit the system-clock domain.
-    for (auto &nic : nics_)
-        nic->commit();
-    for (std::size_t i = 0; i < iris_.size(); ++i) {
-        iris_[i]->commitLower();
-        const bool fast =
-            structure_.iris[i].parentRing == structure_.rootRing &&
-            params_.globalRingSpeed > 1;
-        if (!fast)
-            iris_[i]->commitUpper();
-    }
+        // Commit the system-clock domain.
+        for (auto &nic : nics_)
+            nic->commit();
+        for (std::size_t i = 0; i < iris_.size(); ++i) {
+            iris_[i]->commitLower();
+            const bool fast =
+                structure_.iris[i].parentRing == structure_.rootRing &&
+                params_.globalRingSpeed > 1;
+            if (!fast)
+                iris_[i]->commitUpper();
+        }
 
-    // Fast domain: the global ring rotates speed times per cycle.
-    if (!fastHops_.empty()) {
-        for (std::uint32_t sub = 0; sub < params_.globalRingSpeed;
-             ++sub) {
-            for (const Hop &hop : fastHops_)
-                run(hop);
-            for (std::size_t i = 0; i < iris_.size(); ++i) {
-                if (structure_.iris[i].parentRing ==
-                    structure_.rootRing) {
-                    iris_[i]->commitUpper();
+        // Fast domain: the global ring rotates speed times per cycle.
+        if (!fastHops_.empty()) {
+            for (std::uint32_t sub = 0;
+                 sub < params_.globalRingSpeed; ++sub) {
+                for (const Hop &hop : fastHops_)
+                    run(hop);
+                for (std::size_t i = 0; i < iris_.size(); ++i) {
+                    if (structure_.iris[i].parentRing ==
+                        structure_.rootRing) {
+                        iris_[i]->commitUpper();
+                    }
                 }
             }
         }
+        return;
     }
+
+    // Active path: run the hop schedule in its usual order but skip
+    // components that are asleep (empty — their evaluate is a no-op
+    // and they hold no slot cell that must rotate). A component woken
+    // mid-schedule may see its own hop run later in this pass; the
+    // full scan runs that hop too, on the same empty visible state,
+    // so both paths agree. Commits dispatch over the live set so
+    // mid-tick wakes publish their staged cells.
+    const auto pms =
+        static_cast<std::uint32_t>(structure_.numProcessors());
+    for (const Hop &hop : slowHops_) {
+        if (active_.contains(compOf(hop)))
+            run(hop);
+    }
+
+    for (const std::uint32_t id : active_.raw()) {
+        if (id < pms) {
+            nics_[id]->commit();
+        } else {
+            const std::uint32_t i = id - pms;
+            iris_[i]->commitLower();
+            if (!iriFast_[i])
+                iris_[i]->commitUpper();
+        }
+    }
+
+    if (!fastHops_.empty()) {
+        for (std::uint32_t sub = 0; sub < params_.globalRingSpeed;
+             ++sub) {
+            for (const Hop &hop : fastHops_) {
+                if (active_.contains(compOf(hop)))
+                    run(hop);
+            }
+            for (const std::uint32_t id : active_.raw()) {
+                if (id >= pms && iriFast_[id - pms])
+                    iris_[id - pms]->commitUpper();
+            }
+        }
+    }
+
+    // Sleep sweep: drained components leave the set until a cell or
+    // an injection wakes them again.
+    active_.retain([this, pms](std::uint32_t id) {
+        return id < pms ? nics_[id]->flitCount() != 0
+                        : iris_[id - pms]->flitCount() != 0;
+    });
+}
+
+void
+SlottedRingNetwork::setActiveScheduling(bool enabled)
+{
+    activeSched_ = enabled;
+    if (!enabled)
+        return;
+    const auto pms =
+        static_cast<std::uint32_t>(structure_.numProcessors());
+    for (std::uint32_t id = 0; id < pms; ++id) {
+        if (nics_[id]->flitCount() != 0)
+            active_.add(id);
+    }
+    for (std::size_t i = 0; i < iris_.size(); ++i) {
+        if (iris_[i]->flitCount() != 0)
+            active_.add(pms + static_cast<std::uint32_t>(i));
+    }
+}
+
+bool
+SlottedRingNetwork::isIdle() const
+{
+    if (activeSched_)
+        return active_.empty();
+    return flitsInFlight() == 0;
+}
+
+std::size_t
+SlottedRingNetwork::activeNodeCount() const
+{
+    return active_.size();
 }
 
 std::uint64_t

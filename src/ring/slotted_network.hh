@@ -34,6 +34,7 @@
 #include "proto/packet.hh"
 #include "ring/ring_node.hh"
 #include "ring/topology.hh"
+#include "sim/active_set.hh"
 #include "sim/network.hh"
 
 namespace hrsim
@@ -83,6 +84,9 @@ class SlottedNic
     SlotPort &port() { return port_; }
     SlotPort *downstream = nullptr;
     RingOccupancy *occupancy = nullptr;
+    /** Wake wiring: staging downstream wakes that component. */
+    ActiveSet *wakeSet = nullptr;
+    std::uint32_t downstreamComp = 0;
 
     std::uint64_t flitCount() const;
 
@@ -131,6 +135,10 @@ class SlottedIri
     SlotPort *upperDownstream = nullptr;
     RingOccupancy *lowerOccupancy = nullptr;
     RingOccupancy *upperOccupancy = nullptr;
+    /** Wake wiring: staging downstream wakes that component. */
+    ActiveSet *wakeSet = nullptr;
+    std::uint32_t lowerDownstreamComp = 0;
+    std::uint32_t upperDownstreamComp = 0;
 
     bool
     inSubtree(NodeId pm) const
@@ -194,6 +202,9 @@ class SlottedRingNetwork : public Network
     }
     std::uint64_t flitsInFlight() const override;
     void registerMetrics(MetricRegistry &registry) const override;
+    void setActiveScheduling(bool enabled) override;
+    bool isIdle() const override;
+    std::size_t activeNodeCount() const override;
 
     double levelUtilization(int level) const;
     int numLevels() const { return structure_.numLevels; }
@@ -211,6 +222,12 @@ class SlottedRingNetwork : public Network
 
     SlotPort &portAt(const RingSlotDesc &slot);
 
+    /**
+     * Combined component index for the ActiveSet: NICs are [0, P),
+     * IRI i is P + i.
+     */
+    std::uint32_t compOf(const Hop &hop) const;
+
     Params params_;
     RingStructure structure_;
     std::uint32_t clFlits_;
@@ -227,6 +244,15 @@ class SlottedRingNetwork : public Network
     /** Evaluation schedule: slow hops, then fast (global) hops. */
     std::vector<Hop> slowHops_;
     std::vector<Hop> fastHops_;
+
+    // Active-set scheduler state (setActiveScheduling). One combined
+    // set over NICs and IRIs; hops of sleeping components are skipped
+    // (their evaluate is a no-op on empty state) while the hop order
+    // itself — and therefore slot rotation — is untouched.
+    bool activeSched_ = false;
+    ActiveSet active_;
+    /** Per-IRI flag: upper side in the fast (global) domain. */
+    std::vector<std::uint8_t> iriFast_;
 };
 
 } // namespace hrsim

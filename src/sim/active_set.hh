@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Dense active-set used by the network schedulers.
+ *
+ * An ActiveSet tracks which component indices of a network are awake
+ * (hold at least one flit, staged or visible). It is a dense index
+ * vector plus a membership bitmap: add() is O(1) amortized and
+ * idempotent, retain() is an order-preserving linear sweep, and
+ * ordered() yields the members in ascending index order — the same
+ * order the full-scan tick loops use — so arbitration, occupancy
+ * updates and RNG draws are bit-identical between the active-set and
+ * tick-everything schedulers (see DESIGN.md section 10).
+ *
+ * The set keeps itself sorted lazily: appends that arrive in
+ * ascending order (the common case — wakes happen while iterating the
+ * already-sorted set) keep the sorted_ flag, anything else marks the
+ * set dirty and the next ordered() call re-sorts.
+ */
+
+#ifndef HRSIM_SIM_ACTIVE_SET_HH
+#define HRSIM_SIM_ACTIVE_SET_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace hrsim
+{
+
+class ActiveSet
+{
+  public:
+    /** Reset to an empty set over indices [0, n). */
+    void
+    reset(std::size_t n)
+    {
+        members_.clear();
+        members_.reserve(n);
+        in_.assign(n, 0);
+        sorted_ = true;
+    }
+
+    /** Wake @a id. Idempotent; O(1) unless already present. */
+    void
+    add(std::uint32_t id)
+    {
+        HRSIM_ASSERT(id < in_.size());
+        if (in_[id])
+            return;
+        in_[id] = 1;
+        if (!members_.empty() && members_.back() > id)
+            sorted_ = false;
+        members_.push_back(id);
+    }
+
+    bool
+    contains(std::uint32_t id) const
+    {
+        HRSIM_ASSERT(id < in_.size());
+        return in_[id] != 0;
+    }
+
+    bool empty() const { return members_.empty(); }
+    std::size_t size() const { return members_.size(); }
+
+    /** Members in ascending index order (sorts lazily if dirty). */
+    const std::vector<std::uint32_t> &
+    ordered()
+    {
+        if (!sorted_) {
+            std::sort(members_.begin(), members_.end());
+            sorted_ = true;
+        }
+        return members_;
+    }
+
+    /**
+     * Sort (lazily) and return the current member count as a stable
+     * iteration bound: adds during iteration only append, so indices
+     * [0, orderedPrefix()) keep their values and order — no snapshot
+     * copy needed. Read them with at().
+     */
+    std::size_t
+    orderedPrefix()
+    {
+        ordered();
+        return members_.size();
+    }
+
+    /** Member at position @a i (see orderedPrefix() / raw()). */
+    std::uint32_t at(std::size_t i) const { return members_[i]; }
+
+    /**
+     * Members in wake order, without sorting. Deterministic (a pure
+     * function of the simulation history) but NOT ascending — use
+     * only where iteration order is immaterial, e.g. end-of-cycle
+     * commits, which touch one component each.
+     */
+    const std::vector<std::uint32_t> &raw() const { return members_; }
+
+    /**
+     * Keep only members for which @a pred returns true; removed
+     * members go to sleep (their bitmap bit clears). Preserves the
+     * relative order of survivors.
+     */
+    template <typename Pred>
+    void
+    retain(Pred &&pred)
+    {
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            const std::uint32_t id = members_[i];
+            if (pred(id)) {
+                members_[out++] = id;
+            } else {
+                in_[id] = 0;
+            }
+        }
+        members_.resize(out);
+    }
+
+  private:
+    std::vector<std::uint32_t> members_;
+    std::vector<std::uint8_t> in_; //!< membership bitmap
+    bool sorted_ = true;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_SIM_ACTIVE_SET_HH

@@ -66,6 +66,23 @@ class Network
     virtual std::uint64_t flitsInFlight() const = 0;
 
     /**
+     * Switch between the active-set scheduler (true) and the legacy
+     * scan-everything tick loop (false, the default). Results are
+     * bit-identical either way (see DESIGN.md section 10); networks
+     * without an active-set implementation ignore the call.
+     */
+    virtual void setActiveScheduling(bool enabled) { (void)enabled; }
+
+    /**
+     * True when no component holds any flit, i.e. a tick would move
+     * nothing. O(1) for networks with an active-set scheduler.
+     */
+    virtual bool isIdle() const { return flitsInFlight() == 0; }
+
+    /** Components currently awake (0 when not active-scheduling). */
+    virtual std::size_t activeNodeCount() const { return 0; }
+
+    /**
      * Register this network's counters and gauges under stable
      * hierarchical names (e.g. "ring.l1.iri3.wait_cycles"). Samplers
      * capture `this`; the network must outlive registry snapshots.

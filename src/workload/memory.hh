@@ -15,8 +15,8 @@
 #ifndef HRSIM_WORKLOAD_MEMORY_HH
 #define HRSIM_WORKLOAD_MEMORY_HH
 
-#include <deque>
-
+#include "common/log.hh"
+#include "common/ring_deque.hh"
 #include "common/types.hh"
 #include "proto/packet.hh"
 #include "proto/packet_factory.hh"
@@ -46,6 +46,19 @@ class MemoryModule
     /** Responses accepted but not yet injected. */
     std::size_t pendingResponses() const { return pending_.size(); }
 
+    /**
+     * Cycle the oldest pending response becomes injectable. Only
+     * valid while pendingResponses() != 0. The front is minimal:
+     * ready times are monotone in arrival order both serialized
+     * (FIFO service) and pipelined (fixed latency).
+     */
+    Cycle
+    nextReady() const
+    {
+        HRSIM_ASSERT(!pending_.empty());
+        return pending_.front().ready;
+    }
+
   private:
     struct PendingResponse
     {
@@ -58,7 +71,7 @@ class MemoryModule
     bool serialized_;
     PacketFactory &factory_;
     Network &network_;
-    std::deque<PendingResponse> pending_;
+    RingDeque<PendingResponse> pending_;
     /** When serialized: cycle the module next becomes free. */
     Cycle busyUntil_ = 0;
 };

@@ -19,6 +19,24 @@ Processor::Processor(NodeId pm, std::vector<NodeId> targets,
     HRSIM_ASSERT(!targets_.empty());
     HRSIM_ASSERT(std::find(targets_.begin(), targets_.end(), pm_) !=
                  targets_.end());
+    localDue_.reserve(
+        static_cast<std::size_t>(std::max(cfg_.outstandingT, 1)));
+    advanceNextMiss(0);
+}
+
+void
+Processor::advanceNextMiss(Cycle from)
+{
+    if (cfg_.missRateC <= 0.0) {
+        // Every draw would fail and nothing downstream depends on the
+        // stream position, so skip the (infinite) scan outright.
+        nextMissAt_ = neverWake;
+        return;
+    }
+    Cycle c = from;
+    while (!rng_.bernoulli(cfg_.missRateC))
+        ++c;
+    nextMissAt_ = c;
 }
 
 bool
@@ -46,24 +64,36 @@ Processor::tryIssue(const PendingMiss &miss, Cycle now)
 Cycle
 Processor::nextWake(Cycle now) const
 {
-    if (stalled_ && outstanding_ >= cfg_.outstandingT) {
-        // Saturated: tryIssue fails on the outstanding check alone
-        // until a completion frees a slot. Local completions are
-        // timed; remote ones re-arm us via the delivery path.
-        return localDue_.empty() ? neverWake : localDue_.front();
+    if (stalled_) {
+        if (outstanding_ >= cfg_.outstandingT) {
+            // Saturated: tryIssue fails on the outstanding check
+            // alone until a completion frees a slot. Local
+            // completions are timed; remote ones re-arm us via the
+            // delivery path.
+            return localDue_.empty() ? neverWake : localDue_.front();
+        }
+        // Blocked on a full NIC queue: retry every cycle.
+        return now + 1;
     }
-    return now + 1;
+    // Unblocked: nothing happens until the pre-drawn next miss or the
+    // next local completion (whichever comes first). Skipped cycles
+    // are pure no-ops — their failing miss draws are already consumed.
+    Cycle wake = nextMissAt_;
+    if (!localDue_.empty() && localDue_.front() < wake)
+        wake = localDue_.front();
+    return wake;
 }
 
 void
 Processor::syncSkipped(Cycle now)
 {
     if (lastTick_ != neverWake && now > lastTick_ + 1) {
-        // Every skipped cycle would have counted one blocked cycle
-        // and retried an issue that provably fails (nextWake()
-        // precondition), so bulk-credit the counter.
-        HRSIM_ASSERT(stalled_);
-        counters_.blockedCycles += now - lastTick_ - 1;
+        // Stalled skips: every skipped cycle would have counted one
+        // blocked cycle and retried an issue that provably fails
+        // (nextWake() precondition), so bulk-credit the counter.
+        // Unstalled skips are no-ops and credit nothing.
+        if (stalled_)
+            counters_.blockedCycles += now - lastTick_ - 1;
         lastTick_ = now - 1;
     }
 }
@@ -84,19 +114,29 @@ Processor::tick(Cycle now)
 
     if (stalled_) {
         ++counters_.blockedCycles;
-        if (tryIssue(stalledMiss_, now))
+        if (tryIssue(stalledMiss_, now)) {
             stalled_ = false;
+            // nextMissAt_ went stale while blocked (the legacy loop
+            // draws nothing during a stall); resume the stream from
+            // the next cycle, exactly where it would have resumed.
+            advanceNextMiss(now + 1);
+        }
         return; // blocked: no new miss is generated this cycle
     }
 
-    if (!rng_.bernoulli(cfg_.missRateC))
+    if (cfg_.missRateC <= 0.0)
         return;
+    if (now < nextMissAt_)
+        return; // pre-drawn failure for this cycle, nothing to do
+    HRSIM_ASSERT(now == nextMissAt_);
 
     ++counters_.missesGenerated;
     PendingMiss miss;
     miss.target = targets_[rng_.uniformInt(targets_.size())];
     miss.isRead = rng_.bernoulli(cfg_.readFraction);
-    if (!tryIssue(miss, now)) {
+    if (tryIssue(miss, now)) {
+        advanceNextMiss(now + 1);
+    } else {
         stalled_ = true;
         stalledMiss_ = miss;
     }

@@ -22,9 +22,9 @@
 #define HRSIM_WORKLOAD_PROCESSOR_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "common/ring_deque.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "proto/packet.hh"
@@ -74,11 +74,16 @@ class Processor : public TrafficSource
     void onResponse(const Packet &pkt, Cycle now) override;
 
     /**
-     * Skip-idle contract: while blocked with all T transactions
+     * Skip-idle contract. While blocked with all T transactions
      * outstanding the processor's tick is pure bookkeeping (one
      * blocked cycle counted, a retry that cannot succeed), so it
      * sleeps until the next local completion — or, with none in
-     * flight, until a response delivery re-arms it.
+     * flight, until a response delivery re-arms it. While unblocked
+     * it sleeps until its pre-drawn next miss cycle or the next local
+     * completion, whichever is sooner: the per-cycle Bernoulli miss
+     * draws the legacy loop makes are consumed eagerly (see
+     * advanceNextMiss), so the RNG stream is bit-identical whether or
+     * not the intermediate no-op ticks actually run.
      */
     Cycle nextWake(Cycle now) const override;
 
@@ -106,6 +111,16 @@ class Processor : public TrafficSource
     /** Try to issue @a miss; true on success. */
     bool tryIssue(const PendingMiss &miss, Cycle now);
 
+    /**
+     * Pre-draw the Bernoulli(C) miss sequence starting at cycle
+     * @a from: consumes exactly the failure draws the legacy
+     * tick-every-cycle loop would make for cycles [from, nextMissAt_)
+     * plus the success at nextMissAt_. With C <= 0 no draw ever
+     * succeeds (and no dependent draws follow), so the stream
+     * position is unobservable and none are consumed.
+     */
+    void advanceNextMiss(Cycle from);
+
     NodeId pm_;
     std::vector<NodeId> targets_;
     WorkloadConfig cfg_;
@@ -121,9 +136,11 @@ class Processor : public TrafficSource
     PendingMiss stalledMiss_{invalidNode, true};
     /** Cycle of the last tick() (neverWake until the first one). */
     Cycle lastTick_ = neverWake;
+    /** Pre-drawn cycle of the next miss (stale while stalled). */
+    Cycle nextMissAt_ = 0;
 
     /** Completion times of in-flight local accesses (sorted). */
-    std::deque<Cycle> localDue_;
+    RingDeque<Cycle> localDue_;
 };
 
 } // namespace hrsim

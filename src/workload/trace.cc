@@ -124,14 +124,16 @@ TraceProcessor::TraceProcessor(NodeId pm,
                                PacketFactory &factory,
                                Network &network, BatchMeans &latency,
                                WorkloadCounters &counters)
-    : pm_(pm), queue_(records.begin(), records.end()),
-      limit_(outstanding_limit), memoryLatency_(memory_latency),
-      factory_(factory), network_(network), latency_(latency),
-      counters_(counters)
+    : pm_(pm), limit_(outstanding_limit),
+      memoryLatency_(memory_latency), factory_(factory),
+      network_(network), latency_(latency), counters_(counters)
 {
     HRSIM_ASSERT(limit_ >= 1);
-    for (const TraceRecord &rec : queue_)
+    queue_.reserve(records.size());
+    for (const TraceRecord &rec : records) {
         HRSIM_ASSERT(rec.pm == pm_);
+        queue_.push_back(rec);
+    }
 }
 
 bool
@@ -140,9 +142,44 @@ TraceProcessor::blocked() const
     return !queue_.empty() && outstanding_ >= limit_;
 }
 
+Cycle
+TraceProcessor::nextWake(Cycle now) const
+{
+    if (netBlocked_)
+        return now + 1; // NIC back-pressure: retry every cycle
+    Cycle wake = neverWake;
+    if (!localDue_.empty())
+        wake = localDue_.front();
+    if (!queue_.empty() && outstanding_ < limit_) {
+        const Cycle due = std::max(queue_.front().cycle, now + 1);
+        wake = std::min(wake, due);
+    }
+    // Saturated (outstanding_ >= limit_): local completions are
+    // timed; remote ones re-arm us via the delivery path.
+    return wake;
+}
+
+void
+TraceProcessor::syncSkipped(Cycle now)
+{
+    if (lastTick_ != neverWake && now > lastTick_ + 1) {
+        // Every skipped cycle would have counted one blocked cycle
+        // iff the replay ended its last tick saturated (the snapshot
+        // — deliveries inside the window already forced a wake, so
+        // the state cannot have changed while asleep).
+        if (sleepBlocked_)
+            counters_.blockedCycles += now - lastTick_ - 1;
+        lastTick_ = now - 1;
+    }
+}
+
 void
 TraceProcessor::tick(Cycle now)
 {
+    syncSkipped(now);
+    lastTick_ = now;
+    netBlocked_ = false;
+
     while (!localDue_.empty() && localDue_.front() <= now) {
         localDue_.pop_front();
         HRSIM_ASSERT(outstanding_ > 0);
@@ -166,6 +203,7 @@ TraceProcessor::tick(Cycle now)
             factory_.makeRequest(pm_, rec.target, rec.isRead, now);
         if (!network_.canInject(pm_, pkt)) {
             ++counters_.blockedCycles;
+            netBlocked_ = true;
             break; // retry the same record next cycle
         }
         network_.inject(pm_, pkt);
@@ -176,6 +214,7 @@ TraceProcessor::tick(Cycle now)
     }
     if (blocked())
         ++counters_.blockedCycles;
+    sleepBlocked_ = blocked();
 }
 
 void

@@ -25,11 +25,11 @@
 #ifndef HRSIM_WORKLOAD_TRACE_HH
 #define HRSIM_WORKLOAD_TRACE_HH
 
-#include <deque>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "common/ring_deque.hh"
 #include "common/types.hh"
 #include "proto/packet_factory.hh"
 #include "sim/network.hh"
@@ -118,6 +118,17 @@ class TraceProcessor : public TrafficSource
     int outstanding() const override { return outstanding_; }
     bool blocked() const override;
 
+    /**
+     * Skip-idle contract: with no NIC back-pressure the replay is
+     * event-driven — nothing happens before the next local
+     * completion or the next record's due cycle (or a response
+     * delivery, which re-arms via the delivery path).
+     */
+    Cycle nextWake(Cycle now) const override;
+
+    /** Credit blockedCycles for ticks skipped while asleep. */
+    void syncSkipped(Cycle now) override;
+
     void setHistogram(Histogram *histogram) override
     {
         histogram_ = histogram;
@@ -128,7 +139,7 @@ class TraceProcessor : public TrafficSource
 
   private:
     NodeId pm_;
-    std::deque<TraceRecord> queue_;
+    RingDeque<TraceRecord> queue_;
     int limit_;
     std::uint32_t memoryLatency_;
     PacketFactory &factory_;
@@ -138,7 +149,13 @@ class TraceProcessor : public TrafficSource
     Histogram *histogram_ = nullptr;
 
     int outstanding_ = 0;
-    std::deque<Cycle> localDue_;
+    RingDeque<Cycle> localDue_;
+    /** NIC back-pressure seen this tick: must retry next cycle. */
+    bool netBlocked_ = false;
+    /** blocked() snapshot at end of tick, for syncSkipped credit. */
+    bool sleepBlocked_ = false;
+    /** Cycle of the last tick() (neverWake until the first one). */
+    Cycle lastTick_ = neverWake;
 };
 
 } // namespace hrsim

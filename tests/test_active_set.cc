@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Active-set scheduler tests: ActiveSet container semantics, and the
+ * bit-identity contract between the active-set tick path and the
+ * full-scan oracle (HRSIM_FORCE_FULL_SCAN=1) across network kinds,
+ * clock speeds, workloads and observability settings. The full
+ * RunResult is compared — counters, latency statistics, the
+ * materialized metric registry and mid-run snapshots — with only the
+ * sched.* scheduler metrics (which exist only on the active path)
+ * excluded. See DESIGN.md section 10 for the invariants under test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "core/system.hh"
+#include "sim/active_set.hh"
+#include "workload/trace.hh"
+
+namespace hrsim
+{
+namespace
+{
+
+// ---------------------------------------------------------------- //
+// ActiveSet container semantics
+
+TEST(ActiveSet, AddIsIdempotentAndContainsTracksMembership)
+{
+    ActiveSet set;
+    set.reset(8);
+    EXPECT_TRUE(set.empty());
+
+    set.add(3);
+    set.add(5);
+    set.add(3); // duplicate: no growth
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_TRUE(set.contains(3));
+    EXPECT_TRUE(set.contains(5));
+    EXPECT_FALSE(set.contains(0));
+}
+
+TEST(ActiveSet, OrderedSortsOutOfOrderWakes)
+{
+    ActiveSet set;
+    set.reset(10);
+    for (const std::uint32_t id : {7u, 2u, 9u, 0u, 4u})
+        set.add(id);
+    EXPECT_EQ(set.ordered(),
+              (std::vector<std::uint32_t>{0, 2, 4, 7, 9}));
+}
+
+TEST(ActiveSet, OrderedPrefixIsStableUnderMidIterationWakes)
+{
+    ActiveSet set;
+    set.reset(16);
+    for (const std::uint32_t id : {6u, 1u, 12u})
+        set.add(id);
+
+    const std::size_t prefix = set.orderedPrefix();
+    ASSERT_EQ(prefix, 3u);
+    // A wake arriving mid-iteration (as a flit handoff would cause)
+    // must not disturb the already-sorted prefix.
+    set.add(0);
+    EXPECT_EQ(set.at(0), 1u);
+    EXPECT_EQ(set.at(1), 6u);
+    EXPECT_EQ(set.at(2), 12u);
+    // ...but the raw list covers the newcomer, in wake order.
+    EXPECT_EQ(set.raw(),
+              (std::vector<std::uint32_t>{1, 6, 12, 0}));
+}
+
+TEST(ActiveSet, RetainPreservesOrderAndClearsMembership)
+{
+    ActiveSet set;
+    set.reset(10);
+    for (std::uint32_t id = 0; id < 10; ++id)
+        set.add(id);
+
+    set.retain([](std::uint32_t id) { return id % 2 == 1; });
+    EXPECT_EQ(set.ordered(),
+              (std::vector<std::uint32_t>{1, 3, 5, 7, 9}));
+    EXPECT_FALSE(set.contains(4));
+
+    // A slept member can wake again.
+    set.add(4);
+    EXPECT_TRUE(set.contains(4));
+    EXPECT_EQ(set.ordered(),
+              (std::vector<std::uint32_t>{1, 3, 4, 5, 7, 9}));
+}
+
+TEST(ActiveSet, ResetDropsEverything)
+{
+    ActiveSet set;
+    set.reset(4);
+    set.add(2);
+    set.reset(4);
+    EXPECT_TRUE(set.empty());
+    EXPECT_FALSE(set.contains(2));
+}
+
+// ---------------------------------------------------------------- //
+// Bit-identity: active-set scheduler vs full-scan oracle
+
+/** Scoped HRSIM_FORCE_FULL_SCAN=1 (read at System construction). */
+class ForceFullScan
+{
+  public:
+    ForceFullScan() { setenv("HRSIM_FORCE_FULL_SCAN", "1", 1); }
+    ~ForceFullScan() { unsetenv("HRSIM_FORCE_FULL_SCAN"); }
+};
+
+std::vector<MetricSample>
+withoutSchedMetrics(const std::vector<MetricSample> &metrics)
+{
+    std::vector<MetricSample> kept;
+    kept.reserve(metrics.size());
+    for (const MetricSample &sample : metrics) {
+        if (sample.name.rfind("sched.", 0) != 0)
+            kept.push_back(sample);
+    }
+    return kept;
+}
+
+/** Full RunResult equality, modulo the sched.* scheduler metrics. */
+void
+expectSameResult(const RunResult &active, const RunResult &oracle)
+{
+    EXPECT_EQ(active.avgLatency, oracle.avgLatency);
+    EXPECT_EQ(active.latencyCI95, oracle.latencyCI95);
+    EXPECT_EQ(active.samples, oracle.samples);
+    EXPECT_EQ(active.latencyP50, oracle.latencyP50);
+    EXPECT_EQ(active.latencyP95, oracle.latencyP95);
+    EXPECT_EQ(active.latencyP99, oracle.latencyP99);
+    EXPECT_EQ(active.networkUtilization, oracle.networkUtilization);
+    EXPECT_EQ(active.ringLevelUtilization,
+              oracle.ringLevelUtilization);
+    EXPECT_EQ(active.cycles, oracle.cycles);
+    EXPECT_EQ(active.throughputPerPm, oracle.throughputPerPm);
+
+    EXPECT_EQ(active.counters.missesGenerated,
+              oracle.counters.missesGenerated);
+    EXPECT_EQ(active.counters.remoteIssued,
+              oracle.counters.remoteIssued);
+    EXPECT_EQ(active.counters.remoteCompleted,
+              oracle.counters.remoteCompleted);
+    EXPECT_EQ(active.counters.localIssued,
+              oracle.counters.localIssued);
+    EXPECT_EQ(active.counters.localCompleted,
+              oracle.counters.localCompleted);
+    EXPECT_EQ(active.counters.blockedCycles,
+              oracle.counters.blockedCycles);
+
+    EXPECT_EQ(withoutSchedMetrics(active.metrics),
+              withoutSchedMetrics(oracle.metrics));
+
+    ASSERT_EQ(active.snapshots.size(), oracle.snapshots.size());
+    for (std::size_t i = 0; i < active.snapshots.size(); ++i) {
+        SCOPED_TRACE("snapshot " + std::to_string(i));
+        EXPECT_EQ(active.snapshots[i].cycle,
+                  oracle.snapshots[i].cycle);
+        EXPECT_EQ(withoutSchedMetrics(active.snapshots[i].metrics),
+                  withoutSchedMetrics(oracle.snapshots[i].metrics));
+    }
+}
+
+SimConfig
+shortSim()
+{
+    SimConfig sim;
+    sim.warmupCycles = 800;
+    sim.batchCycles = 800;
+    sim.numBatches = 3;
+    return sim;
+}
+
+/** Network/workload grid covering every scheduler specialization:
+ *  ring (hierarchical, multi-level, double-speed global ring),
+ *  slotted rings, meshes, cache-line sizes, low-rate (sleep/
+ *  fast-forward heavy) and saturating (always-awake) workloads. */
+std::vector<std::pair<std::string, SystemConfig>>
+bitIdentityGrid()
+{
+    std::vector<std::pair<std::string, SystemConfig>> grid;
+    const auto add = [&grid](std::string name, SystemConfig cfg) {
+        cfg.sim.idleSkip = true;
+        grid.emplace_back(std::move(name), cfg);
+    };
+
+    SystemConfig cfg = SystemConfig::ring("2:4", 64);
+    cfg.sim = shortSim();
+    cfg.workload.missRateC = 0.01;
+    add("ring 2:4 low-C", cfg);
+
+    cfg = SystemConfig::ring("4:4", 32);
+    cfg.sim = shortSim();
+    cfg.workload.outstandingT = 4;
+    add("ring 4:4 saturating", cfg);
+
+    cfg = SystemConfig::ring("2:2:4", 64);
+    cfg.sim = shortSim();
+    cfg.workload.missRateC = 0.005;
+    cfg.globalRingSpeed = 2;
+    add("ring 2:2:4 speed-2", cfg);
+
+    cfg = SystemConfig::ring("2:4", 128);
+    cfg.sim = shortSim();
+    cfg.workload.missRateC = 0.02;
+    add("ring 2:4 cl=128", cfg);
+
+    cfg = SystemConfig::mesh(3, 64, 4);
+    cfg.sim = shortSim();
+    cfg.workload.missRateC = 0.01;
+    add("mesh 3 low-C", cfg);
+
+    cfg = SystemConfig::mesh(4, 32, 1);
+    cfg.sim = shortSim();
+    cfg.workload.outstandingT = 2;
+    add("mesh 4 1-flit buffers", cfg);
+
+    cfg = SystemConfig::ring("2:4", 32);
+    cfg.ringSlotted = true;
+    cfg.sim = shortSim();
+    cfg.workload.missRateC = 0.02;
+    add("slotted 2:4", cfg);
+
+    cfg = SystemConfig::ring("2:4", 64);
+    cfg.sim = shortSim();
+    cfg.workload.missRateC = 0.01;
+    cfg.sim.metricsEvery = 500;
+    add("ring 2:4 metricsEvery=500", cfg);
+
+    cfg = SystemConfig::ring("2:4", 64);
+    cfg.sim = shortSim();
+    cfg.workload.missRateC = 0.01;
+    cfg.sim.watchdogCycles = 50; // clamp every fast-forward jump
+    add("ring 2:4 tiny watchdog", cfg);
+
+    // Single-level rings (the Figure 6 family) idle often enough that
+    // the network is regularly quiescent exactly AT the warmup cycle;
+    // a fast-forward that jumps the boundary instead of landing on it
+    // skips startMeasurement() and dies at stopMeasurement().
+    cfg = SystemConfig::ring("4", 16);
+    cfg.sim = shortSim();
+    add("ring 4 single-level cl=16", cfg);
+
+    cfg = SystemConfig::ring("8", 16);
+    cfg.sim = shortSim();
+    cfg.workload.missRateC = 0.01;
+    add("ring 8 single-level low-C", cfg);
+
+    return grid;
+}
+
+TEST(ActiveSetScheduler, BitIdenticalToFullScanAcrossGrid)
+{
+    for (const auto &[name, cfg] : bitIdentityGrid()) {
+        SCOPED_TRACE(name);
+        const RunResult active = runSystem(cfg);
+        RunResult oracle;
+        {
+            ForceFullScan scan;
+            oracle = runSystem(cfg);
+        }
+        expectSameResult(active, oracle);
+        EXPECT_GT(active.samples, 0u);
+    }
+}
+
+TEST(ActiveSetScheduler, BitIdenticalOnTraceReplay)
+{
+    const Trace trace =
+        Trace::synthesizeUniform(8, 2500, 0.015, 0.7, 17);
+    SystemConfig cfg = SystemConfig::ring("2:4", 32);
+    cfg.trace = &trace;
+    cfg.sim = shortSim();
+
+    const RunResult active = runSystem(cfg);
+    RunResult oracle;
+    {
+        ForceFullScan scan;
+        oracle = runSystem(cfg);
+    }
+    expectSameResult(active, oracle);
+    EXPECT_GT(active.counters.missesGenerated, 0u);
+}
+
+TEST(ActiveSetScheduler, ParallelSweepMatchesFullScanOracle)
+{
+    // The sweep engine must stay bit-identical under worker-thread
+    // parallelism with the active scheduler on; also exercised by the
+    // ThreadSanitizer build, which would flag any cross-thread access
+    // the scheduler introduced.
+    std::vector<SystemConfig> points;
+    for (auto &[name, cfg] : bitIdentityGrid()) {
+        if (cfg.sim.metricsEvery == 0 &&
+            cfg.sim.watchdogCycles == SimConfig{}.watchdogCycles) {
+            points.push_back(cfg);
+        }
+    }
+    ASSERT_GE(points.size(), 4u);
+
+    const std::vector<RunResult> active = runSweep(points, 4);
+    std::vector<RunResult> oracle;
+    {
+        ForceFullScan scan;
+        oracle = runSweep(points, 4);
+    }
+    ASSERT_EQ(active.size(), oracle.size());
+    for (std::size_t i = 0; i < active.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i));
+        expectSameResult(active[i], oracle[i]);
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Scheduler metrics
+
+TEST(ActiveSetScheduler, ReportsSkippedCyclesOnIdleWorkload)
+{
+    SystemConfig cfg = SystemConfig::ring("2:4", 64);
+    cfg.sim = shortSim();
+    cfg.workload.missRateC = 0.01;
+
+    const RunResult result = runSystem(cfg);
+    bool found = false;
+    for (const MetricSample &sample : result.metrics) {
+        if (sample.name == "sched.skipped_cycles") {
+            found = true;
+            EXPECT_GT(sample.count, 0u)
+                << "low-rate workload must fast-forward";
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ActiveSetScheduler, SchedMetricsAbsentUnderFullScan)
+{
+    SystemConfig cfg = SystemConfig::ring("2:4", 64);
+    cfg.sim = shortSim();
+    cfg.workload.missRateC = 0.01;
+
+    ForceFullScan scan;
+    const RunResult result = runSystem(cfg);
+    for (const MetricSample &sample : result.metrics)
+        EXPECT_NE(sample.name.rfind("sched.", 0), 0u)
+            << "unexpected " << sample.name;
+}
+
+} // namespace
+} // namespace hrsim

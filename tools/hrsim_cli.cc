@@ -187,6 +187,7 @@ main(int argc, char **argv)
     bool jobs_given = false;
     std::string metrics_out;
     std::string metrics_format = "json";
+    bool metrics_format_given = false;
     std::string trace_path;
 
     try {
@@ -253,6 +254,7 @@ main(int argc, char **argv)
                 metrics_out = argString(argc, argv, i);
             } else if (!std::strcmp(arg, "--metrics-format")) {
                 metrics_format = argString(argc, argv, i);
+                metrics_format_given = true;
             } else if (!std::strcmp(arg, "--metrics-every")) {
                 cfg.sim.metricsEvery = static_cast<Cycle>(
                     argLong(argc, argv, i));
@@ -279,6 +281,11 @@ main(int argc, char **argv)
         if (cfg.sim.metricsEvery != 0 && metrics_out.empty()) {
             std::fprintf(stderr,
                          "warning: --metrics-every has no effect "
+                         "without --metrics-out\n");
+        }
+        if (metrics_format_given && metrics_out.empty()) {
+            std::fprintf(stderr,
+                         "warning: --metrics-format has no effect "
                          "without --metrics-out\n");
         }
         if (!sweep_kind.empty() || list_sweep) {
