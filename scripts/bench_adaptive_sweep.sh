@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Sweep-level proof of the adaptive-run-control win: run the standard
+# figure sweep twice — the paper's fixed-length protocol vs
+# --stop-rel-hw TARGET — and verify that
+#
+#  1. the adaptive sweep simulates at least MIN_SPEEDUP x fewer total
+#     cycles (saturated aborts and early convergence are the savings),
+#  2. every adaptive point that reports stop_reason=converged is
+#     statistically consistent with the fixed run: its +/- rel_hw
+#     interval overlaps the fixed run's 95% confidence interval
+#     (the speed is not bought with wrong answers), and
+#  3. wall-clock moves in the same direction (reported, not gated:
+#     single-core CI boxes time noisily).
+#
+# The adaptive sweep uses a 1000-cycle checkpoint batch: the finest
+# grain that still spans several round trips at every sweep operating
+# point, so stopping decisions land on the earliest honest boundary.
+#
+# Usage: scripts/bench_adaptive_sweep.sh [HRSIM_CLI] [KIND] [TARGET]
+#   HRSIM_CLI  path to hrsim_cli (default build/tools/hrsim_cli)
+#   KIND       ring | mesh | both (default both)
+#   TARGET     --stop-rel-hw target (default 0.05)
+#   HRSIM_SWEEP_JOBS  worker threads for both sweeps (default 1)
+#   HRSIM_STOP_BATCH  adaptive checkpoint batch cycles (default 1000)
+set -euo pipefail
+
+cli=${1:-build/tools/hrsim_cli}
+kind=${2:-both}
+target=${3:-0.05}
+jobs=${HRSIM_SWEEP_JOBS:-1}
+stop_batch=${HRSIM_STOP_BATCH:-1000}
+
+if [[ ! -x "$cli" ]]; then
+    echo "error: $cli not built" >&2
+    exit 1
+fi
+
+fixed_csv=$(mktemp)
+adaptive_csv=$(mktemp)
+trap 'rm -f "$fixed_csv" "$adaptive_csv"' EXIT
+
+echo "fixed-length sweep ($kind)..."
+fixed_start=$SECONDS
+"$cli" --sweep "$kind" --jobs "$jobs" > "$fixed_csv"
+fixed_wall=$((SECONDS - fixed_start))
+
+echo "adaptive sweep ($kind, --stop-rel-hw $target)..."
+adaptive_start=$SECONDS
+"$cli" --sweep "$kind" --jobs "$jobs" --stop-rel-hw "$target" \
+    --stop-batch "$stop_batch" > "$adaptive_csv"
+adaptive_wall=$((SECONDS - adaptive_start))
+
+python3 - "$fixed_csv" "$adaptive_csv" "$target" \
+    "$fixed_wall" "$adaptive_wall" <<'PY'
+import csv
+import sys
+
+MIN_SPEEDUP = 2.0  # acceptance: >= 2x fewer simulated cycles
+
+# The fixed sweep runs the paper's schedule: warmup + batches.
+FIXED_CYCLES = 4000 + 5 * 4000
+
+def rows(path):
+    with open(path) as fh:
+        return {row["label"]: row for row in csv.DictReader(fh)}
+
+fixed = rows(sys.argv[1])
+adaptive = rows(sys.argv[2])
+target = float(sys.argv[3])
+fixed_wall, adaptive_wall = int(sys.argv[4]), int(sys.argv[5])
+
+if set(fixed) != set(adaptive):
+    raise SystemExit("sweeps disagree on the point list")
+
+total_fixed = FIXED_CYCLES * len(fixed)
+total_adaptive = 0
+outside = []
+print(f"\n{'point':<14} {'fixed':>9} {'ci95':>7} {'adaptive':>9} "
+      f"{'cycles':>8} {'stop':>10}")
+for label in fixed:
+    f, a = fixed[label], adaptive[label]
+    cycles = int(a["cycles_simulated"])
+    total_adaptive += cycles
+    f_lat, f_ci = float(f["latency"]), float(f["ci95"])
+    a_lat = float(a["latency"])
+    a_hw = float(a["rel_hw"]) * a_lat  # adaptive 95% half-width
+    reason = a["stop_reason"]
+    mark = ""
+    # Two noisy estimates of the same quantity agree when their 95%
+    # intervals overlap: |a - f| <= f_ci + a_hw.
+    if reason == "converged" and abs(a_lat - f_lat) > f_ci + a_hw:
+        outside.append((label, f_lat, f_ci, a_lat, a_hw))
+        mark = "  <-- outside fixed CI"
+    print(f"{label:<14} {f_lat:>9.2f} {f_ci:>7.2f} {a_lat:>9.2f} "
+          f"{cycles:>8} {reason:>10}{mark}")
+
+speedup = total_fixed / total_adaptive
+print(f"\ntotal simulated cycles: fixed {total_fixed}, "
+      f"adaptive {total_adaptive} ({speedup:.2f}x fewer)")
+print(f"wall-clock: fixed {fixed_wall}s, adaptive {adaptive_wall}s")
+
+failed = False
+if speedup < MIN_SPEEDUP:
+    print(f"FAIL: adaptive sweep must simulate >= {MIN_SPEEDUP}x "
+          f"fewer cycles, got {speedup:.2f}x")
+    failed = True
+if outside:
+    print(f"FAIL: {len(outside)} converged point(s) inconsistent with "
+          "the fixed run's 95% CI:")
+    for label, f_lat, f_ci, a_lat, a_hw in outside:
+        print(f"  {label}: adaptive {a_lat:.2f} +/- {a_hw:.2f} vs "
+              f"fixed {f_lat:.2f} +/- {f_ci:.2f}")
+    failed = True
+if failed:
+    sys.exit(1)
+print("adaptive sweep benchmark ok")
+PY

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Smoke-test adaptive run control end to end: run one easy point and
+# one saturated point through hrsim_cli with --stop-rel-hw, validate
+# the emitted metrics artifacts against the checked-in schema, and
+# assert the stopping rule took the right exit on each:
+#
+#  - A low-load ring (C = 0.01) must stop early with
+#    stop_reason = converged, in fewer cycles than the fixed-length
+#    horizon it replaces.
+#  - A mesh driven far past its saturation knee (C = 0.5 with a deep
+#    T = 64 outstanding window) must be aborted by the divergence
+#    detector with stop_reason = saturated instead of burning its
+#    whole 8x cycle budget.
+#
+# Run as the adaptive_smoke ctest so "the stopping rule silently
+# stopped firing" (or started mislabeling saturated points) fails CI.
+#
+# Usage: scripts/check_adaptive_smoke.sh HRSIM_CLI METRICS_CHECK \
+#            SCHEMA [OUTDIR]
+set -euo pipefail
+
+if [[ $# -lt 3 ]]; then
+    echo "usage: $0 HRSIM_CLI METRICS_CHECK SCHEMA [OUTDIR]" >&2
+    exit 2
+fi
+
+cli=$1
+checker=$2
+schema=$3
+outdir=${4:-.}
+
+ring_out="$outdir/adaptive_smoke_ring.json"
+mesh_out="$outdir/adaptive_smoke_mesh.json"
+
+# Fixed-length horizon these flags would imply: 4000 + 5 * 4000.
+"$cli" --ring 2:4 --line 64 --c 0.01 \
+    --warmup 4000 --batch 4000 --batches 5 \
+    --stop-rel-hw 0.05 \
+    --metrics-out "$ring_out" >/dev/null
+"$cli" --mesh 4 --line 64 --c 0.5 --t 64 \
+    --warmup 4000 --batch 4000 --batches 5 \
+    --stop-rel-hw 0.05 \
+    --metrics-out "$mesh_out" >/dev/null
+
+"$checker" "$schema" "$ring_out"
+"$checker" "$schema" "$mesh_out"
+
+python3 - "$ring_out" "$mesh_out" <<'PY'
+import json
+import sys
+
+def point(path):
+    with open(path) as fh:
+        return json.load(fh)["points"][-1]
+
+ring = point(sys.argv[1])
+mesh = point(sys.argv[2])
+
+fixed_horizon = 4000 + 5 * 4000
+
+if ring.get("stop_reason") != "converged":
+    raise SystemExit(
+        f"ring stop_reason = {ring.get('stop_reason')!r}: a C=0.01 "
+        "ring must converge")
+if ring["end_cycle"] >= fixed_horizon:
+    raise SystemExit(
+        f"ring stopped at {ring['end_cycle']} cycles: convergence "
+        f"must beat the {fixed_horizon}-cycle fixed horizon")
+rel_hw = ring["metrics"].get("run.rel_hw")
+if rel_hw is None or rel_hw > 0.05:
+    raise SystemExit(
+        f"ring run.rel_hw = {rel_hw}: converged point must meet the "
+        "0.05 target")
+
+if mesh.get("stop_reason") != "saturated":
+    raise SystemExit(
+        f"mesh stop_reason = {mesh.get('stop_reason')!r}: a C=0.5 "
+        "T=64 mesh is past the knee and must be flagged saturated")
+if mesh["end_cycle"] >= 8 * fixed_horizon:
+    raise SystemExit(
+        f"mesh burned its whole budget ({mesh['end_cycle']} cycles): "
+        "the divergence detector did not abort early")
+
+print(
+    "adaptive smoke ok: ring converged at "
+    f"{ring['end_cycle']} cycles (rel hw {rel_hw:.3f}), mesh "
+    f"saturated at {mesh['end_cycle']} cycles")
+PY

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# The repository's CI pipeline, runnable locally and from any CI
+# runner. Three build configurations, in order of cost:
+#
+#  1. release  — Release build, the full ctest suite (unit tests,
+#                paper-conformance checks, and the script gates:
+#                metrics_schema_check, docs_check, simspeed_smoke,
+#                adaptive_smoke).
+#  2. tsan     — -DHRSIM_SANITIZE=thread, the concurrency-sensitive
+#                tests (sweep engine, adaptive run control, active-set
+#                scheduler): the parallel sweep's work-claiming and
+#                result reaping must be race-free.
+#  3. asan     — -DHRSIM_SANITIZE=address, the same test set plus the
+#                container/stats units: the hot-path ring buffers and
+#                the adaptive batch storage index with raw masks and
+#                grow under churn, exactly where AddressSanitizer
+#                pays for itself.
+#
+# Usage: scripts/ci.sh [release|tsan|asan|all]   (default: all)
+set -euo pipefail
+
+stage=${1:-all}
+jobs=${HRSIM_CI_JOBS:-$(nproc)}
+src=$(cd "$(dirname "$0")/.." && pwd)
+
+# Tests worth re-running under the sanitizers: everything that
+# exercises threads, the adaptive controller, or raw-index storage.
+SANITIZED_FILTER='Sweep|AdaptiveSystem|RunController|ActiveSet|RingDeque|StagedFifo|BatchMeans|TQuantile|Mser'
+
+run_release() {
+    cmake -B "$src/build-ci" -S "$src" -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$src/build-ci" -j "$jobs"
+    ctest --test-dir "$src/build-ci" -j 2 --output-on-failure
+}
+
+run_sanitizer() {
+    local kind=$1
+    local dir="$src/build-$kind"
+    local sanitize
+    case "$kind" in
+      tsan) sanitize=thread ;;
+      asan) sanitize=address ;;
+      *) echo "unknown sanitizer stage: $kind" >&2; exit 2 ;;
+    esac
+    cmake -B "$dir" -S "$src" -DHRSIM_SANITIZE="$sanitize"
+    cmake --build "$dir" -j "$jobs" --target hrsim_tests
+    "$dir/tests/hrsim_tests" \
+        --gtest_filter="*${SANITIZED_FILTER//|/*:*}*"
+}
+
+case "$stage" in
+  release) run_release ;;
+  tsan) run_sanitizer tsan ;;
+  asan) run_sanitizer asan ;;
+  all)
+    run_release
+    run_sanitizer tsan
+    run_sanitizer asan
+    ;;
+  *)
+    echo "usage: $0 [release|tsan|asan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "ci: stage '$stage' passed"

@@ -11,11 +11,18 @@
 #            [output.json] [metrics.json]
 #   BUILD_DIR=build   build tree containing bench/bench_simspeed
 #
-# --compare runs the benchmark, then prints the per-benchmark speedup
-# of the fresh run against BASELINE.json (old/new rate columns). When
-# the library was built Release, any benchmark more than 10% slower
-# than the baseline fails the script (exit 1); non-Release builds
-# only warn, since Debug timings say nothing about the hot path.
+# --compare runs the benchmark (3 repetitions by default, so the
+# regression gate sees a median, not one noisy sample), then prints
+# the per-benchmark speedup of the fresh run against BASELINE.json
+# (old/new rate columns). When the library was built Release, any
+# benchmark whose median rate is more than 10% slower than the
+# baseline fails the script (exit 1); non-Release builds only warn,
+# since Debug timings say nothing about the hot path.
+#
+# A Google Benchmark library built Debug silently distorts every
+# timing, so a library_build_type of "debug" in the emitted JSON
+# context fails the script outright; set HRSIM_ALLOW_DEBUG_BENCH=1 to
+# override for local debugging.
 set -euo pipefail
 
 BASELINE=""
@@ -48,34 +55,66 @@ cmake --build $BUILD_DIR -j)" >&2
     exit 1
 fi
 
+# Comparisons gate on the median, which needs >= 3 repetitions to
+# mean anything; plain tracking runs keep the cheap single rep.
+if [[ -n "$BASELINE" ]]; then
+    REPS=${HRSIM_BENCH_REPS:-3}
+else
+    REPS=${HRSIM_BENCH_REPS:-1}
+fi
+
 "$BENCH" \
     --benchmark_out="$OUT" \
     --benchmark_out_format=json \
-    --benchmark_repetitions="${HRSIM_BENCH_REPS:-1}" \
+    --benchmark_repetitions="$REPS" \
     --benchmark_min_time="${HRSIM_BENCH_MIN_TIME:-0.5}"
 
 echo "wrote $OUT"
 
+# A Debug benchmark library invalidates every number in the artifact;
+# fail loudly instead of letting the distorted rates into a baseline.
+python3 - "$OUT" <<'PY'
+import json
+import os
+import sys
+
+with open(sys.argv[1]) as fh:
+    context = json.load(fh).get("context", {})
+library_build = str(context.get("library_build_type", "")).lower()
+if library_build == "debug":
+    if os.environ.get("HRSIM_ALLOW_DEBUG_BENCH"):
+        print("warning: benchmark library built debug; timings are "
+              "not comparable (HRSIM_ALLOW_DEBUG_BENCH set)")
+    else:
+        sys.exit("error: benchmark library was built debug; rebuild "
+                 "Release or set HRSIM_ALLOW_DEBUG_BENCH=1 to "
+                 "proceed anyway")
+PY
+
 if [[ -n "$BASELINE" ]]; then
     python3 - "$BASELINE_SNAP" "$OUT" "$BASELINE" <<'PY'
 import json
+import statistics
 import sys
 
 REGRESSION_TOLERANCE = 0.10  # >10% slower than baseline fails
 
 def rates(path):
-    """benchmark name -> primary rate counter (node_cycles/s or
-    points/s), skipping aggregate rows of repeated runs."""
+    """benchmark name -> median primary rate counter (node_cycles/s
+    or points/s) across repetitions, skipping aggregate rows."""
     with open(path) as fh:
         doc = json.load(fh)
-    out = {}
+    samples = {}
     for row in doc.get("benchmarks", []):
         if row.get("run_type") == "aggregate":
             continue
         rate = row.get("node_cycles/s", row.get("points/s"))
         if rate is not None:
-            out[row["name"]] = float(rate)
-    return doc, out
+            samples.setdefault(row["name"], []).append(float(rate))
+    return doc, {
+        name: statistics.median(reps)
+        for name, reps in samples.items()
+    }
 
 base_doc, base = rates(sys.argv[1])
 new_doc, new = rates(sys.argv[2])

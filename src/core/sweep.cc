@@ -1,5 +1,8 @@
 #include "core/sweep.hh"
 
+#include <algorithm>
+#include <numeric>
+
 #include "common/rng.hh"
 
 namespace hrsim
@@ -57,16 +60,32 @@ SweepRunner::runPoint(Batch &batch, std::size_t index) const
     }
 }
 
+double
+SweepRunner::estimatedCostWeight(const SystemConfig &cfg)
+{
+    const StopPolicy policy = resolveStopPolicy(cfg.sim);
+    const Cycle horizon =
+        policy.enabled()
+            ? policy.maxCycles
+            : cfg.sim.warmupCycles +
+                  cfg.sim.batchCycles *
+                      static_cast<Cycle>(cfg.sim.numBatches);
+    return static_cast<double>(horizon) *
+           static_cast<double>(cfg.numProcessors());
+}
+
 void
 SweepRunner::drain(Batch &batch)
 {
     const std::size_t total = batch.points->size();
     std::size_t mine = 0;
     for (;;) {
-        const std::size_t index =
+        const std::size_t claim =
             batch.next.fetch_add(1, std::memory_order_relaxed);
-        if (index >= total)
+        if (claim >= total)
             break;
+        const std::size_t index =
+            batch.order != nullptr ? (*batch.order)[claim] : claim;
         runPoint(batch, index);
         ++mine;
     }
@@ -124,6 +143,18 @@ SweepRunner::run(const std::vector<SystemConfig> &points)
         for (std::size_t i = 0; i < points.size(); ++i)
             runPoint(batch, i);
     } else {
+        // Claim costliest points first so a long point (an adaptive
+        // maxCycles budget, a large mesh) starts while plenty of
+        // small points remain to fill the other workers; the reaped
+        // results land by submission index regardless.
+        std::vector<std::size_t> order(points.size());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return estimatedCostWeight(points[a]) >
+                                    estimatedCostWeight(points[b]);
+                         });
+        batch.order = &order;
         {
             std::lock_guard<std::mutex> lock(mu_);
             batch_ = &batch;

@@ -26,6 +26,18 @@
  * is itself a pure function of the config, and skipped work is
  * provably side-effect-free, so scheduled and full-scan runs differ
  * only in the sched.* introspection metrics.
+ *
+ * Scheduling: workers claim points from a shared atomic cursor, so a
+ * point that finishes early (an adaptive run that converged after a
+ * fraction of its budget, see stats/run_controller.hh) immediately
+ * frees its worker for the next point — no static partitioning to
+ * rebalance. On top of that, parallel runs claim points in descending
+ * estimated-cost order (horizon upper bound x processor count, see
+ * estimatedCostWeight()), so a saturated 121-PM point cannot be
+ * dealt last and straggle behind an otherwise-drained pool. Point
+ * results are written by submission index, so claim order is
+ * invisible in the output: serial and parallel sweeps stay
+ * bit-identical.
  */
 
 #ifndef HRSIM_CORE_SWEEP_HH
@@ -82,12 +94,22 @@ class SweepRunner
     static std::uint64_t pointSeed(std::uint64_t base,
                                    std::size_t index);
 
+    /**
+     * Upper-bound cost estimate of one point: horizon cycles (the
+     * adaptive maxCycles bound, or the fixed-length end cycle) times
+     * the processor count. Used to order parallel claims
+     * longest-first; has no effect on any result.
+     */
+    static double estimatedCostWeight(const SystemConfig &cfg);
+
   private:
     struct Batch
     {
         const std::vector<SystemConfig> *points = nullptr;
         std::vector<RunResult> *results = nullptr;
         std::vector<std::exception_ptr> *errors = nullptr;
+        /** Claim order: submission indices, costliest first. */
+        const std::vector<std::size_t> *order = nullptr;
         std::atomic<std::size_t> next{0};
         std::size_t completed = 0; //!< guarded by mu_
         std::size_t attached = 0;  //!< workers inside drain(); mu_

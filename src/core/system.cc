@@ -42,10 +42,29 @@ SystemConfig::mesh(int width, std::uint32_t cache_line_bytes,
     return cfg;
 }
 
+StopPolicy
+resolveStopPolicy(const SimConfig &sim)
+{
+    StopPolicy policy = sim.stop;
+    if (!policy.enabled())
+        return policy;
+    if (policy.batchCycles == 0)
+        policy.batchCycles = std::max<Cycle>(sim.batchCycles / 4, 1);
+    if (policy.maxCycles == 0) {
+        policy.maxCycles =
+            8 * (sim.warmupCycles +
+                 sim.batchCycles * static_cast<Cycle>(sim.numBatches));
+    }
+    return policy;
+}
+
 System::System(const SystemConfig &cfg)
-    : cfg_(cfg),
-      latency_(cfg.sim.warmupCycles, cfg.sim.batchCycles,
-               cfg.sim.numBatches)
+    : cfg_(cfg), stopPolicy_(resolveStopPolicy(cfg.sim)),
+      latency_(stopPolicy_.enabled()
+                   ? BatchMeans::adaptive(stopPolicy_.batchCycles)
+                   : BatchMeans(cfg.sim.warmupCycles,
+                                cfg.sim.batchCycles,
+                                cfg.sim.numBatches))
 {
     buildNetwork();
     buildWorkload();
@@ -204,13 +223,46 @@ System::registerSystemMetrics()
         return network_->utilization().totalUtilization();
     });
     metrics_.addGauge("throughput.per_pm", [this]() {
-        const double measured =
-            static_cast<double>(cfg_.sim.batchCycles) *
-            cfg_.sim.numBatches;
+        double measured;
+        if (stopPolicy_.enabled()) {
+            // Adaptive: the measured window is everything after the
+            // current MSER truncation. now_ can sit exactly on the
+            // truncation boundary early in the run.
+            const Cycle trunc =
+                static_cast<Cycle>(latency_.truncationBatch()) *
+                stopPolicy_.batchCycles;
+            measured = now_ > trunc
+                           ? static_cast<double>(now_ - trunc)
+                           : 1.0;
+        } else {
+            measured = static_cast<double>(cfg_.sim.batchCycles) *
+                       cfg_.sim.numBatches;
+        }
         return static_cast<double>(latency_.sampleCount()) /
                (measured *
                 static_cast<double>(network_->numProcessors()));
     });
+
+    // Adaptive run control introspection. Registered only when the
+    // sequential stopping rule is on, so fixed-length artifacts stay
+    // byte-identical to earlier releases.
+    if (stopPolicy_.enabled()) {
+        metrics_.addGauge("run.stop_reason", [this]() {
+            return static_cast<double>(stopReason_);
+        });
+        metrics_.addGauge("run.cycles_simulated", [this]() {
+            return static_cast<double>(now_);
+        });
+        metrics_.addGauge("run.rel_hw", [this]() {
+            const double mean = latency_.mean();
+            return mean > 0.0 ? latency_.halfWidth95() / mean : 0.0;
+        });
+        metrics_.addGauge("run.warmup_cycles", [this]() {
+            return static_cast<double>(
+                static_cast<Cycle>(latency_.truncationBatch()) *
+                stopPolicy_.batchCycles);
+        });
+    }
 
     // Scheduler introspection. Registered only when active
     // scheduling is on so full-scan runs stay comparable to
@@ -379,6 +431,12 @@ System::totalPendingResponses() const
 RunResult
 System::run()
 {
+    return stopPolicy_.enabled() ? runAdaptive() : runFixed();
+}
+
+RunResult
+System::runFixed()
+{
     const Cycle end = latency_.endCycle();
     UtilizationTracker &util = network_->utilization();
 
@@ -406,6 +464,78 @@ System::run()
         processor->syncSkipped(end);
 
     RunResult result;
+    result.stopReason = StopReason::FixedLength;
+    result.warmupCycles = cfg_.sim.warmupCycles;
+    result.snapshots = std::move(snapshots);
+    finishResult(result, end,
+                 cfg_.sim.batchCycles *
+                     static_cast<Cycle>(cfg_.sim.numBatches));
+    return result;
+}
+
+double
+System::outstandingOccupancy() const
+{
+    const double cap =
+        static_cast<double>(cfg_.workload.outstandingT) *
+        static_cast<double>(network_->numProcessors());
+    return cap > 0.0 ? static_cast<double>(totalOutstanding()) / cap
+                     : 0.0;
+}
+
+RunResult
+System::runAdaptive()
+{
+    UtilizationTracker &util = network_->utilization();
+    // No a-priori warmup: the whole run is measured and the MSER
+    // truncation corrects the latency estimate afterwards. Link
+    // utilization keeps the full window — its transient bias decays
+    // with run length and it is not the convergence target.
+    util.startMeasurement(now_);
+
+    RunController controller(stopPolicy_, latency_);
+    std::vector<MetricSnapshot> snapshots;
+    RunController::Decision decision;
+    do {
+        const Cycle checkpoint = controller.nextCheckpoint();
+        while (now_ < checkpoint) {
+            fastForwardQuiescent(checkpoint);
+            if (now_ >= checkpoint)
+                break;
+            tickOnce();
+            if (cfg_.sim.metricsEvery != 0 &&
+                now_ % cfg_.sim.metricsEvery == 0) {
+                util.markSnapshot(now_);
+                snapshots.push_back({now_, metrics_.snapshot()});
+            }
+        }
+        decision =
+            controller.onCheckpoint(now_, outstandingOccupancy());
+    } while (!decision.stop);
+
+    const Cycle end = now_;
+    util.stopMeasurement(end);
+    for (auto &processor : processors_)
+        processor->syncSkipped(end);
+
+    stopReason_ = decision.reason;
+
+    RunResult result;
+    result.stopReason = decision.reason;
+    result.warmupCycles = controller.warmupCycles();
+    const double mean = latency_.mean();
+    result.relHalfWidth =
+        mean > 0.0 ? latency_.halfWidth95() / mean : 0.0;
+    result.snapshots = std::move(snapshots);
+    finishResult(result, end, end - controller.warmupCycles());
+    return result;
+}
+
+void
+System::finishResult(RunResult &result, Cycle end,
+                     Cycle measured_cycles)
+{
+    UtilizationTracker &util = network_->utilization();
     result.avgLatency = latency_.mean();
     result.latencyCI95 = latency_.halfWidth95();
     result.samples = latency_.sampleCount();
@@ -427,14 +557,11 @@ System::run()
             result.ringLevelUtilization.push_back(
                 ring.levelUtilization(level));
     }
-    const double measured =
-        static_cast<double>(cfg_.sim.batchCycles) * cfg_.sim.numBatches;
     result.throughputPerPm =
         static_cast<double>(result.samples) /
-        (measured * static_cast<double>(network_->numProcessors()));
+        (static_cast<double>(std::max<Cycle>(measured_cycles, 1)) *
+         static_cast<double>(network_->numProcessors()));
     result.metrics = metrics_.snapshot();
-    result.snapshots = std::move(snapshots);
-    return result;
 }
 
 RunResult

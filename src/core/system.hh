@@ -30,6 +30,7 @@
 #include "sim/network.hh"
 #include "stats/batch_means.hh"
 #include "stats/histogram.hh"
+#include "stats/run_controller.hh"
 #include "workload/memory.hh"
 #include "workload/processor.hh"
 #include "workload/trace.hh"
@@ -76,7 +77,25 @@ struct SimConfig
      * with snapshots on or off.
      */
     Cycle metricsEvery = 0;
+    /**
+     * Adaptive run control (stats/run_controller.hh): stop.relHw > 0
+     * replaces the fixed warmup + batch schedule above with MSER
+     * warmup detection and a sequential stopping rule bounded by
+     * stop.maxCycles. The default (relHw == 0) keeps the fixed-length
+     * protocol bit-identical to earlier releases. Zero-valued
+     * stop.batchCycles / stop.maxCycles are derived from the fixed
+     * schedule; see resolveStopPolicy().
+     */
+    StopPolicy stop;
 };
+
+/**
+ * Fill in the derived defaults of @a sim.stop: batchCycles == 0
+ * becomes max(sim.batchCycles / 4, 1) (checkpoints fine enough to
+ * stop well before the fixed horizon), maxCycles == 0 becomes 8x the
+ * fixed-length horizon. Pure function of @a sim.
+ */
+StopPolicy resolveStopPolicy(const SimConfig &sim);
 
 struct SystemConfig
 {
@@ -139,9 +158,19 @@ struct RunResult
     std::vector<double> ringLevelUtilization;
 
     WorkloadCounters counters;
+    /** Cycles actually simulated (the adaptive stop cycle, or the
+     *  fixed horizon). */
     Cycle cycles = 0;
     /** Remote completions per cycle per PM over the whole run. */
     double throughputPerPm = 0.0;
+
+    /** Why the run ended; FixedLength for the classic protocol. */
+    StopReason stopReason = StopReason::FixedLength;
+    /** Final 95% relative half-width (adaptive runs; 0 otherwise). */
+    double relHalfWidth = 0.0;
+    /** MSER-detected warmup truncation in cycles (adaptive runs;
+     *  the configured warmup for fixed-length runs). */
+    Cycle warmupCycles = 0;
 
     /**
      * End-of-run materialization of the system's MetricRegistry,
@@ -199,6 +228,25 @@ class System
     void registerSystemMetrics();
     void tickOnce();
 
+    /** The classic fixed-length batch-means protocol. */
+    RunResult runFixed();
+
+    /**
+     * Adaptive protocol: run checkpoint to checkpoint under a
+     * RunController until it declares the point converged, saturated
+     * or out of budget. The decision sequence is a pure function of
+     * checkpoint statistics (config + seed), so adaptive runs are
+     * bit-identical across reruns and sweep parallelism.
+     */
+    RunResult runAdaptive();
+
+    /** Fill the result fields shared by both protocols. */
+    void finishResult(RunResult &result, Cycle end,
+                      Cycle measured_cycles);
+
+    /** Outstanding transactions as a fraction of the T cap. */
+    double outstandingOccupancy() const;
+
     /**
      * Cycle fast-forward: when the network is empty and every
      * component is asleep, jump now_ straight to the earliest future
@@ -213,6 +261,8 @@ class System
     void fastForwardQuiescent(Cycle limit);
 
     SystemConfig cfg_;
+    /** Resolved adaptive policy (enabled() == false for fixed). */
+    StopPolicy stopPolicy_;
     std::unique_ptr<Network> network_;
     std::unique_ptr<PacketFactory> factory_;
     std::vector<std::unique_ptr<TrafficSource>> processors_;
@@ -231,6 +281,10 @@ class System
     bool activeSched_ = false;
     /** Quiescent cycles fast-forwarded over (sched.skipped_cycles). */
     std::uint64_t skippedCycles_ = 0;
+
+    // Adaptive-run introspection (run.* gauges; see DESIGN.md s11).
+    /** Stop reason code; FixedLength (0) while still running. */
+    StopReason stopReason_ = StopReason::FixedLength;
 
     // Skip-idle bookkeeping (used when cfg_.sim.idleSkip).
     /** Per-PM cycle of the next required processor tick. */

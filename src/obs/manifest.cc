@@ -59,6 +59,24 @@ configKey(const SystemConfig &cfg)
     key += " warmup=" + std::to_string(cfg.sim.warmupCycles);
     key += " batch=" + std::to_string(cfg.sim.batchCycles);
     key += " batches=" + std::to_string(cfg.sim.numBatches);
+    if (cfg.sim.stop.enabled()) {
+        // Adaptive run control changes what a run simulates, so the
+        // resolved policy is part of the result's identity. Appended
+        // only when enabled: fixed-length keys (and their hashes)
+        // stay stable across releases.
+        const StopPolicy policy = resolveStopPolicy(cfg.sim);
+        key += " stop_rel_hw=" + fmt("%.17g", policy.relHw);
+        key += " stop_batch=" + std::to_string(policy.batchCycles);
+        key += " stop_max=" + std::to_string(policy.maxCycles);
+        key += " stop_min_batches=" +
+               std::to_string(policy.minBatches);
+        key += " stop_div_window=" +
+               std::to_string(policy.divergenceWindow);
+        key += " stop_div_occ=" +
+               fmt("%.17g", policy.divergenceOccupancy);
+        key += " stop_div_growth=" +
+               fmt("%.17g", policy.divergenceGrowth);
+    }
     key += " seed=" + std::to_string(cfg.sim.seed);
     if (cfg.trace != nullptr)
         key += " trace_records=" + std::to_string(cfg.trace->size());

@@ -69,6 +69,8 @@ metricPoint(const std::string &label, const RunResult &result)
     MetricPoint point;
     point.label = label;
     point.endCycle = result.cycles;
+    if (result.stopReason != StopReason::FixedLength)
+        point.stopReason = toString(result.stopReason);
     point.metrics = result.metrics;
     point.snapshots = result.snapshots;
     return point;
@@ -90,6 +92,10 @@ writeMetricsJson(std::ostream &out, const RunManifest &manifest,
         out << "      \"label\": \"" << jsonEscape(point.label)
             << "\",\n";
         out << "      \"end_cycle\": " << point.endCycle << ",\n";
+        if (!point.stopReason.empty()) {
+            out << "      \"stop_reason\": \""
+                << jsonEscape(point.stopReason) << "\",\n";
+        }
         out << "      \"metrics\": ";
         writeMetricsObject(out, "      ", point.metrics);
         if (!point.snapshots.empty()) {

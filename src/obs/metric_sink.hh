@@ -48,8 +48,16 @@ namespace hrsim
 struct MetricPoint
 {
     std::string label;
-    /** Cycle the final metrics were taken at (the run's horizon). */
+    /** Cycle the final metrics were taken at (the run's horizon, or
+     *  the adaptive stop cycle). */
     Cycle endCycle = 0;
+    /**
+     * Stop reason of an adaptive run ("converged", "max_cycles",
+     * "saturated"); empty for fixed-length runs, in which case the
+     * field is omitted from the serialized point so fixed-length
+     * artifacts stay byte-identical to earlier releases.
+     */
+    std::string stopReason;
     std::vector<MetricSample> metrics;
     /** Periodic snapshots (--metrics-every); empty when disabled. */
     std::vector<MetricSnapshot> snapshots;

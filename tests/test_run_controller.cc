@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Adaptive run control tests (stats/run_controller.hh).
+ *
+ * Pinned contracts:
+ *  1. tQuantile95 matches the standard two-sided 95% table and decays
+ *     to the normal quantile for large df.
+ *  2. mserTruncation finds the bias/noise boundary: zero for a
+ *     stationary series, the transient length for a biased head, and
+ *     never more than half the series.
+ *  3. The controller's decision sequence — converged on a tight
+ *     stationary series, saturated on a sustained climb with pegged
+ *     queues, max_cycles when the budget runs out first — and its
+ *     false-positive guard: a noisy-but-stationary high-occupancy
+ *     series must never be flagged saturated.
+ *  4. System-level determinism — adaptive runs are bit-identical
+ *     across reruns and across sweep parallelism, and the default
+ *     (fixed-length) protocol is untouched by the feature.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "core/system.hh"
+#include "stats/batch_means.hh"
+#include "stats/run_controller.hh"
+
+namespace hrsim
+{
+namespace
+{
+
+TEST(TQuantile95, MatchesTableAndDecaysToNormal)
+{
+    EXPECT_NEAR(tQuantile95(1), 12.706, 1e-3);
+    EXPECT_NEAR(tQuantile95(4), 2.776, 1e-3);
+    EXPECT_NEAR(tQuantile95(10), 2.228, 1e-3);
+    EXPECT_NEAR(tQuantile95(30), 2.042, 1e-3);
+    EXPECT_DOUBLE_EQ(tQuantile95(1000), 1.96);
+    for (std::uint64_t df = 1; df < 40; ++df)
+        EXPECT_GE(tQuantile95(df), tQuantile95(df + 1));
+}
+
+TEST(MserTruncation, StationarySeriesKeepsEverything)
+{
+    std::vector<double> means;
+    for (int i = 0; i < 20; ++i)
+        means.push_back(100.0 + (i % 3));
+    EXPECT_EQ(RunController::mserTruncation(means), 0u);
+}
+
+TEST(MserTruncation, BiasedHeadIsTruncated)
+{
+    // Four transient batches far above the steady level: MSER must
+    // drop at least those four (it may take a tied neighbor).
+    std::vector<double> means{500.0, 400.0, 300.0, 200.0};
+    for (int i = 0; i < 16; ++i)
+        means.push_back(100.0 + (i % 2));
+    const std::uint32_t d = RunController::mserTruncation(means);
+    EXPECT_GE(d, 4u);
+    EXPECT_LE(d, 6u);
+}
+
+TEST(MserTruncation, NeverTruncatesPastHalf)
+{
+    // A monotone climb never looks stationary: the cap must hold.
+    std::vector<double> means;
+    for (int i = 0; i < 11; ++i)
+        means.push_back(100.0 * std::pow(1.3, i));
+    EXPECT_LE(RunController::mserTruncation(means), 5u);
+    EXPECT_EQ(RunController::mserTruncation({}), 0u);
+    EXPECT_EQ(RunController::mserTruncation({42.0}), 0u);
+}
+
+TEST(AdaptiveBatchMeans, GrowsAndPinsTruncation)
+{
+    BatchMeans bm = BatchMeans::adaptive(100);
+    ASSERT_TRUE(bm.isAdaptive());
+    EXPECT_FALSE(bm.done(1u << 30));
+
+    // Batches 0..3: means 10, 20, 30, 40 (two samples each).
+    for (std::uint32_t b = 0; b < 4; ++b) {
+        bm.add(b * 100 + 10, 10.0 * (b + 1) - 1.0);
+        bm.add(b * 100 + 90, 10.0 * (b + 1) + 1.0);
+    }
+    ASSERT_EQ(bm.numBatches(), 4u);
+    EXPECT_DOUBLE_EQ(bm.batchMean(1), 20.0);
+    EXPECT_EQ(bm.batchCount(2), 2u);
+
+    bm.setTruncation(1, 4);
+    EXPECT_EQ(bm.endCycle(), 400u);
+    EXPECT_EQ(bm.sampleCount(), 6u);
+    EXPECT_DOUBLE_EQ(bm.mean(), 30.0);
+    EXPECT_GT(bm.halfWidth95(), 0.0);
+}
+
+/** Drive a controller with one synthetic sample per batch. */
+struct Harness
+{
+    StopPolicy policy;
+    BatchMeans collector = BatchMeans::adaptive(100);
+    RunController controller;
+
+    explicit Harness(StopPolicy p)
+        : policy(resolved(p)), controller(policy, collector)
+    {}
+
+    static StopPolicy resolved(StopPolicy p)
+    {
+        p.batchCycles = 100;
+        if (p.maxCycles == 0)
+            p.maxCycles = 100000;
+        return p;
+    }
+
+    /** Close one batch with mean @a value and evaluate. */
+    RunController::Decision step(double value, double occupancy)
+    {
+        const Cycle checkpoint = controller.nextCheckpoint();
+        collector.add(checkpoint - 50, value);
+        return controller.onCheckpoint(checkpoint, occupancy);
+    }
+};
+
+TEST(RunController, ConvergesOnTightStationarySeries)
+{
+    StopPolicy policy;
+    policy.relHw = 0.05;
+    Harness h(policy);
+
+    RunController::Decision decision;
+    std::uint32_t steps = 0;
+    do {
+        decision = h.step(100.0 + (steps % 3), 0.3);
+        ++steps;
+        ASSERT_LT(steps, 100u);
+    } while (!decision.stop);
+
+    EXPECT_EQ(decision.reason, StopReason::Converged);
+    EXPECT_GE(steps, policy.minBatches);
+    EXPECT_LE(h.controller.relHalfWidth(), policy.relHw);
+    // Stationary from the start: no warmup to cut.
+    EXPECT_EQ(h.controller.warmupBatches(), 0u);
+}
+
+TEST(RunController, FlagsSustainedClimbAsSaturated)
+{
+    StopPolicy policy;
+    policy.relHw = 0.05;
+    Harness h(policy);
+
+    RunController::Decision decision;
+    double value = 100.0;
+    std::uint32_t steps = 0;
+    do {
+        decision = h.step(value, 0.9);
+        value *= 1.2;
+        ++steps;
+        ASSERT_LT(steps, 100u);
+    } while (!decision.stop);
+
+    EXPECT_EQ(decision.reason, StopReason::Saturated);
+    // The abort must come promptly: minBatches checkpoints plus the
+    // post-truncation window, not the whole budget.
+    EXPECT_LE(steps, 2 * policy.minBatches);
+}
+
+TEST(RunController, NoisyStationarySeriesIsNeverSaturated)
+{
+    // High occupancy and +/-15% batch noise around a fixed level:
+    // the regression this pins is a saturation false positive that
+    // aborts a convergeable heavily-loaded point.
+    StopPolicy policy;
+    policy.relHw = 0.0001; // unreachably tight: run to the budget
+    policy.maxCycles = 4000;
+    Harness h(policy);
+
+    RunController::Decision decision;
+    std::uint32_t steps = 0;
+    do {
+        const double jitter = (steps % 2 == 0) ? -15.0 : 15.0;
+        decision = h.step(100.0 + jitter, 0.95);
+        ++steps;
+        ASSERT_LT(steps, 100u);
+    } while (!decision.stop);
+
+    EXPECT_EQ(decision.reason, StopReason::MaxCycles);
+    EXPECT_EQ(steps, 40u); // the full budget, 4000 / 100
+}
+
+TEST(RunController, LowOccupancyClimbIsNotSaturation)
+{
+    // Climbing means with near-empty queues cannot be saturation
+    // (nothing is backed up); the run must fall through to the
+    // cycle budget instead.
+    StopPolicy policy;
+    policy.relHw = 0.0001;
+    policy.maxCycles = 3000;
+    Harness h(policy);
+
+    RunController::Decision decision;
+    double value = 100.0;
+    std::uint32_t steps = 0;
+    do {
+        decision = h.step(value, 0.05);
+        value *= 1.2;
+        ++steps;
+        ASSERT_LT(steps, 100u);
+    } while (!decision.stop);
+    EXPECT_EQ(decision.reason, StopReason::MaxCycles);
+}
+
+TEST(RunController, DecisionSequenceIsDeterministic)
+{
+    StopPolicy policy;
+    policy.relHw = 0.05;
+    for (int rep = 0; rep < 2; ++rep) {
+        Harness h(policy);
+        std::vector<std::uint8_t> stops;
+        for (std::uint32_t i = 0; i < 12; ++i) {
+            const auto d = h.step(100.0 + (i * 7) % 13, 0.4);
+            stops.push_back(d.stop ? 1 : 0);
+            if (d.stop)
+                break;
+        }
+        static std::vector<std::uint8_t> first;
+        if (rep == 0)
+            first = stops;
+        else
+            EXPECT_EQ(first, stops);
+    }
+}
+
+// ---------------------------------------------------------------
+// System-level integration.
+
+SimConfig
+quickAdaptiveSim()
+{
+    SimConfig sim;
+    sim.warmupCycles = 1000;
+    sim.batchCycles = 1000;
+    sim.numBatches = 3;
+    sim.stop.relHw = 0.10;
+    return sim;
+}
+
+void
+expectSameRun(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.avgLatency, b.avgLatency);
+    EXPECT_EQ(a.latencyCI95, b.latencyCI95);
+    EXPECT_EQ(a.samples, b.samples);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.stopReason, b.stopReason);
+    EXPECT_EQ(a.relHalfWidth, b.relHalfWidth);
+    EXPECT_EQ(a.warmupCycles, b.warmupCycles);
+    EXPECT_EQ(a.throughputPerPm, b.throughputPerPm);
+    EXPECT_EQ(a.counters.remoteCompleted, b.counters.remoteCompleted);
+}
+
+TEST(AdaptiveSystem, RerunsAreBitIdentical)
+{
+    SystemConfig cfg = SystemConfig::ring("2:4", 64);
+    cfg.sim = quickAdaptiveSim();
+    expectSameRun(runSystem(cfg), runSystem(cfg));
+}
+
+TEST(AdaptiveSystem, SweepParallelismDoesNotPerturbDecisions)
+{
+    std::vector<SystemConfig> points;
+    SystemConfig ring = SystemConfig::ring("2:4", 64);
+    ring.sim = quickAdaptiveSim();
+    points.push_back(ring);
+
+    SystemConfig mesh = SystemConfig::mesh(3, 64, 4);
+    mesh.sim = quickAdaptiveSim();
+    points.push_back(mesh);
+
+    SystemConfig hot = SystemConfig::mesh(4, 64, 4);
+    hot.workload.missRateC = 0.5;
+    hot.sim = quickAdaptiveSim();
+    points.push_back(hot);
+
+    const auto serial = runSweep(points, 1);
+    const auto parallel = runSweep(points, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i));
+        expectSameRun(serial[i], parallel[i]);
+    }
+}
+
+TEST(AdaptiveSystem, ReportsAdaptiveFieldsAndStopsInsideBudget)
+{
+    SystemConfig cfg = SystemConfig::ring("2:4", 64);
+    cfg.workload.missRateC = 0.01;
+    cfg.sim = quickAdaptiveSim();
+    const RunResult result = runSystem(cfg);
+
+    EXPECT_NE(result.stopReason, StopReason::FixedLength);
+    const StopPolicy policy = resolveStopPolicy(cfg.sim);
+    EXPECT_LE(result.cycles, policy.maxCycles);
+    EXPECT_EQ(result.cycles % policy.batchCycles, 0u);
+    if (result.stopReason == StopReason::Converged) {
+        EXPECT_LE(result.relHalfWidth, cfg.sim.stop.relHw);
+    }
+}
+
+TEST(AdaptiveSystem, DefaultFixedProtocolIsUntouched)
+{
+    SystemConfig cfg = SystemConfig::ring("2:4", 64);
+    cfg.sim.warmupCycles = 1000;
+    cfg.sim.batchCycles = 1000;
+    cfg.sim.numBatches = 3;
+    ASSERT_FALSE(cfg.sim.stop.enabled());
+    const RunResult result = runSystem(cfg);
+
+    EXPECT_EQ(result.stopReason, StopReason::FixedLength);
+    EXPECT_EQ(result.relHalfWidth, 0.0);
+    EXPECT_EQ(result.cycles, 4000u);
+    EXPECT_EQ(result.warmupCycles, 1000u);
+    // No run.* gauges leak into the default metric set.
+    for (const MetricSample &sample : result.metrics)
+        EXPECT_EQ(sample.name.rfind("run.", 0), std::string::npos);
+}
+
+TEST(ResolveStopPolicy, DerivesDefaultsFromFixedSchedule)
+{
+    SimConfig sim;
+    sim.warmupCycles = 4000;
+    sim.batchCycles = 4000;
+    sim.numBatches = 5;
+    sim.stop.relHw = 0.05;
+    const StopPolicy policy = resolveStopPolicy(sim);
+    EXPECT_EQ(policy.batchCycles, 1000u);
+    EXPECT_EQ(policy.maxCycles, 8u * 24000u);
+
+    sim.stop.batchCycles = 500;
+    sim.stop.maxCycles = 99;
+    const StopPolicy given = resolveStopPolicy(sim);
+    EXPECT_EQ(given.batchCycles, 500u);
+    EXPECT_EQ(given.maxCycles, 99u);
+}
+
+} // namespace
+} // namespace hrsim

@@ -151,6 +151,70 @@ TEST(StagedFifo, SetCapacityOnEmpty)
     EXPECT_FALSE(fifo.canPush());
 }
 
+/** Exercise one full capacity's worth of wrapped churn. */
+template <std::size_t InlineCap>
+void
+churn(StagedFifo<int, InlineCap> &fifo)
+{
+    const int depth = static_cast<int>(fifo.capacity());
+    int pushed = 0;
+    int popped = 0;
+    for (int cycle = 0; cycle < 4 * depth; ++cycle) {
+        if (!fifo.empty()) {
+            ASSERT_EQ(fifo.pop(), popped);
+            ++popped;
+        }
+        while (fifo.canPush())
+            fifo.push(pushed++);
+        fifo.commit();
+    }
+    while (!fifo.empty()) {
+        ASSERT_EQ(fifo.pop(), popped);
+        ++popped;
+    }
+    EXPECT_EQ(pushed, popped);
+}
+
+TEST(StagedFifoInline, AtExactlyInlineCapUsesSmallBuffer)
+{
+    // capacity == InlineCap is the last all-inline configuration; the
+    // wrap arithmetic must behave exactly like the heap variant.
+    StagedFifo<int, 4> fifo(4);
+    EXPECT_EQ(fifo.inlineCapacity, 4u);
+    churn(fifo);
+}
+
+TEST(StagedFifoInline, OnePastInlineCapFallsBackToHeap)
+{
+    // capacity == InlineCap + 1 is the first heap-backed depth: the
+    // boundary where data() switches storage.
+    StagedFifo<int, 4> fifo(5);
+    churn(fifo);
+}
+
+TEST(StagedFifoInline, SetCapacityCrossesTheBoundaryBothWays)
+{
+    StagedFifo<int, 2> fifo(2); // inline
+    fifo.push(1);
+    fifo.push(2);
+    fifo.commit();
+    EXPECT_EQ(fifo.pop(), 1);
+    EXPECT_EQ(fifo.pop(), 2);
+    fifo.commit();
+
+    fifo.setCapacity(3); // inline -> heap
+    churn(fifo);
+    fifo.setCapacity(2); // heap -> inline
+    churn(fifo);
+}
+
+TEST(StagedFifoInline, ZeroInlineCapIsAlwaysHeap)
+{
+    // The mesh router's configuration: no small buffer at all.
+    StagedFifo<int, 0> fifo(3);
+    churn(fifo);
+}
+
 TEST(StagedFifoDeath, PushBeyondCapacityPanics)
 {
     StagedFifo<int> fifo(1);

@@ -63,6 +63,20 @@ usage(const char *argv0)
         "  --seed N          master RNG seed\n"
         "  --csv             one machine-readable CSV line\n"
         "\n"
+        "adaptive run control (default: fixed-length, bit-identical\n"
+        "to the flags above; see DESIGN.md section 11):\n"
+        "  --stop-rel-hw X   stop once the 95%% relative confidence\n"
+        "                    half-width of latency drops to X (e.g.\n"
+        "                    0.05); enables MSER warmup detection,\n"
+        "                    the sequential stopping rule and the\n"
+        "                    saturation detector\n"
+        "  --stop-batch N    adaptive batch/checkpoint length in\n"
+        "                    cycles (default: --batch value / 4)\n"
+        "  --max-cycles N    adaptive hard bound (default: 8x the\n"
+        "                    fixed-length horizon)\n"
+        "  --stop-min-batches N  retained batches required before\n"
+        "                    convergence may be declared (8)\n"
+        "\n"
         "sweep mode (instead of a single point):\n"
         "  --sweep KIND      run the standard figure sweep, KIND =\n"
         "                    ring (Table 2 ladder) | mesh (square\n"
@@ -113,10 +127,15 @@ argString(int argc, char **argv, int &i)
 }
 
 void
-printCsvHeader()
+printCsvHeader(bool adaptive)
 {
     std::printf("label,processors,line,R,C,T,latency,ci95,"
-                "p50,p95,p99,util,samples,throughput_per_pm\n");
+                "p50,p95,p99,util,samples,throughput_per_pm");
+    // Extra columns only in adaptive mode: fixed-length output stays
+    // byte-identical to earlier releases.
+    if (adaptive)
+        std::printf(",stop_reason,cycles_simulated,rel_hw");
+    std::printf("\n");
 }
 
 void
@@ -124,7 +143,7 @@ printCsvRow(const std::string &label, const hrsim::SystemConfig &cfg,
             const hrsim::RunResult &result)
 {
     std::printf("%s,%d,%u,%.3f,%.4f,%d,%.2f,%.2f,%.2f,%.2f,"
-                "%.2f,%.4f,%llu,%.6f\n",
+                "%.2f,%.4f,%llu,%.6f",
                 label.c_str(), cfg.numProcessors(),
                 cfg.cacheLineBytes, cfg.workload.localityR,
                 cfg.workload.missRateC, cfg.workload.outstandingT,
@@ -133,6 +152,12 @@ printCsvRow(const std::string &label, const hrsim::SystemConfig &cfg,
                 result.latencyP99, result.networkUtilization,
                 static_cast<unsigned long long>(result.samples),
                 result.throughputPerPm);
+    if (cfg.sim.stop.enabled()) {
+        std::printf(",%s,%llu,%.4f", hrsim::toString(result.stopReason),
+                    static_cast<unsigned long long>(result.cycles),
+                    result.relHalfWidth);
+    }
+    std::printf("\n");
 }
 
 /**
@@ -188,6 +213,7 @@ main(int argc, char **argv)
     std::string metrics_out;
     std::string metrics_format = "json";
     bool metrics_format_given = false;
+    bool stop_knob_given = false;
     std::string trace_path;
 
     try {
@@ -244,6 +270,26 @@ main(int argc, char **argv)
             } else if (!std::strcmp(arg, "--seed")) {
                 cfg.sim.seed = static_cast<std::uint64_t>(
                     argLong(argc, argv, i));
+            } else if (!std::strcmp(arg, "--stop-rel-hw")) {
+                cfg.sim.stop.relHw = argDouble(argc, argv, i);
+                if (cfg.sim.stop.relHw <= 0.0 ||
+                    cfg.sim.stop.relHw >= 1.0)
+                    fatal("--stop-rel-hw needs a target in (0, 1)");
+            } else if (!std::strcmp(arg, "--stop-batch")) {
+                cfg.sim.stop.batchCycles = static_cast<Cycle>(
+                    argLong(argc, argv, i));
+                stop_knob_given = true;
+            } else if (!std::strcmp(arg, "--max-cycles")) {
+                cfg.sim.stop.maxCycles = static_cast<Cycle>(
+                    argLong(argc, argv, i));
+                stop_knob_given = true;
+            } else if (!std::strcmp(arg, "--stop-min-batches")) {
+                const long n = argLong(argc, argv, i);
+                if (n < 2)
+                    fatal("--stop-min-batches needs at least 2");
+                cfg.sim.stop.minBatches =
+                    static_cast<std::uint32_t>(n);
+                stop_knob_given = true;
             } else if (!std::strcmp(arg, "--csv")) {
                 csv = true;
             } else if (!std::strcmp(arg, "--sweep")) {
@@ -288,6 +334,12 @@ main(int argc, char **argv)
                          "warning: --metrics-format has no effect "
                          "without --metrics-out\n");
         }
+        if (stop_knob_given && !cfg.sim.stop.enabled()) {
+            std::fprintf(stderr,
+                         "warning: --stop-batch/--max-cycles/"
+                         "--stop-min-batches have no effect without "
+                         "--stop-rel-hw\n");
+        }
         if (!sweep_kind.empty() || list_sweep) {
             if (sweep_kind.empty())
                 sweep_kind = "both";
@@ -317,7 +369,7 @@ main(int argc, char **argv)
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - wall_start)
                     .count();
-            printCsvHeader();
+            printCsvHeader(cfg.sim.stop.enabled());
             for (std::size_t p = 0; p < points.size(); ++p)
                 printCsvRow(labels[p], points[p], results[p]);
             if (!metrics_out.empty()) {
@@ -382,7 +434,7 @@ main(int argc, char **argv)
         }
 
         if (csv) {
-            printCsvHeader();
+            printCsvHeader(cfg.sim.stop.enabled());
             printCsvRow(label, cfg, result);
             return 0;
         }
@@ -408,6 +460,15 @@ main(int argc, char **argv)
         }
         std::printf("  thpt/PM  : %.4f transactions/cycle\n",
                     result.throughputPerPm);
+        if (cfg.sim.stop.enabled()) {
+            std::printf(
+                "  run      : %s after %llu cycles (rel hw %.3f, "
+                "MSER warmup %llu)\n",
+                toString(result.stopReason),
+                static_cast<unsigned long long>(result.cycles),
+                result.relHalfWidth,
+                static_cast<unsigned long long>(result.warmupCycles));
+        }
         return 0;
     } catch (const ConfigError &err) {
         std::fprintf(stderr, "error: %s\n", err.what());
