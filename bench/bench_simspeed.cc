@@ -205,6 +205,10 @@ main(int argc, char **argv)
     benchmark::AddCustomContext(
         "hrsim_force_full_scan",
         force != nullptr && force[0] != '\0' ? force : "0");
+    const char *no_fast = std::getenv("HRSIM_NO_FASTPATH");
+    benchmark::AddCustomContext(
+        "hrsim_no_fastpath",
+        no_fast != nullptr && no_fast[0] != '\0' ? no_fast : "0");
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

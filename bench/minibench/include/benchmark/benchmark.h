@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Minimal in-tree google-benchmark-compatible harness ("minibench").
+ *
+ * The simspeed benchmark used to link the system-wide benchmark
+ * library, which on many hosts is a Debug build — every timing it
+ * produced carried "library_build_type": "debug" and was useless as a
+ * baseline. Packages cannot be installed from CI, so instead of
+ * find_package(benchmark) the tree carries this drop-in subset of the
+ * google-benchmark API: source-compatible for what bench_simspeed.cc
+ * uses, built with the same flags as the simulator itself, and
+ * reporting library_build_type from NDEBUG so the Release check in
+ * scripts/run_simspeed.sh keeps working unchanged.
+ *
+ * Differences from google-benchmark, by design:
+ *  - All timing is wall-clock (steady_clock). UseRealTime() is
+ *    therefore a no-op; single-threaded CPU time and wall time are
+ *    equivalent for the simulator loops measured here.
+ *  - Only JSON file output ("--benchmark_out_format=json") plus a
+ *    small console table; no aggregate (mean/median) rows are
+ *    emitted, consumers take medians across the per-repetition
+ *    "run_type": "iteration" rows.
+ *  - Recognized flags: --benchmark_out, --benchmark_out_format,
+ *    --benchmark_repetitions, --benchmark_min_time,
+ *    --benchmark_filter. Anything else is left in argv for
+ *    ReportUnrecognizedArguments().
+ */
+
+#ifndef HRSIM_MINIBENCH_BENCHMARK_H
+#define HRSIM_MINIBENCH_BENCHMARK_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace benchmark
+{
+
+/** User counter; kIsRate divides by the measured wall seconds. */
+class Counter
+{
+  public:
+    enum Flags : std::uint32_t {
+        kDefaults = 0,
+        kIsRate = 1U << 0,
+    };
+
+    Counter() = default;
+    Counter(double v, Flags f = kDefaults) : value(v), flags(f) {}
+
+    double value = 0.0;
+    Flags flags = kDefaults;
+};
+
+using UserCounters = std::map<std::string, Counter>;
+
+/**
+ * Per-measurement state handed to the benchmark function. The
+ * `for (auto _ : state)` loop runs the pre-decided iteration count;
+ * the wall clock starts at begin() and stops when the count runs out.
+ */
+class State
+{
+  public:
+    explicit State(std::uint64_t iters)
+        : max_iterations(iters), remaining_(iters)
+    {
+    }
+
+    /** The range-for loop variable's type: the user-provided
+     * constructor keeps `for (auto _ : state)` free of
+     * -Wunused-variable. */
+    struct Ignored {
+        Ignored() {}
+        ~Ignored() {}
+    };
+
+    struct iterator {
+        State *state;
+        bool
+        operator!=(const iterator &) const
+        {
+            if (state->remaining_ != 0)
+                return true;
+            state->finish();
+            return false;
+        }
+        iterator &
+        operator++()
+        {
+            --state->remaining_;
+            return *this;
+        }
+        Ignored operator*() const { return {}; }
+    };
+
+    iterator begin();
+    iterator end() { return iterator{this}; }
+
+    std::uint64_t iterations() const
+    {
+        return max_iterations - remaining_;
+    }
+
+    /** Measured wall seconds for the whole loop (after finish). */
+    double elapsedSeconds() const { return elapsed_; }
+
+    UserCounters counters;
+    const std::uint64_t max_iterations;
+
+  private:
+    void finish();
+
+    std::uint64_t remaining_;
+    double elapsed_ = 0.0;
+    std::uint64_t startNs_ = 0;
+    bool running_ = false;
+};
+
+/** Registration handle; the chaining setters exist for source
+ * compatibility (all minibench timing is wall-clock already). */
+class Benchmark
+{
+  public:
+    using Function = void (*)(State &);
+
+    Benchmark(std::string name, Function fn)
+        : name_(std::move(name)), fn_(fn)
+    {
+    }
+
+    Benchmark *UseRealTime() { return this; }
+
+    const std::string &name() const { return name_; }
+    Function fn() const { return fn_; }
+
+  private:
+    std::string name_;
+    Function fn_;
+};
+
+/** Register a benchmark (the BENCHMARK macro's backend). */
+Benchmark *RegisterBenchmark(const char *name, Benchmark::Function fn);
+
+/** Parse and strip the recognized --benchmark_* flags from argv. */
+void Initialize(int *argc, char **argv);
+
+/** True (after printing) if argv still holds unparsed arguments. */
+bool ReportUnrecognizedArguments(int argc, char **argv);
+
+/** Extra "context" key for the JSON artifact (build ids and such). */
+void AddCustomContext(const std::string &key,
+                      const std::string &value);
+
+/** Run every registered benchmark matching --benchmark_filter. */
+std::size_t RunSpecifiedBenchmarks();
+
+void Shutdown();
+
+/** Defeat dead-code elimination of a computed value. */
+template <class T>
+inline void
+DoNotOptimize(T const &value)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    asm volatile("" : : "r,m"(value) : "memory");
+#else
+    volatile T sink = value;
+    (void)sink;
+#endif
+}
+
+} // namespace benchmark
+
+#define BENCHMARK(fn)                                                  \
+    static ::benchmark::Benchmark *mb_reg_##fn =                       \
+        ::benchmark::RegisterBenchmark(#fn, fn)
+
+#endif // HRSIM_MINIBENCH_BENCHMARK_H

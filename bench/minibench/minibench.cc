@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Minibench implementation: flag parsing, the iteration-count search,
+ * the per-repetition runner, and the google-benchmark-shaped JSON
+ * writer (see include/benchmark/benchmark.h for the scope).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <memory>
+#include <regex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace benchmark
+{
+
+namespace
+{
+
+struct Flags {
+    std::string out;
+    std::string outFormat = "json";
+    std::string filter;
+    int repetitions = 1;
+    double minTime = 0.5; // seconds, per measured run
+};
+
+Flags g_flags;
+std::vector<std::pair<std::string, std::string>> g_context;
+
+std::vector<std::unique_ptr<Benchmark>> &
+registry()
+{
+    static std::vector<std::unique_ptr<Benchmark>> benches;
+    return benches;
+}
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** One timed run: iterations, wall seconds, final counters. */
+struct Measurement {
+    std::uint64_t iterations = 0;
+    double seconds = 0.0;
+    UserCounters counters;
+};
+
+Measurement
+runOnce(Benchmark &bench, std::uint64_t iters)
+{
+    State state(iters);
+    bench.fn()(state);
+    Measurement m;
+    m.iterations = state.iterations();
+    m.seconds = state.elapsedSeconds();
+    m.counters = state.counters;
+    return m;
+}
+
+/**
+ * Find an iteration count whose measured run meets --benchmark_min_time,
+ * google-benchmark style: start at 1, multiply by the measured
+ * shortfall (clamped to 10x per step) until the run is long enough.
+ * Returns the qualifying measurement so the search's final run is not
+ * thrown away.
+ */
+Measurement
+calibrate(Benchmark &bench, std::uint64_t *iters_out)
+{
+    std::uint64_t iters = 1;
+    for (;;) {
+        Measurement m = runOnce(bench, iters);
+        if (m.seconds >= g_flags.minTime ||
+            iters >= (1ULL << 40)) {
+            *iters_out = iters;
+            return m;
+        }
+        double grow = 10.0;
+        if (m.seconds > 0.0)
+            grow = std::min(10.0, 1.4 * g_flags.minTime / m.seconds);
+        const auto next = static_cast<std::uint64_t>(
+            static_cast<double>(iters) * grow);
+        iters = std::max(iters + 1, next);
+    }
+}
+
+/** JSON string escaping for the small, controlled strings we emit. */
+std::string
+jsonEscape(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size() + 2);
+    for (const char c : in) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+struct Row {
+    std::string name;
+    int repetitions = 1;
+    int repetitionIndex = 0;
+    Measurement m;
+};
+
+void
+writeJson(const std::string &path, const std::vector<Row> &rows)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "minibench: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    char date[64];
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    localtime_r(&now, &tm);
+    std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S%z", &tm);
+
+    out << "{\n  \"context\": {\n";
+    out << "    \"date\": \"" << date << "\",\n";
+    out << "    \"num_cpus\": "
+        << std::thread::hardware_concurrency() << ",\n";
+    // The harness is compiled with the benchmarks themselves, so the
+    // build type of "the library" is simply this translation unit's.
+#ifdef NDEBUG
+    out << "    \"library_build_type\": \"release\",\n";
+#else
+    out << "    \"library_build_type\": \"debug\",\n";
+#endif
+    out << "    \"library_version\": \"hrsim-minibench\"";
+    for (const auto &[key, value] : g_context) {
+        out << ",\n    \"" << jsonEscape(key) << "\": \""
+            << jsonEscape(value) << "\"";
+    }
+    out << "\n  },\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        const double per_iter_ns =
+            row.m.iterations != 0
+                ? row.m.seconds * 1e9 /
+                      static_cast<double>(row.m.iterations)
+                : 0.0;
+        out << "    {\n";
+        out << "      \"name\": \"" << jsonEscape(row.name)
+            << "\",\n";
+        out << "      \"run_name\": \"" << jsonEscape(row.name)
+            << "\",\n";
+        out << "      \"run_type\": \"iteration\",\n";
+        out << "      \"repetitions\": " << row.repetitions << ",\n";
+        out << "      \"repetition_index\": " << row.repetitionIndex
+            << ",\n";
+        out << "      \"iterations\": " << row.m.iterations << ",\n";
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6e", per_iter_ns);
+        out << "      \"real_time\": " << buf << ",\n";
+        out << "      \"cpu_time\": " << buf << ",\n";
+        out << "      \"time_unit\": \"ns\"";
+        for (const auto &[key, counter] : row.m.counters) {
+            double value = counter.value;
+            if ((counter.flags & Counter::kIsRate) != 0 &&
+                row.m.seconds > 0.0) {
+                value /= row.m.seconds;
+            }
+            std::snprintf(buf, sizeof(buf), "%.6e", value);
+            out << ",\n      \"" << jsonEscape(key) << "\": " << buf;
+        }
+        out << "\n    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+void
+printRow(const Row &row)
+{
+    const double per_iter_ns =
+        row.m.iterations != 0
+            ? row.m.seconds * 1e9 /
+                  static_cast<double>(row.m.iterations)
+            : 0.0;
+    std::printf("%-28s %12.0f ns %10llu iters", row.name.c_str(),
+                per_iter_ns,
+                static_cast<unsigned long long>(row.m.iterations));
+    for (const auto &[key, counter] : row.m.counters) {
+        double value = counter.value;
+        if ((counter.flags & Counter::kIsRate) != 0 &&
+            row.m.seconds > 0.0) {
+            value /= row.m.seconds;
+        }
+        std::printf("  %s=%.4g", key.c_str(), value);
+    }
+    std::printf("\n");
+}
+
+/** Recognize "--flag=value"; append the value to @a out on match. */
+bool
+matchFlag(const char *arg, const char *name, std::string *out)
+{
+    const std::string prefix = std::string(name) + "=";
+    if (std::string(arg).rfind(prefix, 0) != 0)
+        return false;
+    *out = std::string(arg).substr(prefix.size());
+    return true;
+}
+
+} // namespace
+
+State::iterator
+State::begin()
+{
+    running_ = true;
+    startNs_ = nowNs();
+    return iterator{this};
+}
+
+void
+State::finish()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    elapsed_ =
+        static_cast<double>(nowNs() - startNs_) * 1e-9;
+}
+
+Benchmark *
+RegisterBenchmark(const char *name, Benchmark::Function fn)
+{
+    registry().push_back(std::make_unique<Benchmark>(name, fn));
+    return registry().back().get();
+}
+
+void
+Initialize(int *argc, char **argv)
+{
+    int kept = 1;
+    for (int i = 1; i < *argc; ++i) {
+        std::string value;
+        if (matchFlag(argv[i], "--benchmark_out", &value)) {
+            g_flags.out = value;
+        } else if (matchFlag(argv[i], "--benchmark_out_format",
+                             &value)) {
+            g_flags.outFormat = value;
+        } else if (matchFlag(argv[i], "--benchmark_filter",
+                             &value)) {
+            g_flags.filter = value;
+        } else if (matchFlag(argv[i], "--benchmark_repetitions",
+                             &value)) {
+            g_flags.repetitions = std::max(1, std::atoi(value.c_str()));
+        } else if (matchFlag(argv[i], "--benchmark_min_time",
+                             &value)) {
+            // google-benchmark accepts both "0.5" and "0.5s".
+            if (!value.empty() && value.back() == 's')
+                value.pop_back();
+            g_flags.minTime = std::atof(value.c_str());
+            if (g_flags.minTime <= 0.0)
+                g_flags.minTime = 0.5;
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    *argc = kept;
+}
+
+bool
+ReportUnrecognizedArguments(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::fprintf(stderr, "minibench: unrecognized argument %s\n",
+                     argv[i]);
+    }
+    return argc > 1;
+}
+
+void
+AddCustomContext(const std::string &key, const std::string &value)
+{
+    g_context.emplace_back(key, value);
+}
+
+std::size_t
+RunSpecifiedBenchmarks()
+{
+    std::vector<Row> rows;
+    std::size_t ran = 0;
+    for (const auto &bench : registry()) {
+        if (!g_flags.filter.empty() &&
+            !std::regex_search(bench->name(),
+                               std::regex(g_flags.filter))) {
+            continue;
+        }
+        ++ran;
+        // The calibration run doubles as repetition 0; remaining
+        // repetitions reuse its iteration count so all rows measure
+        // the same amount of work (the google-benchmark protocol).
+        std::uint64_t iters = 1;
+        Measurement first = calibrate(*bench, &iters);
+        for (int rep = 0; rep < g_flags.repetitions; ++rep) {
+            Row row;
+            row.name = bench->name();
+            row.repetitions = g_flags.repetitions;
+            row.repetitionIndex = rep;
+            row.m = rep == 0 ? first : runOnce(*bench, iters);
+            printRow(row);
+            rows.push_back(std::move(row));
+        }
+    }
+    if (!g_flags.out.empty()) {
+        if (g_flags.outFormat == "json") {
+            writeJson(g_flags.out, rows);
+        } else {
+            std::fprintf(stderr,
+                         "minibench: unsupported out format '%s' "
+                         "(only json)\n",
+                         g_flags.outFormat.c_str());
+        }
+    }
+    return ran;
+}
+
+void
+Shutdown()
+{
+}
+
+} // namespace benchmark

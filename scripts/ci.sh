@@ -15,8 +15,15 @@
 #                the adaptive batch storage index with raw masks and
 #                grow under churn, exactly where AddressSanitizer
 #                pays for itself.
+#  4. bench    — Release build of bench_simspeed (linked against the
+#                in-tree minibench harness, so no system Debug
+#                benchmark library can distort it) plus a short
+#                tracking run through scripts/run_simspeed.sh into a
+#                scratch artifact. Proves the timing pipeline end to
+#                end — harness flags, JSON shape, the Release check —
+#                without touching the committed baseline.
 #
-# Usage: scripts/ci.sh [release|tsan|asan|all]   (default: all)
+# Usage: scripts/ci.sh [release|tsan|asan|bench|all]   (default: all)
 set -euo pipefail
 
 stage=${1:-all}
@@ -48,17 +55,33 @@ run_sanitizer() {
         --gtest_filter="*${SANITIZED_FILTER//|/*:*}*"
 }
 
+run_bench() {
+    cmake -B "$src/build-ci" -S "$src" -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$src/build-ci" -j "$jobs" \
+        --target bench_simspeed hrsim_cli metrics_check
+    # Scratch artifact inside the build tree: untracked, so the
+    # committed-baseline dirty-tree guard in run_simspeed.sh never
+    # triggers on CI runs.
+    BUILD_DIR="$src/build-ci" \
+        HRSIM_BENCH_MIN_TIME=${HRSIM_BENCH_MIN_TIME:-0.05} \
+        "$src/scripts/run_simspeed.sh" \
+        "$src/build-ci/BENCH_simspeed_ci.json" \
+        "$src/build-ci/BENCH_simspeed_ci_metrics.json"
+}
+
 case "$stage" in
   release) run_release ;;
   tsan) run_sanitizer tsan ;;
   asan) run_sanitizer asan ;;
+  bench) run_bench ;;
   all)
     run_release
     run_sanitizer tsan
     run_sanitizer asan
+    run_bench
     ;;
   *)
-    echo "usage: $0 [release|tsan|asan|all]" >&2
+    echo "usage: $0 [release|tsan|asan|bench|all]" >&2
     exit 2
     ;;
 esac

@@ -19,10 +19,17 @@
 # baseline fails the script (exit 1); non-Release builds only warn,
 # since Debug timings say nothing about the hot path.
 #
-# A Google Benchmark library built Debug silently distorts every
-# timing, so a library_build_type of "debug" in the emitted JSON
-# context fails the script outright; set HRSIM_ALLOW_DEBUG_BENCH=1 to
-# override for local debugging.
+# A benchmark harness built Debug silently distorts every timing, so
+# a library_build_type of "debug" in the emitted JSON context fails
+# the script outright; set HRSIM_ALLOW_DEBUG_BENCH=1 to override for
+# local debugging.
+#
+# Overwriting a git-tracked baseline (the default BENCH_simspeed.json)
+# is refused when the work tree has uncommitted changes, or when the
+# benchmark binary reports a "-dirty" hrsim_git — a baseline nobody
+# can reproduce from a commit is worse than none. Write to an
+# untracked path for scratch runs, or set HRSIM_ALLOW_DIRTY_BASELINE=1
+# to override.
 set -euo pipefail
 
 BASELINE=""
@@ -37,9 +44,15 @@ if [[ "${1:-}" == --compare ]]; then
     # Snapshot now: the natural invocation compares against the very
     # file the fresh run is about to overwrite (BENCH_simspeed.json).
     BASELINE_SNAP=$(mktemp)
-    trap 'rm -f "$BASELINE_SNAP"' EXIT
     cp "$BASELINE" "$BASELINE_SNAP"
 fi
+
+cleanup() {
+    [[ -n "${BASELINE_SNAP:-}" ]] && rm -f "$BASELINE_SNAP"
+    [[ -n "${TMP_OUT:-}" ]] && rm -f "$TMP_OUT"
+    return 0
+}
+trap cleanup EXIT
 
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=${1:-BENCH_simspeed.json}
@@ -55,6 +68,31 @@ cmake --build $BUILD_DIR -j)" >&2
     exit 1
 fi
 
+# Is OUT a git-tracked file (i.e. a committed baseline)? If so, only
+# a clean tree may regenerate it.
+REPO_ROOT=$(git -C "$(dirname "$0")/.." rev-parse --show-toplevel \
+    2>/dev/null || true)
+OUT_TRACKED=0
+if [[ -n "$REPO_ROOT" ]]; then
+    OUT_DIR=$(cd "$(dirname "$OUT")" 2>/dev/null && pwd || true)
+    if [[ -n "$OUT_DIR" ]]; then
+        OUT_ABS="$OUT_DIR/$(basename "$OUT")"
+        OUT_REL=${OUT_ABS#"$REPO_ROOT"/}
+        if git -C "$REPO_ROOT" ls-files --error-unmatch "$OUT_REL" \
+            >/dev/null 2>&1; then
+            OUT_TRACKED=1
+        fi
+    fi
+fi
+if [[ "$OUT_TRACKED" == 1 &&
+      -z "${HRSIM_ALLOW_DIRTY_BASELINE:-}" ]] &&
+    ! git -C "$REPO_ROOT" diff --quiet HEAD 2>/dev/null; then
+    echo "error: refusing to overwrite committed baseline $OUT from \
+a dirty tree; commit first, write to an untracked path, or set \
+HRSIM_ALLOW_DIRTY_BASELINE=1" >&2
+    exit 1
+fi
+
 # Comparisons gate on the median, which needs >= 3 repetitions to
 # mean anything; plain tracking runs keep the cheap single rep.
 if [[ -n "$BASELINE" ]]; then
@@ -63,17 +101,22 @@ else
     REPS=${HRSIM_BENCH_REPS:-1}
 fi
 
+# The run lands in a temp file first: the artifact is validated
+# before it replaces OUT, so a failing check can never leave a
+# half-trusted baseline behind.
+TMP_OUT=$(mktemp)
 "$BENCH" \
-    --benchmark_out="$OUT" \
+    --benchmark_out="$TMP_OUT" \
     --benchmark_out_format=json \
     --benchmark_repetitions="$REPS" \
     --benchmark_min_time="${HRSIM_BENCH_MIN_TIME:-0.5}"
 
-echo "wrote $OUT"
-
-# A Debug benchmark library invalidates every number in the artifact;
+# A Debug benchmark harness invalidates every number in the artifact;
 # fail loudly instead of letting the distorted rates into a baseline.
-python3 - "$OUT" <<'PY'
+# Likewise a "-dirty" build provenance when OUT is a committed
+# baseline: the binary may predate the pre-run clean-tree check (git
+# state is baked in at configure time).
+HRSIM_OUT_TRACKED="$OUT_TRACKED" python3 - "$TMP_OUT" <<'PY'
 import json
 import os
 import sys
@@ -89,7 +132,20 @@ if library_build == "debug":
         sys.exit("error: benchmark library was built debug; rebuild "
                  "Release or set HRSIM_ALLOW_DEBUG_BENCH=1 to "
                  "proceed anyway")
+git_describe = str(context.get("hrsim_git", ""))
+if (os.environ.get("HRSIM_OUT_TRACKED") == "1"
+        and "-dirty" in git_describe
+        and not os.environ.get("HRSIM_ALLOW_DIRTY_BASELINE")):
+    sys.exit(f"error: benchmark binary reports hrsim_git = "
+             f"{git_describe}; refusing to install it as the "
+             "committed baseline (reconfigure/rebuild from a clean "
+             "tree, or set HRSIM_ALLOW_DIRTY_BASELINE=1)")
 PY
+
+mv "$TMP_OUT" "$OUT"
+chmod 644 "$OUT"
+TMP_OUT=""
+echo "wrote $OUT"
 
 if [[ -n "$BASELINE" ]]; then
     python3 - "$BASELINE_SNAP" "$OUT" "$BASELINE" <<'PY'

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Contiguous in-place storage for non-movable simulation components.
+ *
+ * The per-cycle tick loops sweep every network component (NICs, IRIs,
+ * mesh routers) once or more per simulated cycle. Holding them as
+ * std::vector<std::unique_ptr<T>> costs a pointer chase per component
+ * per phase and scatters the objects across the heap; at saturation
+ * the sweep is cache-footprint-bound, so adjacency matters as much as
+ * the per-object work. The components themselves are deliberately
+ * non-copyable and non-movable (they hold references into their own
+ * members and raw pointers into siblings installed by post-construction
+ * wiring), which rules out std::vector<T> — its emplace_back requires
+ * movability for reallocation even when capacity is reserved.
+ *
+ * StablePool<T> is the minimal container that fits: one contiguous
+ * allocation sized by reserve(), elements placement-new'ed in order by
+ * emplace_back(), addresses stable for the container's lifetime, no
+ * growth past the reservation (asserted). Iteration is over plain T*,
+ * so the tick loops stride linearly through memory.
+ */
+
+#ifndef HRSIM_COMMON_STABLE_POOL_HH
+#define HRSIM_COMMON_STABLE_POOL_HH
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace hrsim
+{
+
+template <typename T>
+class StablePool
+{
+  public:
+    StablePool() = default;
+
+    StablePool(const StablePool &) = delete;
+    StablePool &operator=(const StablePool &) = delete;
+    StablePool(StablePool &&) = delete;
+    StablePool &operator=(StablePool &&) = delete;
+
+    ~StablePool()
+    {
+        clear();
+        operator delete[](raw_, std::align_val_t{alignof(T)});
+    }
+
+    /**
+     * Allocate storage for exactly @a n elements. Must be called
+     * before the first emplace_back() and only on an empty pool.
+     */
+    void
+    reserve(std::size_t n)
+    {
+        HRSIM_ASSERT(size_ == 0 && capacity_ == 0);
+        if (n == 0)
+            return;
+        raw_ = static_cast<unsigned char *>(operator new[](
+            n * sizeof(T), std::align_val_t{alignof(T)}));
+        capacity_ = n;
+    }
+
+    /** Construct the next element in place; never reallocates. */
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        HRSIM_ASSERT(size_ < capacity_);
+        T *slot = new (raw_ + size_ * sizeof(T))
+            T(std::forward<Args>(args)...);
+        ++size_;
+        return *slot;
+    }
+
+    /** Destroy all elements (storage stays for the pool's lifetime). */
+    void
+    clear()
+    {
+        for (std::size_t i = size_; i > 0; --i)
+            data()[i - 1].~T();
+        size_ = 0;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T *data() { return std::launder(reinterpret_cast<T *>(raw_)); }
+    const T *
+    data() const
+    {
+        return std::launder(reinterpret_cast<const T *>(raw_));
+    }
+
+    T &
+    operator[](std::size_t i)
+    {
+        HRSIM_ASSERT(i < size_);
+        return data()[i];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        HRSIM_ASSERT(i < size_);
+        return data()[i];
+    }
+
+    T *begin() { return data(); }
+    T *end() { return data() + size_; }
+    const T *begin() const { return data(); }
+    const T *end() const { return data() + size_; }
+
+  private:
+    unsigned char *raw_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t capacity_ = 0;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_COMMON_STABLE_POOL_HH

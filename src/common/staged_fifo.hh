@@ -65,15 +65,49 @@ class StagedFifo
         setCapacity(capacity);
     }
 
+    // Non-copyable/non-movable: ext_ may alias heap_'s buffer (or a
+    // caller's arena), which a memberwise copy would leave dangling.
+    // Every queue in the simulator is a pinned member of a pinned
+    // component, so relocation is never needed.
+    StagedFifo(const StagedFifo &) = delete;
+    StagedFifo &operator=(const StagedFifo &) = delete;
+    StagedFifo(StagedFifo &&) = delete;
+    StagedFifo &operator=(StagedFifo &&) = delete;
+
     /** Change the capacity; only legal on an empty queue. */
     void
     setCapacity(std::size_t capacity)
     {
         HRSIM_ASSERT(visible_ == 0 && staged_ == 0);
-        capacity_ = capacity;
+        capacity_ = static_cast<std::uint32_t>(capacity);
         heap_.clear();
-        if (capacity_ > inlineCapacity)
+        ext_ = nullptr;
+        if (capacity_ > inlineCapacity) {
             heap_.resize(capacity_);
+            ext_ = heap_.data();
+        }
+        head_ = 0;
+        tail_ = 0;
+        poppedThisCycle_ = 0;
+    }
+
+    /**
+     * Like setCapacity(), but places element storage in
+     * caller-provided memory holding at least @a capacity elements
+     * (e.g. a network-wide arena that keeps one component's queues on
+     * adjacent cache lines). The caller keeps ownership and must keep
+     * the storage alive for the queue's lifetime. Only meaningful
+     * beyond the inline capacity; at or below it the small buffer is
+     * used as usual.
+     */
+    void
+    setCapacity(std::size_t capacity, T *storage)
+    {
+        HRSIM_ASSERT(visible_ == 0 && staged_ == 0);
+        HRSIM_ASSERT(storage != nullptr);
+        capacity_ = static_cast<std::uint32_t>(capacity);
+        heap_.clear();
+        ext_ = capacity_ > inlineCapacity ? storage : nullptr;
         head_ = 0;
         tail_ = 0;
         poppedThisCycle_ = 0;
@@ -117,12 +151,41 @@ class StagedFifo
         ++staged_;
     }
 
+    /**
+     * Stage a copy of @a value. Same semantics as push(), but takes
+     * the element by reference so forwarding a flit from one queue's
+     * front into the next queue is a single element copy (push() by
+     * value costs a copy into the parameter plus a move into the
+     * slot, and T here is a plain struct whose move is a copy).
+     */
+    void
+    pushFrom(const T &value)
+    {
+        HRSIM_ASSERT(canPush());
+        data()[tail_] = value;
+        tail_ = advance(tail_);
+        ++staged_;
+    }
+
     /** Oldest visible element. Queue must be non-empty. */
     const T &
     front() const
     {
         HRSIM_ASSERT(visible_ > 0);
         return data()[head_];
+    }
+
+    /**
+     * Remove the oldest visible element without returning it (the
+     * copy-free half of pop() for callers that already read front()).
+     */
+    void
+    dropFront()
+    {
+        HRSIM_ASSERT(visible_ > 0);
+        head_ = advance(head_);
+        --visible_;
+        ++poppedThisCycle_;
     }
 
     /** Remove and return the oldest visible element. */
@@ -141,6 +204,11 @@ class StagedFifo
     void
     commit()
     {
+        // Early-out keeps the common idle commit read-only: the
+        // per-cycle sweep commits every queue of every awake
+        // component, and most saw no traffic this cycle.
+        if ((staged_ | poppedThisCycle_) == 0)
+            return;
         visible_ += staged_;
         staged_ = 0;
         poppedThisCycle_ = 0;
@@ -165,8 +233,8 @@ class StagedFifo
     }
 
   private:
-    std::size_t
-    advance(std::size_t index) const
+    std::uint32_t
+    advance(std::uint32_t index) const
     {
         return index + 1 == capacity_ ? 0 : index + 1;
     }
@@ -174,25 +242,29 @@ class StagedFifo
     T *
     data()
     {
-        return capacity_ <= inlineCapacity ? inline_.data()
-                                           : heap_.data();
+        return capacity_ <= inlineCapacity ? inline_.data() : ext_;
     }
 
     const T *
     data() const
     {
-        return capacity_ <= inlineCapacity ? inline_.data()
-                                           : heap_.data();
+        return capacity_ <= inlineCapacity ? inline_.data() : ext_;
     }
 
-    std::size_t capacity_ = 0;
+    // Hot bookkeeping first: the six counters plus the storage
+    // pointer fit in 32 bytes, so the per-cycle state of a queue
+    // (and usually its siblings in the same component) lands on one
+    // cache line instead of straddling several. uint32 indices are
+    // ample — capacities are a few dozen flits.
+    std::uint32_t capacity_ = 0;
+    std::uint32_t head_ = 0; //!< oldest visible element
+    std::uint32_t tail_ = 0; //!< next write position
+    std::uint32_t visible_ = 0;
+    std::uint32_t staged_ = 0;
+    std::uint32_t poppedThisCycle_ = 0;
+    T *ext_ = nullptr; //!< beyond-inline storage (heap_ or external)
+    std::vector<T> heap_; //!< owned storage when none was provided
     std::array<T, inlineCapacity> inline_{};
-    std::vector<T> heap_; //!< used only when capacity_ > inline
-    std::size_t head_ = 0; //!< oldest visible element
-    std::size_t tail_ = 0; //!< next write position
-    std::size_t visible_ = 0;
-    std::size_t staged_ = 0;
-    std::size_t poppedThisCycle_ = 0;
 };
 
 } // namespace hrsim

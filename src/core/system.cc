@@ -6,6 +6,7 @@
 #include "common/log.hh"
 #include "mesh/mesh_network.hh"
 #include "ring/slotted_network.hh"
+#include "sim/fastpath.hh"
 #include "workload/region.hh"
 
 namespace hrsim
@@ -104,6 +105,12 @@ System::System(const SystemConfig &cfg)
         !(force[0] == '0' && force[1] == '\0');
     activeSched_ = cfg_.sim.idleSkip && !full_scan;
     network_->setActiveScheduling(activeSched_);
+
+    // The worm-streaming fast path has its own oracle switch
+    // (HRSIM_NO_FASTPATH, read once here); see src/sim/fastpath.hh.
+    // Must precede registerSystemMetrics(): the streamed-flits
+    // metrics register only when the fast path is on.
+    network_->setFastPath(fastPathEnabled());
 
     registerSystemMetrics();
 }

@@ -16,32 +16,53 @@ MeshNetwork::MeshNetwork(const Params &params)
         fatal("MeshNetwork: width must be >= 1");
 
     const int num_pms = params_.width * params_.width;
+    // Segment one arena so each router's buffered flits occupy
+    // adjacent cache lines (the routers themselves store only the
+    // queue bookkeeping; see MeshRouter's storage parameter).
+    const std::size_t arena_per =
+        MeshRouter::arenaFlits(bufferFlits_, clFlits_);
+    flitArena_.resize(static_cast<std::size_t>(num_pms) * arena_per);
     routers_.reserve(static_cast<std::size_t>(num_pms));
     for (NodeId id = 0; id < num_pms; ++id) {
-        routers_.push_back(std::make_unique<MeshRouter>(
+        MeshRouter &router = routers_.emplace_back(
             id, params_.width, bufferFlits_, clFlits_,
-            params_.roundRobinArbitration));
-        routers_.back()->setDeliver(
-            [this](const Packet &pkt, Cycle when) {
-                delivered(pkt, when);
-            });
-        routers_.back()->setTracerSlot(&tracer_);
+            params_.roundRobinArbitration,
+            flitArena_.data() +
+                static_cast<std::size_t>(id) * arena_per);
+        router.setDeliver([this](const Packet &pkt, Cycle when) {
+            delivered(pkt, when);
+        });
+        router.setTracerSlot(&tracer_);
     }
     active_.reset(routers_.size());
     for (auto &router : routers_)
-        router->setWakeSet(&active_);
+        router.setWakeSet(&active_);
+
+    // e-cube routing LUT: one row per router, one byte per
+    // destination. Built from the coordinate computation it replaces
+    // (test_mesh_network.cc checks the two agree exhaustively).
+    const std::size_t p = static_cast<std::size_t>(num_pms);
+    routeLut_.resize(p * p);
+    for (std::size_t r = 0; r < p; ++r) {
+        for (std::size_t dst = 0; dst < p; ++dst) {
+            routeLut_[r * p + dst] =
+                static_cast<std::uint8_t>(routers_[r].routeOfCoordinate(
+                    static_cast<NodeId>(dst)));
+        }
+        routers_[r].setRouteRow(&routeLut_[r * p]);
+    }
 
     meshGroup_ = util_.group("mesh");
     const int w = params_.width;
     for (int y = 0; y < w; ++y) {
         for (int x = 0; x < w; ++x) {
-            MeshRouter *self = routers_[
-                static_cast<std::size_t>(y * w + x)].get();
+            MeshRouter &self =
+                routers_[static_cast<std::size_t>(y * w + x)];
             const auto wire = [&](MeshPort port, int nx, int ny) {
-                MeshRouter *peer = routers_[
-                    static_cast<std::size_t>(ny * w + nx)].get();
-                self->connect(port, peer, &util_,
-                              util_.addLink(meshGroup_));
+                MeshRouter &peer =
+                    routers_[static_cast<std::size_t>(ny * w + nx)];
+                self.connect(port, &peer, &util_,
+                             util_.addLink(meshGroup_));
             };
             if (x + 1 < w)
                 wire(PortEast, x + 1, y);
@@ -65,7 +86,7 @@ bool
 MeshNetwork::canInject(NodeId pm, const Packet &pkt) const
 {
     HRSIM_ASSERT(pm >= 0 && pm < numProcessors());
-    return routers_[static_cast<std::size_t>(pm)]->canInject(pkt);
+    return routers_[static_cast<std::size_t>(pm)].canInject(pkt);
 }
 
 void
@@ -75,10 +96,11 @@ MeshNetwork::inject(NodeId pm, const Packet &pkt)
     HRSIM_ASSERT(pkt.src == pm);
     if (pkt.dst == broadcastNode)
         fatal("MeshNetwork: meshes have no broadcast; send unicasts");
-    routers_[static_cast<std::size_t>(pm)]->inject(pkt);
+    routers_[static_cast<std::size_t>(pm)].inject(pkt);
+    routers_[static_cast<std::size_t>(pm)].poke();
     active_.add(static_cast<std::uint32_t>(pm));
     HRSIM_TRACE_FLIT(tracer_, FlitEvent::Inject, pkt.id, pm,
-                     routers_[static_cast<std::size_t>(pm)]->flitCount());
+                     routers_[static_cast<std::size_t>(pm)].flitCount());
 }
 
 void
@@ -88,29 +110,60 @@ MeshNetwork::tick(Cycle now)
     // evaluation order of routers is immaterial.
     if (!activeSched_) {
         for (auto &router : routers_)
-            router->evaluate(now);
+            router.evaluate(now);
         for (auto &router : routers_)
-            router->commit();
+            router.commit();
         return;
     }
 
-    // Active path: evaluate the start-of-cycle sorted prefix (a
-    // router woken mid-tick was quiescent, so its skipped evaluate is
-    // a no-op; wakes only append, so prefix indices stay stable),
-    // commit the raw list so mid-tick arrivals get published (commits
-    // are per-router bookkeeping — order-free), then put drained
-    // routers to sleep.
-    const std::size_t n = active_.orderedPrefix();
-    for (std::size_t i = 0; i < n; ++i)
-        routers_[active_.at(i)]->evaluate(now);
-    for (const std::uint32_t id : active_.raw())
-        routers_[id]->commit();
-    // Post-commit, staged counts are published, so quiescent() (all
-    // FIFOs visibly empty, short-circuiting) is exactly
-    // flitCount() == 0 — and far cheaper for saturated routers.
+    // Active path: evaluate the start-of-cycle sorted prefix. A
+    // router woken mid-tick was asleep, i.e. its last evaluate
+    // changed nothing, so the skipped evaluate this cycle is still a
+    // no-op: the event that woke it (arrival, credit) only becomes
+    // actionable after the commits below. Wakes only append, so
+    // prefix indices stay stable.
+    //
+    // Saturation hybrid: when most routers are awake the indexed
+    // prefix walk loses to a plain linear sweep (sequential stride,
+    // no sort, no index indirection), and evaluating the few asleep
+    // routers too is harmless — an asleep router's evaluate is a
+    // provable no-op (see MeshRouter::sweepKeep). Both walks visit
+    // routers in ascending id order, so they are bit-identical.
+    if (active_.size() * 4 >= routers_.size() * 3) {
+        for (MeshRouter &router : routers_)
+            router.evaluate(now);
+        // At saturation the sleep sweep rarely retires anyone, so
+        // amortize it: most ticks commit everything linearly (a
+        // never-woken router's commit is a no-op) and keep the set
+        // as-is — retaining an idle router is always sound, only
+        // *removal* needs the no-op proof. Every 16th saturated tick
+        // runs the real sweep so the set can decay once load drops.
+        if (++satTicks_ % 16 != 0) {
+            for (MeshRouter &router : routers_)
+                router.commit();
+            return;
+        }
+    } else {
+        const std::size_t n = active_.orderedPrefix();
+        for (std::size_t i = 0; i < n; ++i)
+            routers_[active_.at(i)].evaluate(now);
+    }
+    // Commit fused into the retain sweep (commits are per-router
+    // bookkeeping, order-free). The sleep decision is sweepKeep():
+    // a router whose evaluate changed nothing sleeps even while it
+    // still buffers flits — a back-pressured worm burns no cycles
+    // waiting — and is re-woken by the arrival, injection or
+    // downstream-credit poke that could let it move again.
     active_.retain([this](std::uint32_t id) {
-        return !routers_[id]->quiescent();
+        MeshRouter &router = routers_[id];
+        router.commit();
+        return router.sweepKeep();
     });
+    // Sleep soundness check: e-cube is deadlock-free and ejection
+    // always sinks, so flits in flight imply some router just moved
+    // one (and stayed awake). An empty set must mean an empty mesh.
+    if (active_.empty())
+        HRSIM_ASSERT(flitsInFlight() == 0);
 }
 
 void
@@ -120,9 +173,19 @@ MeshNetwork::setActiveScheduling(bool enabled)
     if (!enabled)
         return;
     for (std::size_t id = 0; id < routers_.size(); ++id) {
-        if (routers_[id]->flitCount() != 0)
+        if (routers_[id].flitCount() != 0) {
+            routers_[id].poke();
             active_.add(static_cast<std::uint32_t>(id));
+        }
     }
+}
+
+void
+MeshNetwork::setFastPath(bool enabled)
+{
+    fastPath_ = enabled;
+    for (auto &router : routers_)
+        router.setFastPath(enabled);
 }
 
 bool
@@ -144,7 +207,7 @@ MeshNetwork::flitsInFlight() const
 {
     std::uint64_t count = 0;
     for (const auto &router : routers_)
-        count += router->flitCount();
+        count += router.flitCount();
     return count;
 }
 
@@ -159,8 +222,19 @@ MeshNetwork::registerMetrics(MetricRegistry &registry) const
 {
     registry.addGauge("mesh.util",
                       [this]() { return networkUtilization(); });
+    if (fastPath_) {
+        // Registered only when the fast path is on (the PR 3 sched.*
+        // convention), so metric artifacts stay byte-identical under
+        // HRSIM_NO_FASTPATH — the count itself is mode-independent.
+        registry.addGauge("router.streamed_flits", [this]() {
+            std::uint64_t total = 0;
+            for (const auto &router : routers_)
+                total += router.streamedFlits();
+            return static_cast<double>(total);
+        });
+    }
     for (std::size_t id = 0; id < routers_.size(); ++id) {
-        const MeshRouter *router = routers_[id].get();
+        const MeshRouter *router = &routers_[id];
         registry.addGauge("mesh.r" + std::to_string(id) + ".flits",
                           [router]() {
                               return static_cast<double>(
@@ -173,7 +247,7 @@ MeshRouter &
 MeshNetwork::router(NodeId id)
 {
     HRSIM_ASSERT(id >= 0 && id < numProcessors());
-    return *routers_[static_cast<std::size_t>(id)];
+    return routers_[static_cast<std::size_t>(id)];
 }
 
 } // namespace hrsim

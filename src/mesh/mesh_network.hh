@@ -12,9 +12,10 @@
 #ifndef HRSIM_MESH_MESH_NETWORK_HH
 #define HRSIM_MESH_MESH_NETWORK_HH
 
-#include <memory>
+#include <cstdint>
 #include <vector>
 
+#include "common/stable_pool.hh"
 #include "common/types.hh"
 #include "mesh/mesh_router.hh"
 #include "sim/network.hh"
@@ -51,6 +52,7 @@ class MeshNetwork : public Network
     std::uint64_t flitsInFlight() const override;
     void registerMetrics(MetricRegistry &registry) const override;
     void setActiveScheduling(bool enabled) override;
+    void setFastPath(bool enabled) override;
     bool isIdle() const override;
     std::size_t activeNodeCount() const override;
 
@@ -72,9 +74,18 @@ class MeshNetwork : public Network
     Params params_;
     std::uint32_t clFlits_;
     std::uint32_t bufferFlits_;
-    std::vector<std::unique_ptr<MeshRouter>> routers_;
+    /** One flit-storage arena for every router queue, segmented per
+     * router (declared before routers_, which point into it). */
+    std::vector<Flit> flitArena_;
+    /** Routers live contiguously so the tick sweep strides linearly
+     * instead of chasing one heap pointer per router per phase. */
+    StablePool<MeshRouter> routers_;
+    /** e-cube routing LUT, P*P entries: row r holds router r's output
+     * port for every destination. Built from routeOfCoordinate(). */
+    std::vector<std::uint8_t> routeLut_;
     UtilizationTracker util_;
     UtilizationTracker::GroupId meshGroup_;
+    bool fastPath_ = false;
 
     // Active-set scheduler state (setActiveScheduling). Router
     // evaluation order is immaterial (two-phase FIFOs), but the set
@@ -82,6 +93,8 @@ class MeshNetwork : public Network
     // and identical to the full scan by construction.
     bool activeSched_ = false;
     ActiveSet active_;
+    /** Saturated ticks since the last amortized sleep sweep. */
+    std::uint32_t satTicks_ = 0;
 };
 
 } // namespace hrsim

@@ -23,15 +23,26 @@ oppositePort(MeshPort port)
 }
 
 MeshRouter::MeshRouter(NodeId id, int width, std::uint32_t buffer_flits,
-                       std::uint32_t queue_flits, bool round_robin)
+                       std::uint32_t queue_flits, bool round_robin,
+                       Flit *storage)
     : id_(id), width_(width), x_(id % width), y_(id / width),
       roundRobin_(round_robin)
 {
     HRSIM_ASSERT(buffer_flits >= 1);
-    for (auto &buf : inBuf_)
-        buf.setCapacity(buffer_flits);
-    outResp_.setCapacity(queue_flits);
-    outReq_.setCapacity(queue_flits);
+    if (storage) {
+        for (auto &buf : inBuf_) {
+            buf.setCapacity(buffer_flits, storage);
+            storage += buffer_flits;
+        }
+        outResp_.setCapacity(queue_flits, storage);
+        storage += queue_flits;
+        outReq_.setCapacity(queue_flits, storage);
+    } else {
+        for (auto &buf : inBuf_)
+            buf.setCapacity(buffer_flits);
+        outResp_.setCapacity(queue_flits);
+        outReq_.setCapacity(queue_flits);
+    }
     inputBound_.fill(-1);
 }
 
@@ -41,13 +52,28 @@ MeshRouter::connect(MeshPort out, MeshRouter *neighbor,
                     UtilizationTracker::LinkId link)
 {
     HRSIM_ASSERT(out != PortLocal);
-    out_[static_cast<std::size_t>(out)].neighbor = neighbor;
-    out_[static_cast<std::size_t>(out)].util = util;
-    out_[static_cast<std::size_t>(out)].link = link;
+    Output &port = out_[static_cast<std::size_t>(out)];
+    port.neighbor = neighbor;
+    port.peerBuf =
+        &neighbor->inBuf_[static_cast<std::size_t>(oppositePort(out))];
+    port.util = util;
+    port.link = link;
+    // The facing input on the neighbor is fed by this router: popping
+    // it frees a slot this router may be blocked on (credit wake).
+    neighbor->upstream_[static_cast<std::size_t>(oppositePort(out))] =
+        this;
 }
 
 MeshPort
 MeshRouter::routeOf(NodeId dst) const
+{
+    if (routeRow_)
+        return static_cast<MeshPort>(routeRow_[dst]);
+    return routeOfCoordinate(dst);
+}
+
+MeshPort
+MeshRouter::routeOfCoordinate(NodeId dst) const
 {
     const int dst_x = dst % width_;
     const int dst_y = dst / width_;
@@ -86,60 +112,40 @@ MeshRouter::peekInput(int in) const
     return nullptr;
 }
 
-Flit
-MeshRouter::popInput(int in)
+void
+MeshRouter::dropInput(int in)
 {
-    if (in != PortLocal)
-        return inBuf_[static_cast<std::size_t>(in)].pop();
+    if (in != PortLocal) {
+        inBuf_[static_cast<std::size_t>(in)].dropFront();
+        // Credit wake: the freed slot becomes pushable after this
+        // router's commit, so the upstream feeder must be awake next
+        // cycle even if its own evaluate changed nothing.
+        MeshRouter *up = upstream_[static_cast<std::size_t>(in)];
+        HRSIM_ASSERT(up != nullptr);
+        up->poked_ = true;
+        if (wakeSet_)
+            wakeSet_->add(static_cast<std::uint32_t>(up->id_));
+        return;
+    }
     switch (localSrc_) {
       case LocalSrc::Resp:
-        return outResp_.pop();
+        outResp_.dropFront();
+        return;
       case LocalSrc::Req:
-        return outReq_.pop();
+        outReq_.dropFront();
+        return;
       case LocalSrc::None:
         // First flit of a new local worm: bind the winning queue.
         if (!outResp_.empty()) {
             localSrc_ = LocalSrc::Resp;
-            return outResp_.pop();
+            outResp_.dropFront();
+            return;
         }
         localSrc_ = LocalSrc::Req;
-        return outReq_.pop();
-    }
-    HRSIM_PANIC("popInput: no flit available");
-}
-
-bool
-MeshRouter::downstreamAccepts(int out) const
-{
-    if (out == PortLocal)
-        return true; // ejection: the PM always sinks
-    const Output &port = out_[static_cast<std::size_t>(out)];
-    HRSIM_ASSERT(port.neighbor != nullptr);
-    const MeshPort facing = oppositePort(static_cast<MeshPort>(out));
-    return port.neighbor->inBuf_[static_cast<std::size_t>(facing)]
-        .canPush();
-}
-
-void
-MeshRouter::pushDownstream(int out, const Flit &flit, Cycle now)
-{
-    if (out == PortLocal) {
-        if (flit.isTail() && deliver_)
-            deliver_(packetFromFlit(flit), now);
+        outReq_.dropFront();
         return;
     }
-    Output &port = out_[static_cast<std::size_t>(out)];
-    const MeshPort facing = oppositePort(static_cast<MeshPort>(out));
-    port.neighbor->inBuf_[static_cast<std::size_t>(facing)].push(flit);
-    if (wakeSet_) // wake a sleeping neighbor
-        wakeSet_->add(static_cast<std::uint32_t>(port.neighbor->id_));
-    if (port.util)
-        port.util->recordTransfer(port.link);
-    HRSIM_TRACE_FLIT(
-        tracerSlot_ ? *tracerSlot_ : nullptr, FlitEvent::Hop,
-        flit.packet, id_,
-        port.neighbor->inBuf_[static_cast<std::size_t>(facing)]
-            .totalSize());
+    HRSIM_PANIC("dropInput: no flit available");
 }
 
 bool
@@ -159,6 +165,16 @@ MeshRouter::quiescent() const
 void
 MeshRouter::evaluate(Cycle now)
 {
+    changed_ = false;
+    if (fastPath_)
+        evaluateFast(now);
+    else
+        evaluateLegacy(now);
+}
+
+void
+MeshRouter::evaluateLegacy(Cycle now)
+{
     if (quiescent())
         return;
 
@@ -172,7 +188,7 @@ MeshRouter::evaluate(Cycle now)
         if (!head)
             continue;
         HRSIM_ASSERT(head->isHead());
-        const MeshPort out = routeOf(head->dst);
+        const MeshPort out = routeOfCoordinate(head->dst);
         requests[static_cast<std::size_t>(out)] |=
             static_cast<std::uint8_t>(1u << in);
     }
@@ -191,20 +207,7 @@ MeshRouter::evaluate(Cycle now)
                   (1u << in))) {
                 continue;
             }
-            const Flit *head = peekInput(in);
-            HRSIM_ASSERT(head != nullptr);
-            port.owner = in;
-            port.wormPkt = head->packet;
-            inputBound_[static_cast<std::size_t>(in)] = out;
-            port.rrPtr = (in + 1) % NumMeshPorts;
-            if (in == PortLocal && localSrc_ == LocalSrc::None) {
-                // Bind the queue now: a packet arriving in the other
-                // queue before the first flit crosses must not steal
-                // the port (responses only outrank requests at packet
-                // boundaries).
-                localSrc_ = outResp_.empty() ? LocalSrc::Req
-                                             : LocalSrc::Resp;
-            }
+            grantOutput(out, in);
             break;
         }
     }
@@ -212,24 +215,143 @@ MeshRouter::evaluate(Cycle now)
     // 3. Switch traversal: one flit per owned output, flow-control
     //    permitting.
     for (int out = 0; out < NumMeshPorts; ++out) {
-        Output &port = out_[static_cast<std::size_t>(out)];
-        if (port.owner == -1)
+        if (out_[static_cast<std::size_t>(out)].owner == -1)
             continue;
-        const Flit *next = peekInput(port.owner);
-        if (!next)
-            continue; // worm starved: hold the port
-        HRSIM_ASSERT(next->packet == port.wormPkt);
-        if (!downstreamAccepts(out))
-            continue; // blocked: flits wait in the input buffer
-        const Flit flit = popInput(port.owner);
-        pushDownstream(out, flit, now);
-        if (flit.isTail()) {
-            inputBound_[static_cast<std::size_t>(port.owner)] = -1;
-            if (port.owner == PortLocal)
-                localSrc_ = LocalSrc::None;
-            port.owner = -1;
-            port.wormPkt = 0;
+        traverseOutput(out, now);
+    }
+}
+
+void
+MeshRouter::evaluateFast(Cycle now)
+{
+    // Port activity mask: one bit per input with a visible flit
+    // (staged pushes only become visible at commit, so this cannot
+    // race with neighbors). If nothing is visible the cycle is a
+    // no-op, even when an output is still owned: an owned-but-starved
+    // port just holds its binding, exactly as the legacy traversal
+    // loop would.
+    PortMask vis = 0;
+    for (int in = 0; in < PortLocal; ++in) {
+        if (!inBuf_[static_cast<std::size_t>(in)].empty())
+            vis |= static_cast<PortMask>(1u << in);
+    }
+    if (peekInput(PortLocal) != nullptr)
+        vis |= static_cast<PortMask>(1u << PortLocal);
+    if (vis == 0)
+        return;
+
+    // 1+2. Routing and arbitration only run for visible *unbound*
+    //      inputs — every flit at the front of an unbound input is a
+    //      head (worms unbind exactly when their tail pops). Bound
+    //      inputs stream below without touching routeOf() or the
+    //      round-robin state.
+    const PortMask unbound = vis & static_cast<PortMask>(~boundMask_);
+    if (unbound != 0) {
+        std::array<std::uint8_t, NumMeshPorts> requests{};
+        for (PortMask m = unbound; m != 0; m = dropLowestPort(m)) {
+            const int in = lowestSetPort(m);
+            const Flit *head = peekInput(in);
+            HRSIM_ASSERT(head != nullptr && head->isHead());
+            requests[static_cast<std::size_t>(routeOf(head->dst))] |=
+                static_cast<std::uint8_t>(1u << in);
         }
+        for (int out = 0; out < NumMeshPorts; ++out) {
+            Output &port = out_[static_cast<std::size_t>(out)];
+            if (port.owner != -1 ||
+                requests[static_cast<std::size_t>(out)] == 0) {
+                continue;
+            }
+            const int base = roundRobin_ ? port.rrPtr : 0;
+            for (int step = 0; step < NumMeshPorts; ++step) {
+                const int in = (base + step) % NumMeshPorts;
+                if (!(requests[static_cast<std::size_t>(out)] &
+                      (1u << in))) {
+                    continue;
+                }
+                grantOutput(out, in);
+                break;
+            }
+        }
+    }
+
+    // 3. Worm streaming: owned outputs in ascending port order (the
+    //    same order the legacy full scan visits them; see the
+    //    PortMask contract in active_set.hh).
+    for (PortMask m = ownedMask_; m != 0; m = dropLowestPort(m))
+        traverseOutput(lowestSetPort(m), now);
+}
+
+void
+MeshRouter::grantOutput(int out, int in)
+{
+    Output &port = out_[static_cast<std::size_t>(out)];
+    const Flit *head = peekInput(in);
+    HRSIM_ASSERT(head != nullptr);
+    port.owner = in;
+    port.wormPkt = head->packet;
+    inputBound_[static_cast<std::size_t>(in)] = out;
+    boundMask_ |= static_cast<PortMask>(1u << in);
+    ownedMask_ |= static_cast<PortMask>(1u << out);
+    port.rrPtr = (in + 1) % NumMeshPorts;
+    changed_ = true;
+    if (in == PortLocal && localSrc_ == LocalSrc::None) {
+        // Bind the queue now: a packet arriving in the other queue
+        // before the first flit crosses must not steal the port
+        // (responses only outrank requests at packet boundaries).
+        localSrc_ = outResp_.empty() ? LocalSrc::Req : LocalSrc::Resp;
+    }
+}
+
+void
+MeshRouter::traverseOutput(int out, Cycle now)
+{
+    Output &port = out_[static_cast<std::size_t>(out)];
+    const Flit *next = peekInput(port.owner);
+    if (!next)
+        return; // worm starved: hold the port
+    HRSIM_ASSERT(next->packet == port.wormPkt);
+    bool tail;
+    if (out == PortLocal) {
+        // Ejection: the PM always sinks. Copy the flit out first —
+        // the delivery callback runs after the pop (it may re-enter
+        // this router through a synchronous response injection).
+        const Flit flit = *next;
+        dropInput(port.owner);
+        changed_ = true;
+        streamedFlits_ += static_cast<std::uint64_t>(!flit.isHead());
+        tail = flit.isTail();
+        if (tail && deliver_)
+            deliver_(packetFromFlit(flit), now);
+    } else {
+        HRSIM_ASSERT(port.peerBuf != nullptr);
+        if (!port.peerBuf->canPush())
+            return; // blocked: flits wait in the input buffer
+        // Stream the flit straight from the input front into the
+        // downstream buffer: one element copy, no pop-into-temporary.
+        port.peerBuf->pushFrom(*next);
+        changed_ = true;
+        port.neighbor->poked_ = true; // arrival: stay up next cycle
+        if (wakeSet_)                 // and wake if sleeping
+            wakeSet_->add(
+                static_cast<std::uint32_t>(port.neighbor->id_));
+        if (port.util)
+            port.util->recordTransfer(port.link);
+        HRSIM_TRACE_FLIT(tracerSlot_ ? *tracerSlot_ : nullptr,
+                         FlitEvent::Hop, next->packet, id_,
+                         port.peerBuf->totalSize());
+        streamedFlits_ +=
+            static_cast<std::uint64_t>(!next->isHead());
+        tail = next->isTail();
+        dropInput(port.owner);
+    }
+    if (tail) {
+        inputBound_[static_cast<std::size_t>(port.owner)] = -1;
+        boundMask_ &= static_cast<PortMask>(~(1u << port.owner));
+        ownedMask_ &= static_cast<PortMask>(~(1u << out));
+        if (port.owner == PortLocal)
+            localSrc_ = LocalSrc::None;
+        port.owner = -1;
+        port.wormPkt = 0;
     }
 }
 

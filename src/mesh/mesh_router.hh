@@ -47,7 +47,8 @@ MeshPort oppositePort(MeshPort port);
 /**
  * Router queues skip the StagedFifo small-buffer: six queues per
  * router would grow MeshRouter ~3x, and the per-cycle sweep over all
- * routers is cache-footprint-bound (measured slower inline).
+ * routers is cache-footprint-bound (measured slower inline, both
+ * with heap-allocated routers and with the contiguous pool layout).
  */
 using MeshFifo = StagedFifo<Flit, 0>;
 
@@ -56,6 +57,14 @@ class MeshRouter
   public:
     using DeliverFn = std::function<void(const Packet &, Cycle)>;
 
+    /** Flit slots one router's six queues need in an arena. */
+    static std::size_t
+    arenaFlits(std::uint32_t buffer_flits, std::uint32_t queue_flits)
+    {
+        return 4 * static_cast<std::size_t>(buffer_flits) +
+               2 * static_cast<std::size_t>(queue_flits);
+    }
+
     /**
      * @param id PM id (also the router's position in the mesh).
      * @param width Mesh edge length.
@@ -63,9 +72,15 @@ class MeshRouter
      * @param queue_flits PM output queue depth (>= largest packet).
      * @param round_robin Rotate output arbitration (paper default);
      *        false selects fixed-priority (ablation only).
+     * @param storage Optional external flit storage for all six
+     *        queues, arenaFlits() elements (the network passes one
+     *        arena segment per router so a router's buffered flits
+     *        sit on adjacent cache lines); nullptr lets each queue
+     *        heap-allocate its own buffer.
      */
     MeshRouter(NodeId id, int width, std::uint32_t buffer_flits,
-               std::uint32_t queue_flits, bool round_robin = true);
+               std::uint32_t queue_flits, bool round_robin = true,
+               Flit *storage = nullptr);
 
     MeshRouter(const MeshRouter &) = delete;
     MeshRouter &operator=(const MeshRouter &) = delete;
@@ -80,8 +95,46 @@ class MeshRouter
     /** Route, arbitrate and traverse one cycle. */
     void evaluate(Cycle now);
 
+    /**
+     * Select the worm-streaming fast path (default off = the legacy
+     * straight-line loops, which double as the bit-identity oracle).
+     * Set once after construction; results are identical either way.
+     */
+    void setFastPath(bool enabled) { fastPath_ = enabled; }
+
+    /**
+     * Attach this router's row of the network's e-cube routing LUT
+     * (indexed by destination NodeId). The fast path routes heads
+     * with one load from it instead of the div/mod coordinate math.
+     */
+    void setRouteRow(const std::uint8_t *row) { routeRow_ = row; }
+
     /** No visible flit anywhere: evaluate() would be a no-op. */
     bool quiescent() const;
+
+    /**
+     * End-of-cycle sleep decision for the active-set scheduler: keep
+     * the router awake iff this cycle's evaluate changed any state
+     * (granted an output or moved a flit) or an external event poked
+     * it (flit arrival, local injection, or a downstream credit).
+     * Consumes the poke.
+     *
+     * Why this is sound: evaluate() is deterministic in the router's
+     * committed state plus its neighbors' buffer occupancy, pops do
+     * not free downstream space until the neighbor's commit, and
+     * arrivals stage invisibly until the local commit. So an evaluate
+     * that changed nothing will keep changing nothing until one of
+     * the poke events fires — each of which re-wakes the router.
+     */
+    bool sweepKeep()
+    {
+        const bool keep = changed_ || poked_;
+        poked_ = false;
+        return keep;
+    }
+
+    /** External event: ensure the next retain keeps this router. */
+    void poke() { poked_ = true; }
 
     /** End-of-cycle commit of all router FIFOs. */
     void commit();
@@ -110,21 +163,45 @@ class MeshRouter
     /** Flits currently buffered in this router. */
     std::uint64_t flitCount() const;
 
-    /** e-cube output port for a packet headed to @a dst. */
+    /**
+     * e-cube output port for a packet headed to @a dst: the routing
+     * LUT row when one is attached, else the coordinate computation.
+     */
     MeshPort routeOf(NodeId dst) const;
 
+    /**
+     * e-cube output port computed from coordinates (X then Y). The
+     * LUT is built from this; the exhaustive equivalence test in
+     * test_mesh_network.cc compares the two for every (router, dst).
+     */
+    MeshPort routeOfCoordinate(NodeId dst) const;
+
+    /**
+     * Flits forwarded on an already-owned output port, i.e. moved
+     * without re-running routing or arbitration (every non-head flit
+     * of every worm). A pure function of the simulation history —
+     * identical under fast path and legacy loops.
+     */
+    std::uint64_t streamedFlits() const { return streamedFlits_; }
+
   private:
+    /** Legacy straight-line evaluate (the bit-identity oracle). */
+    void evaluateLegacy(Cycle now);
+
+    /** Mask-driven evaluate: LUT routing, ctz port iteration. */
+    void evaluateFast(Cycle now);
+
+    /** Bind output @a out to the worm whose head waits on @a in. */
+    void grantOutput(int out, int in);
+
+    /** Move one flit across owned output @a out if flow control allows. */
+    void traverseOutput(int out, Cycle now);
+
     /** Next flit availabe on input @a in (nullptr if none). */
     const Flit *peekInput(int in) const;
 
-    /** Pop the peeked flit from input @a in. */
-    Flit popInput(int in);
-
-    /** May output @a out push one flit downstream this cycle? */
-    bool downstreamAccepts(int out) const;
-
-    /** Push @a flit downstream from output @a out. */
-    void pushDownstream(int out, const Flit &flit, Cycle now);
+    /** Drop the peeked flit from input @a in (binds local queues). */
+    void dropInput(int in);
 
     NodeId id_;
     int width_;
@@ -149,10 +226,27 @@ class MeshRouter
         PacketId wormPkt = 0;
         int rrPtr = 0;  //!< round-robin arbitration pointer
         MeshRouter *neighbor = nullptr;
+        /** The neighbor's facing input buffer (cached at connect). */
+        MeshFifo *peerBuf = nullptr;
         UtilizationTracker *util = nullptr;
         UtilizationTracker::LinkId link = 0;
     };
     std::array<Output, NumMeshPorts> out_;
+
+    bool fastPath_ = false;
+    /** This cycle's evaluate granted a port or moved a flit. */
+    bool changed_ = false;
+    /** External wake event since the last retain (see sweepKeep()). */
+    bool poked_ = false;
+    /** This router's row of the network's e-cube LUT (may be null). */
+    const std::uint8_t *routeRow_ = nullptr;
+    /** Port activity: inputs bound to an output worm. */
+    PortMask boundMask_ = 0;
+    /** Port activity: outputs owned by an input worm. */
+    PortMask ownedMask_ = 0;
+    std::uint64_t streamedFlits_ = 0;
+    /** Router feeding each directional input (credit wake target). */
+    std::array<MeshRouter *, 4> upstream_{};
 
     DeliverFn deliver_;
     FlitTracer *const *tracerSlot_ = nullptr;

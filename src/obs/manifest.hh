@@ -42,6 +42,14 @@ struct RunManifest
     std::uint64_t seed = 0;
     unsigned jobs = 1; //!< sweep workers (1 for single-point runs)
 
+    /**
+     * Worm-streaming fast path on for this run? Provenance, not
+     * identity: both modes produce bit-identical results (the
+     * bit-identity grid in tests/test_active_set.cc proves it), so
+     * the flag lives next to jobs/wall time, outside configKey().
+     */
+    bool fastPath = true;
+
     double wallSeconds = 0.0;
     /** Simulated node-cycles per wall second over the whole run. */
     double nodeCyclesPerSec = 0.0;

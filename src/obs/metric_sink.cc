@@ -54,6 +54,8 @@ writeManifestJson(std::ostream &out, const RunManifest &manifest)
     out << "    \"config_hash\": \"" << manifest.configHash << "\",\n";
     out << "    \"seed\": " << manifest.seed << ",\n";
     out << "    \"jobs\": " << manifest.jobs << ",\n";
+    out << "    \"fast_path\": "
+        << (manifest.fastPath ? "true" : "false") << ",\n";
     out << "    \"wall_seconds\": " << jsonNumber(manifest.wallSeconds)
         << ",\n";
     out << "    \"node_cycles_per_sec\": "
@@ -166,6 +168,7 @@ writeMetricsCsv(std::ostream &out, const RunManifest &manifest,
     out << "# config_hash=" << manifest.configHash << '\n';
     out << "# seed=" << manifest.seed << '\n';
     out << "# jobs=" << manifest.jobs << '\n';
+    out << "# fast_path=" << (manifest.fastPath ? 1 : 0) << '\n';
     out << "# wall_seconds=" << jsonNumber(manifest.wallSeconds)
         << '\n';
     out << "# node_cycles_per_sec="

@@ -17,10 +17,8 @@ RingNetwork::RingNetwork(const Params &params)
 
     const int num_pms = structure_.numProcessors();
     nics_.reserve(static_cast<std::size_t>(num_pms));
-    for (NodeId pm = 0; pm < num_pms; ++pm) {
-        nics_.push_back(std::make_unique<RingNic>(pm, clFlits_,
-                                                  params_.nicBypass));
-    }
+    for (NodeId pm = 0; pm < num_pms; ++pm)
+        nics_.emplace_back(pm, clFlits_, params_.nicBypass);
     // Long enough that the escape never fires at the paper's
     // operating points (queueing waits there are tens of cycles) yet
     // finite, so no blocking cycle can persist.
@@ -31,9 +29,8 @@ RingNetwork::RingNetwork(const Params &params)
         fatal("RingNetwork: IRI queues need >= 1 packet");
     iris_.reserve(structure_.iris.size());
     for (const IriDesc &desc : structure_.iris) {
-        iris_.push_back(std::make_unique<RingIri>(
-            desc.subtreeLo, desc.subtreeHi, clFlits_, wait_limit,
-            params_.iriQueuePackets));
+        iris_.emplace_back(desc.subtreeLo, desc.subtreeHi, clFlits_,
+                           wait_limit, params_.iriQueuePackets);
     }
 
     // Partition IRI upper sides into clock domains: only the upper
@@ -42,9 +39,9 @@ RingNetwork::RingNetwork(const Params &params)
         const bool on_root =
             structure_.iris[i].parentRing == structure_.rootRing;
         if (on_root && params_.globalRingSpeed > 1)
-            fastIris_.push_back(iris_[i].get());
+            fastIris_.push_back(&iris_[i]);
         else
-            slowUpperIris_.push_back(iris_[i].get());
+            slowUpperIris_.push_back(&iris_[i]);
     }
 
     // Utilization groups, one per hierarchy level.
@@ -56,8 +53,8 @@ RingNetwork::RingNetwork(const Params &params)
 
     // NIC deliveries funnel into the network's registered handler
     // (which the system installs after construction).
-    for (auto &nic : nics_) {
-        nic->setDeliver([this](const Packet &pkt, Cycle when) {
+    for (RingNic &nic : nics_) {
+        nic.setDeliver([this](const Packet &pkt, Cycle when) {
             delivered(pkt, when);
         });
     }
@@ -144,8 +141,8 @@ std::uint64_t
 RingNetwork::totalWaitCycles() const
 {
     std::uint64_t total = 0;
-    for (const auto &iri : iris_)
-        total += iri->waitCycles();
+    for (const RingIri &iri : iris_)
+        total += iri.waitCycles();
     return total;
 }
 
@@ -153,8 +150,8 @@ std::uint64_t
 RingNetwork::totalEscapes() const
 {
     std::uint64_t total = 0;
-    for (const auto &iri : iris_)
-        total += iri->escapes();
+    for (const RingIri &iri : iris_)
+        total += iri.escapes();
     return total;
 }
 
@@ -171,11 +168,11 @@ RingNetwork::sideAt(const RingSlotDesc &slot)
 {
     switch (slot.kind) {
       case RingSlotDesc::Kind::Nic:
-        return nics_[static_cast<std::size_t>(slot.index)]->side();
+        return nics_[static_cast<std::size_t>(slot.index)].side();
       case RingSlotDesc::Kind::IriLower:
-        return iris_[static_cast<std::size_t>(slot.index)]->lower();
+        return iris_[static_cast<std::size_t>(slot.index)].lower();
       case RingSlotDesc::Kind::IriUpper:
-        return iris_[static_cast<std::size_t>(slot.index)]->upper();
+        return iris_[static_cast<std::size_t>(slot.index)].upper();
     }
     HRSIM_PANIC("unknown ring slot kind");
 }
@@ -190,7 +187,7 @@ bool
 RingNetwork::canInject(NodeId pm, const Packet &pkt) const
 {
     HRSIM_ASSERT(pm >= 0 && pm < numProcessors());
-    return nics_[static_cast<std::size_t>(pm)]->canInject(pkt);
+    return nics_[static_cast<std::size_t>(pm)].canInject(pkt);
 }
 
 void
@@ -200,10 +197,10 @@ RingNetwork::inject(NodeId pm, const Packet &pkt)
     HRSIM_ASSERT(pkt.src == pm);
     if (pkt.dst == broadcastNode)
         fatal("RingNetwork: broadcast requires slotted switching");
-    nics_[static_cast<std::size_t>(pm)]->inject(pkt);
+    nics_[static_cast<std::size_t>(pm)].inject(pkt);
     activeNics_.add(static_cast<std::uint32_t>(pm));
     HRSIM_TRACE_FLIT(tracer_, FlitEvent::Inject, pkt.id, pm,
-                     nics_[static_cast<std::size_t>(pm)]->flitCount());
+                     nics_[static_cast<std::size_t>(pm)].flitCount());
 }
 
 void
@@ -219,26 +216,26 @@ void
 RingNetwork::tickFullScan(Cycle now)
 {
     // Phase A: acceptance flags from start-of-cycle state.
-    for (auto &nic : nics_)
-        nic->computeAcceptance();
-    for (auto &iri : iris_)
-        iri->computeAcceptanceLower();
+    for (RingNic &nic : nics_)
+        nic.computeAcceptance();
+    for (RingIri &iri : iris_)
+        iri.computeAcceptanceLower();
     for (RingIri *iri : slowUpperIris_)
         iri->computeAcceptanceUpper();
 
     // Phase B: system-clock domain.
-    for (auto &nic : nics_)
-        nic->evaluate(now);
-    for (auto &iri : iris_)
-        iri->evaluateLower();
+    for (RingNic &nic : nics_)
+        nic.evaluate(now);
+    for (RingIri &iri : iris_)
+        iri.evaluateLower();
     for (RingIri *iri : slowUpperIris_)
         iri->evaluateUpper();
 
     // Commit the system-clock domain.
-    for (auto &nic : nics_)
-        nic->commit();
-    for (auto &iri : iris_)
-        iri->commitLower();
+    for (RingNic &nic : nics_)
+        nic.commit();
+    for (RingIri &iri : iris_)
+        iri.commitLower();
     for (RingIri *iri : slowUpperIris_)
         iri->commitUpper();
 
@@ -273,35 +270,58 @@ RingNetwork::tickActive(Cycle now)
     const std::size_t nic_n = activeNics_.orderedPrefix();
     const std::size_t iri_n = activeIris_.orderedPrefix();
 
-    // Phase A: acceptance flags from start-of-cycle state.
-    for (std::size_t i = 0; i < nic_n; ++i)
-        nics_[activeNics_.at(i)]->computeAcceptance();
+    // Phase A: acceptance flags from start-of-cycle state. NIC
+    // acceptance was already computed at the end of the previous
+    // tick (fused into the commit sweep below): it is a pure
+    // function of latch + transit-buffer state, which cannot change
+    // between the post-commit sweep and this point — injections only
+    // touch the PM output queues, and an asleep NIC rests at
+    // accept = true, exactly what an empty latch computes. IRI
+    // acceptance advances the blocked-worm wait counters, so it must
+    // keep running here, once per cycle.
     for (std::size_t i = 0; i < iri_n; ++i)
-        iris_[activeIris_.at(i)]->computeAcceptanceLower();
+        iris_[activeIris_.at(i)].computeAcceptanceLower();
     for (std::size_t i = 0; i < iri_n; ++i) {
         const std::uint32_t id = activeIris_.at(i);
         if (!iriFastUpper_[id])
-            iris_[id]->computeAcceptanceUpper();
+            iris_[id].computeAcceptanceUpper();
     }
 
     // Phase B: system-clock domain.
     for (std::size_t i = 0; i < nic_n; ++i)
-        nics_[activeNics_.at(i)]->evaluate(now);
+        nics_[activeNics_.at(i)].evaluate(now);
     for (std::size_t i = 0; i < iri_n; ++i)
-        iris_[activeIris_.at(i)]->evaluateLower();
+        iris_[activeIris_.at(i)].evaluateLower();
     for (std::size_t i = 0; i < iri_n; ++i) {
         const std::uint32_t id = activeIris_.at(i);
         if (!iriFastUpper_[id])
-            iris_[id]->evaluateUpper();
+            iris_[id].evaluateUpper();
     }
 
-    // Commit the system-clock domain, including mid-tick wakes.
-    for (const std::uint32_t id : activeNics_.raw())
-        nics_[id]->commit();
+    // NIC commit + sleep sweep, fused into one pass over the raw
+    // wake-order list (covering mid-tick wakes). The sweep can run
+    // here, before the fast domain, because nothing later in the
+    // tick can change a NIC's state: the fast domain only touches
+    // IRI upper sides (the root ring carries no NIC slots), and
+    // injections happen outside the network tick.
+    activeNics_.retain([this](std::uint32_t id) {
+        RingNic &nic = nics_[id];
+        nic.commit();
+        if (!nic.empty()) {
+            // Next tick's phase A, while the NIC is cache-hot.
+            nic.computeAcceptance();
+            return true;
+        }
+        nic.prepareSleep();
+        return false;
+    });
+
+    // Commit the IRIs' system-clock domain, including mid-tick
+    // wakes. Their sleep sweep must wait for the fast domain below.
     for (const std::uint32_t id : activeIris_.raw()) {
-        iris_[id]->commitLower();
+        iris_[id].commitLower();
         if (!iriFastUpper_[id])
-            iris_[id]->commitUpper();
+            iris_[id].commitUpper();
     }
 
     // Fast domain: the global ring runs globalRingSpeed sub-cycles.
@@ -316,32 +336,26 @@ RingNetwork::tickActive(Cycle now)
             for (std::size_t i = 0; i < fast_n; ++i) {
                 const std::uint32_t id = activeIris_.at(i);
                 if (iriFastUpper_[id])
-                    iris_[id]->computeAcceptanceUpper();
+                    iris_[id].computeAcceptanceUpper();
             }
             for (std::size_t i = 0; i < fast_n; ++i) {
                 const std::uint32_t id = activeIris_.at(i);
                 if (iriFastUpper_[id])
-                    iris_[id]->evaluateUpper();
+                    iris_[id].evaluateUpper();
             }
             for (const std::uint32_t id : activeIris_.raw()) {
                 if (iriFastUpper_[id])
-                    iris_[id]->commitUpper();
+                    iris_[id].commitUpper();
             }
         }
     }
 
-    // Sleep sweep: drained components leave the sets until a flit
-    // wakes them again.
-    activeNics_.retain([this](std::uint32_t id) {
-        if (!nics_[id]->empty())
-            return true;
-        nics_[id]->prepareSleep();
-        return false;
-    });
+    // IRI sleep sweep: drained IRIs leave the set until a flit wakes
+    // them again (the NIC sweep already ran, fused with commit).
     activeIris_.retain([this](std::uint32_t id) {
-        if (!iris_[id]->empty())
+        if (!iris_[id].empty())
             return true;
-        iris_[id]->prepareSleep();
+        iris_[id].prepareSleep();
         return false;
     });
 }
@@ -355,17 +369,31 @@ RingNetwork::setActiveScheduling(bool enabled)
     // Establish the invariant "asleep <=> empty": wake everything
     // holding flits, put everything else into its rest state.
     for (std::size_t i = 0; i < nics_.size(); ++i) {
-        if (nics_[i]->flitCount() != 0)
+        if (nics_[i].flitCount() != 0) {
             activeNics_.add(static_cast<std::uint32_t>(i));
-        else
-            nics_[i]->prepareSleep();
+            // The active tick expects NIC acceptance one tick ahead
+            // (fused into the commit sweep); seed it here.
+            nics_[i].computeAcceptance();
+        } else {
+            nics_[i].prepareSleep();
+        }
     }
     for (std::size_t i = 0; i < iris_.size(); ++i) {
-        if (iris_[i]->flitCount() != 0)
+        if (iris_[i].flitCount() != 0)
             activeIris_.add(static_cast<std::uint32_t>(i));
         else
-            iris_[i]->prepareSleep();
+            iris_[i].prepareSleep();
     }
+}
+
+void
+RingNetwork::setFastPath(bool enabled)
+{
+    fastPath_ = enabled;
+    for (RingNic &nic : nics_)
+        nic.setFastPath(enabled);
+    for (RingIri &iri : iris_)
+        iri.setFastPath(enabled);
 }
 
 bool
@@ -386,10 +414,10 @@ std::uint64_t
 RingNetwork::flitsInFlight() const
 {
     std::uint64_t count = 0;
-    for (const auto &nic : nics_)
-        count += nic->flitCount();
-    for (const auto &iri : iris_)
-        count += iri->flitCount();
+    for (const RingNic &nic : nics_)
+        count += nic.flitCount();
+    for (const RingIri &iri : iris_)
+        count += iri.flitCount();
     return count;
 }
 
@@ -409,6 +437,23 @@ RingNetwork::registerMetrics(MetricRegistry &registry) const
             "ring.l" + std::to_string(level) + ".util",
             [this, level]() { return levelUtilization(level); });
     }
+    if (fastPath_) {
+        // Registered only when the fast path is on (the PR 3 sched.*
+        // convention), so metric artifacts stay byte-identical under
+        // HRSIM_NO_FASTPATH — the counts are mode-independent.
+        registry.addGauge("nic.streamed_flits", [this]() {
+            std::uint64_t total = 0;
+            for (const RingNic &nic : nics_)
+                total += nic.streamedFlits();
+            return static_cast<double>(total);
+        });
+        registry.addGauge("iri.streamed_flits", [this]() {
+            std::uint64_t total = 0;
+            for (const RingIri &iri : iris_)
+                total += iri.streamedFlits();
+            return static_cast<double>(total);
+        });
+    }
     for (std::size_t i = 0; i < iris_.size(); ++i) {
         // An IRI is named by the hierarchy level of its parent ring
         // (the ring its upper side sits on): the IRIs hanging off the
@@ -420,7 +465,7 @@ RingNetwork::registerMetrics(MetricRegistry &registry) const
                 .level;
         const std::string prefix = "ring.l" + std::to_string(level) +
                                    ".iri" + std::to_string(i);
-        const RingIri *iri = iris_[i].get();
+        const RingIri *iri = &iris_[i];
         registry.addCounter(prefix + ".wait_cycles",
                             [iri]() { return iri->waitCycles(); });
         registry.addCounter(prefix + ".escapes",
@@ -430,7 +475,7 @@ RingNetwork::registerMetrics(MetricRegistry &registry) const
         });
     }
     for (std::size_t pm = 0; pm < nics_.size(); ++pm) {
-        const RingNic *nic = nics_[pm].get();
+        const RingNic *nic = &nics_[pm];
         registry.addGauge("ring.nic" + std::to_string(pm) + ".flits",
                           [nic]() {
                               return static_cast<double>(
@@ -462,12 +507,12 @@ RingNetwork::debugDump(std::ostream &out) const
             out << "  ";
             switch (slot.kind) {
               case RingSlotDesc::Kind::Nic:
-                nics_[static_cast<std::size_t>(slot.index)]
-                    ->debugDump(out);
+                nics_[static_cast<std::size_t>(slot.index)].debugDump(
+                    out);
                 break;
               default:
-                iris_[static_cast<std::size_t>(slot.index)]
-                    ->debugDump(out);
+                iris_[static_cast<std::size_t>(slot.index)].debugDump(
+                    out);
                 break;
             }
         }

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stable_pool.hh"
 #include "common/types.hh"
 #include "ring/ring_iri.hh"
 #include "ring/ring_nic.hh"
@@ -76,6 +77,7 @@ class RingNetwork : public Network
     std::uint64_t flitsInFlight() const override;
     void registerMetrics(MetricRegistry &registry) const override;
     void setActiveScheduling(bool enabled) override;
+    void setFastPath(bool enabled) override;
     bool isIdle() const override;
     std::size_t activeNodeCount() const override;
 
@@ -117,8 +119,11 @@ class RingNetwork : public Network
     RingStructure structure_;
     std::uint32_t clFlits_;
 
-    std::vector<std::unique_ptr<RingNic>> nics_;
-    std::vector<std::unique_ptr<RingIri>> iris_;
+    // Contiguous value storage: the per-cycle sweeps stride through
+    // the components linearly instead of chasing one heap pointer
+    // per component per phase (see common/stable_pool.hh).
+    StablePool<RingNic> nics_;
+    StablePool<RingIri> iris_;
     /** One occupancy record per ring (bubble flow control). */
     std::vector<RingOccupancy> occupancy_;
 
@@ -129,6 +134,8 @@ class RingNetwork : public Network
     std::vector<RingIri *> fastIris_;
     /** IRIs whose upper side runs at the system clock. */
     std::vector<RingIri *> slowUpperIris_;
+
+    bool fastPath_ = false;
 
     // Active-set scheduler state (setActiveScheduling).
     bool activeSched_ = false;

@@ -39,7 +39,6 @@ RingNic::evaluate(Cycle now)
         outResp_.empty() && outReq_.empty()) {
         return;
     }
-
     // 1. Sink a latch flit destined for this PM.
     if (side_.in.cur && !isTransit(*side_.in.cur)) {
         const Flit flit = *side_.in.cur;
@@ -53,7 +52,12 @@ RingNic::evaluate(Cycle now)
     //    then requests.
     ringSource_.setLatchIsTransit(side_.in.cur.has_value() &&
                                   isTransit(*side_.in.cur));
-    side_.out.transmit(&ringSource_, &respSource_, &reqSource_);
+    if (fastPath_) {
+        side_.out.transmitFast(&ringSource_, &respSource_,
+                               &reqSource_);
+    } else {
+        side_.out.transmit(&ringSource_, &respSource_, &reqSource_);
+    }
 
     // 3. Absorb a still-latched transit flit into the ring buffer so
     //    the latch honours the acceptance we advertised.

@@ -67,6 +67,19 @@ class RingNic
     /** End-of-cycle commit of all NIC state. */
     void commit();
 
+    /**
+     * Select the devirtualized transmit with lazy admission probes
+     * (default off = the legacy virtual-source arbitration, the
+     * bit-identity oracle; see DESIGN.md section 12).
+     */
+    void setFastPath(bool enabled) { fastPath_ = enabled; }
+
+    /** Non-head flits this NIC's output streamed (both paths). */
+    std::uint64_t streamedFlits() const
+    {
+        return side_.out.streamedFlits();
+    }
+
     /** Flits currently buffered in this NIC. */
     std::uint64_t flitCount() const;
 
@@ -106,6 +119,7 @@ class RingNic
 
     NodeId pm_;
     bool bypass_;
+    bool fastPath_ = false;
     RingSide side_;
 
     StagedFifo<Flit> outResp_;

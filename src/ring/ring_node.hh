@@ -162,7 +162,7 @@ class FlitSource
 };
 
 /** FlitSource view over a staged FIFO (PM queues, up/down queues). */
-class QueueSource : public FlitSource
+class QueueSource final : public FlitSource
 {
   public:
     explicit QueueSource(StagedFifo<Flit> &queue) : queue_(queue) {}
@@ -184,7 +184,7 @@ class QueueSource : public FlitSource
  * drains first (FIFO order), then the latch flit may bypass the
  * buffer entirely when the buffer is empty.
  */
-class RingStreamSource : public FlitSource
+class RingStreamSource final : public FlitSource
 {
   public:
     RingStreamSource(StagedFifo<Flit> &buffer, RingLatch &latch)
@@ -273,6 +273,14 @@ class RingOutput
     RingSource wormSource() const { return wormSrc_; }
 
     /**
+     * Flits sent while the link was already held by a worm, i.e.
+     * moved without arbitrating the sources (every non-head flit).
+     * A pure function of the simulation history — identical under
+     * transmit() and transmitFast().
+     */
+    std::uint64_t streamedFlits() const { return streamedFlits_; }
+
+    /**
      * Run one cycle of wormhole transmission. Sources are given in
      * strict priority order (index 0 wins); a new worm may only start
      * with a head flit, and an in-progress worm only consumes from
@@ -356,6 +364,7 @@ class RingOutput
             tracerSlot_ ? *tracerSlot_ : nullptr, FlitEvent::Hop,
             flit.packet, traceNode_,
             static_cast<std::uint64_t>(occupancy_->occupied));
+        streamedFlits_ += static_cast<std::uint64_t>(!flit.isHead());
         if (flit.isTail()) {
             inWorm_ = false;
             wormSrc_ = RingSource::None;
@@ -367,7 +376,134 @@ class RingOutput
         return true;
     }
 
+    /**
+     * transmit() specialized on the concrete source types so the
+     * peeks inline, with the queue admission probes evaluated only
+     * when they can influence the outcome. Same results by
+     * construction (DESIGN.md section 12):
+     *  - while a worm holds the link, queue admissibility feeds only
+     *    the starvation counter, which is itself unobservable when
+     *    starvationLimit_ == 0 (every NIC output);
+     *  - at a worm boundary with starvationLimit_ == 0, the valve
+     *    can never fire, so nonempty ring transit wins outright and
+     *    the probes are again skipped.
+     * Outputs with a nonzero limit (IRIs) keep the legacy probe
+     * order bit for bit, including the starve_ updates.
+     */
+    template <typename RingSrc, typename QA, typename QB>
+    bool
+    transmitFast(RingSrc *ring, QA *queue_a, QB *queue_b)
+    {
+        const auto admissible = [this](const auto *src) {
+            const Flit *head = src->peek();
+            if (!head || !head->isHead())
+                return false;
+            const bool down_phase =
+                head->dst >= subtreeLo_ && head->dst < subtreeHi_;
+            return down_phase
+                       ? occupancy_->canAdmitDown(head->sizeFlits)
+                       : occupancy_->canAdmitUp(head->sizeFlits);
+        };
+
+        if (inWorm_) {
+            if (wormSrc_ == RingSource::RingTransit) {
+                // Legacy increments starve_ here whenever a queue is
+                // ready; with limit == 0 the counter is dead state,
+                // so the probes are skipped and starve_ may lag —
+                // never read, never traced (see DESIGN.md 12).
+                if (starvationLimit_ > 0 &&
+                    (admissible(queue_a) || admissible(queue_b)))
+                    ++starve_;
+                const Flit *next = ring->peek();
+                if (!next)
+                    return false; // starved: link held, idle cycle
+                HRSIM_ASSERT(next->packet == wormPkt_);
+                return sendFrom(ring, RingSource::RingTransit, false);
+            }
+            if (wormSrc_ == RingSource::QueueA) {
+                if (!queue_a->peek())
+                    return false;
+                HRSIM_ASSERT(queue_a->peek()->packet == wormPkt_);
+                return sendFrom(queue_a, RingSource::QueueA, false);
+            }
+            HRSIM_ASSERT(wormSrc_ == RingSource::QueueB);
+            if (!queue_b->peek())
+                return false;
+            HRSIM_ASSERT(queue_b->peek()->packet == wormPkt_);
+            return sendFrom(queue_b, RingSource::QueueB, false);
+        }
+
+        // Worm boundary. With no starvation valve, transit strictly
+        // wins and the admission probes only run once the ring side
+        // is known to be empty.
+        if (starvationLimit_ == 0) {
+            if (ring->peek() != nullptr) {
+                HRSIM_ASSERT(ring->peek()->isHead());
+                return sendFrom(ring, RingSource::RingTransit, false);
+            }
+        } else {
+            const bool queue_ready =
+                admissible(queue_a) || admissible(queue_b);
+            const bool starved = starve_ >= starvationLimit_;
+            if (ring->peek() && !(starved && queue_ready)) {
+                if (queue_ready)
+                    ++starve_;
+                HRSIM_ASSERT(ring->peek()->isHead());
+                return sendFrom(ring, RingSource::RingTransit, false);
+            }
+        }
+        if (admissible(queue_a)) {
+            starve_ = 0;
+            HRSIM_ASSERT(queue_a->peek()->isHead());
+            return sendFrom(queue_a, RingSource::QueueA, true);
+        }
+        if (admissible(queue_b)) {
+            starve_ = 0;
+            HRSIM_ASSERT(queue_b->peek()->isHead());
+            return sendFrom(queue_b, RingSource::QueueB, true);
+        }
+        return false;
+    }
+
   private:
+    /**
+     * Common transmit tail: flow-control check, occupancy
+     * reservation for a worm entering the ring, the flit copy into
+     * the downstream latch, and worm-state upkeep. Mirrors the tail
+     * of transmit() exactly.
+     */
+    template <typename Src>
+    bool
+    sendFrom(Src *source, RingSource kind, bool reserve)
+    {
+        if (!downstreamAccepts())
+            return false;
+        HRSIM_ASSERT(!downstream_->staged);
+        if (reserve) {
+            // Reserve the whole packet's slots up front; they are
+            // released one by one as its flits leave the ring.
+            occupancy_->add(source->peek()->sizeFlits);
+        }
+        const Flit flit = source->consume();
+        downstream_->staged = flit;
+        if (wakeSet_)
+            wakeSet_->add(wakeId_); // wake a sleeping neighbor
+        util_->recordTransfer(link_);
+        HRSIM_TRACE_FLIT(
+            tracerSlot_ ? *tracerSlot_ : nullptr, FlitEvent::Hop,
+            flit.packet, traceNode_,
+            static_cast<std::uint64_t>(occupancy_->occupied));
+        streamedFlits_ += static_cast<std::uint64_t>(!flit.isHead());
+        if (flit.isTail()) {
+            inWorm_ = false;
+            wormSrc_ = RingSource::None;
+        } else {
+            inWorm_ = true;
+            wormSrc_ = kind;
+            wormPkt_ = flit.packet;
+        }
+        return true;
+    }
     FlitSource *
     sourceFor(RingSource kind, FlitSource *ring, FlitSource *queue_a,
               FlitSource *queue_b) const
@@ -397,6 +533,7 @@ class RingOutput
     std::uint32_t wakeId_ = 0;     //!< downstream's index therein
     std::uint32_t starvationLimit_ = 0;
     std::uint32_t starve_ = 0; //!< cycles a ready queue was passed over
+    std::uint64_t streamedFlits_ = 0;
 
     bool inWorm_ = false;
     RingSource wormSrc_ = RingSource::None;

@@ -374,14 +374,13 @@ SlottedRingNetwork::SlottedRingNetwork(const Params &params)
         const auto ring = static_cast<std::size_t>(
             structure_.nicRing[static_cast<std::size_t>(pm)]);
         const RingDesc &desc = structure_.rings[ring];
-        nics_.push_back(std::make_unique<SlottedNic>(
+        SlottedNic &nic = nics_.emplace_back(
             pm, clFlits_, desc.subtreeLo, desc.subtreeHi,
-            static_cast<std::uint32_t>(desc.slots.size())));
-        nics_.back()->occupancy = &occupancy_[ring];
-        nics_.back()->setDeliver(
-            [this](const Packet &pkt, Cycle when) {
-                delivered(pkt, when);
-            });
+            static_cast<std::uint32_t>(desc.slots.size()));
+        nic.occupancy = &occupancy_[ring];
+        nic.setDeliver([this](const Packet &pkt, Cycle when) {
+            delivered(pkt, when);
+        });
     }
     iris_.reserve(structure_.iris.size());
     for (const IriDesc &desc : structure_.iris) {
@@ -389,14 +388,14 @@ SlottedRingNetwork::SlottedRingNetwork(const Params &params)
             static_cast<std::size_t>(desc.parentRing)];
         const RingDesc &child = structure_.rings[
             static_cast<std::size_t>(desc.childRing)];
-        iris_.push_back(std::make_unique<SlottedIri>(
+        SlottedIri &iri = iris_.emplace_back(
             desc.subtreeLo, desc.subtreeHi, clFlits_,
             parent.subtreeLo, parent.subtreeHi,
             static_cast<std::uint32_t>(child.slots.size()),
-            static_cast<std::uint32_t>(parent.slots.size())));
-        iris_.back()->lowerOccupancy =
+            static_cast<std::uint32_t>(parent.slots.size()));
+        iri.lowerOccupancy =
             &occupancy_[static_cast<std::size_t>(desc.childRing)];
-        iris_.back()->upperOccupancy =
+        iri.upperOccupancy =
             &occupancy_[static_cast<std::size_t>(desc.parentRing)];
     }
 
@@ -417,10 +416,10 @@ SlottedRingNetwork::SlottedRingNetwork(const Params &params)
             iriFast_[i] = 1;
         }
     }
-    for (auto &nic : nics_)
-        nic->wakeSet = &active_;
-    for (auto &iri : iris_)
-        iri->wakeSet = &active_;
+    for (SlottedNic &nic : nics_)
+        nic.wakeSet = &active_;
+    for (SlottedIri &iri : iris_)
+        iri.wakeSet = &active_;
 
     // Wire each ring and build the evaluation schedule.
     for (std::size_t r = 0; r < structure_.rings.size(); ++r) {
@@ -446,23 +445,23 @@ SlottedRingNetwork::SlottedRingNetwork(const Params &params)
             switch (slot.kind) {
               case RingSlotDesc::Kind::Nic: {
                 hop.kind = Hop::Kind::Nic;
-                auto &nic = nics_[static_cast<std::size_t>(slot.index)];
-                nic->downstream = &to;
-                nic->downstreamComp = to_comp;
+                SlottedNic &nic = nics_[static_cast<std::size_t>(slot.index)];
+                nic.downstream = &to;
+                nic.downstreamComp = to_comp;
                 break;
               }
               case RingSlotDesc::Kind::IriLower: {
                 hop.kind = Hop::Kind::IriLower;
-                auto &iri = iris_[static_cast<std::size_t>(slot.index)];
-                iri->lowerDownstream = &to;
-                iri->lowerDownstreamComp = to_comp;
+                SlottedIri &iri = iris_[static_cast<std::size_t>(slot.index)];
+                iri.lowerDownstream = &to;
+                iri.lowerDownstreamComp = to_comp;
                 break;
               }
               case RingSlotDesc::Kind::IriUpper: {
                 hop.kind = Hop::Kind::IriUpper;
-                auto &iri = iris_[static_cast<std::size_t>(slot.index)];
-                iri->upperDownstream = &to;
-                iri->upperDownstreamComp = to_comp;
+                SlottedIri &iri = iris_[static_cast<std::size_t>(slot.index)];
+                iri.upperDownstream = &to;
+                iri.upperDownstreamComp = to_comp;
                 break;
               }
             }
@@ -486,11 +485,11 @@ SlottedRingNetwork::portAt(const RingSlotDesc &slot)
 {
     switch (slot.kind) {
       case RingSlotDesc::Kind::Nic:
-        return nics_[static_cast<std::size_t>(slot.index)]->port();
+        return nics_[static_cast<std::size_t>(slot.index)].port();
       case RingSlotDesc::Kind::IriLower:
-        return iris_[static_cast<std::size_t>(slot.index)]->lower();
+        return iris_[static_cast<std::size_t>(slot.index)].lower();
       case RingSlotDesc::Kind::IriUpper:
-        return iris_[static_cast<std::size_t>(slot.index)]->upper();
+        return iris_[static_cast<std::size_t>(slot.index)].upper();
     }
     HRSIM_PANIC("unknown ring slot kind");
 }
@@ -505,7 +504,7 @@ bool
 SlottedRingNetwork::canInject(NodeId pm, const Packet &pkt) const
 {
     HRSIM_ASSERT(pm >= 0 && pm < numProcessors());
-    return nics_[static_cast<std::size_t>(pm)]->canInject(pkt);
+    return nics_[static_cast<std::size_t>(pm)].canInject(pkt);
 }
 
 void
@@ -513,10 +512,10 @@ SlottedRingNetwork::inject(NodeId pm, const Packet &pkt)
 {
     HRSIM_ASSERT(pm >= 0 && pm < numProcessors());
     HRSIM_ASSERT(pkt.src == pm);
-    nics_[static_cast<std::size_t>(pm)]->inject(pkt);
+    nics_[static_cast<std::size_t>(pm)].inject(pkt);
     active_.add(static_cast<std::uint32_t>(pm));
     HRSIM_TRACE_FLIT(tracer_, FlitEvent::Inject, pkt.id, pm,
-                     nics_[static_cast<std::size_t>(pm)]->flitCount());
+                     nics_[static_cast<std::size_t>(pm)].flitCount());
 }
 
 void
@@ -525,15 +524,15 @@ SlottedRingNetwork::tick(Cycle now)
     const auto run = [&](const Hop &hop) {
         switch (hop.kind) {
           case Hop::Kind::Nic:
-            nics_[static_cast<std::size_t>(hop.index)]->evaluate(
+            nics_[static_cast<std::size_t>(hop.index)].evaluate(
                 now, util_, hop.link);
             break;
           case Hop::Kind::IriLower:
-            iris_[static_cast<std::size_t>(hop.index)]->evaluateLower(
+            iris_[static_cast<std::size_t>(hop.index)].evaluateLower(
                 util_, hop.link);
             break;
           case Hop::Kind::IriUpper:
-            iris_[static_cast<std::size_t>(hop.index)]->evaluateUpper(
+            iris_[static_cast<std::size_t>(hop.index)].evaluateUpper(
                 util_, hop.link);
             break;
         }
@@ -544,15 +543,15 @@ SlottedRingNetwork::tick(Cycle now)
             run(hop);
 
         // Commit the system-clock domain.
-        for (auto &nic : nics_)
-            nic->commit();
+        for (SlottedNic &nic : nics_)
+            nic.commit();
         for (std::size_t i = 0; i < iris_.size(); ++i) {
-            iris_[i]->commitLower();
+            iris_[i].commitLower();
             const bool fast =
                 structure_.iris[i].parentRing == structure_.rootRing &&
                 params_.globalRingSpeed > 1;
             if (!fast)
-                iris_[i]->commitUpper();
+                iris_[i].commitUpper();
         }
 
         // Fast domain: the global ring rotates speed times per cycle.
@@ -564,7 +563,7 @@ SlottedRingNetwork::tick(Cycle now)
                 for (std::size_t i = 0; i < iris_.size(); ++i) {
                     if (structure_.iris[i].parentRing ==
                         structure_.rootRing) {
-                        iris_[i]->commitUpper();
+                        iris_[i].commitUpper();
                     }
                 }
             }
@@ -588,12 +587,12 @@ SlottedRingNetwork::tick(Cycle now)
 
     for (const std::uint32_t id : active_.raw()) {
         if (id < pms) {
-            nics_[id]->commit();
+            nics_[id].commit();
         } else {
             const std::uint32_t i = id - pms;
-            iris_[i]->commitLower();
+            iris_[i].commitLower();
             if (!iriFast_[i])
-                iris_[i]->commitUpper();
+                iris_[i].commitUpper();
         }
     }
 
@@ -606,7 +605,7 @@ SlottedRingNetwork::tick(Cycle now)
             }
             for (const std::uint32_t id : active_.raw()) {
                 if (id >= pms && iriFast_[id - pms])
-                    iris_[id - pms]->commitUpper();
+                    iris_[id - pms].commitUpper();
             }
         }
     }
@@ -614,8 +613,8 @@ SlottedRingNetwork::tick(Cycle now)
     // Sleep sweep: drained components leave the set until a cell or
     // an injection wakes them again.
     active_.retain([this, pms](std::uint32_t id) {
-        return id < pms ? nics_[id]->flitCount() != 0
-                        : iris_[id - pms]->flitCount() != 0;
+        return id < pms ? nics_[id].flitCount() != 0
+                        : iris_[id - pms].flitCount() != 0;
     });
 }
 
@@ -628,11 +627,11 @@ SlottedRingNetwork::setActiveScheduling(bool enabled)
     const auto pms =
         static_cast<std::uint32_t>(structure_.numProcessors());
     for (std::uint32_t id = 0; id < pms; ++id) {
-        if (nics_[id]->flitCount() != 0)
+        if (nics_[id].flitCount() != 0)
             active_.add(id);
     }
     for (std::size_t i = 0; i < iris_.size(); ++i) {
-        if (iris_[i]->flitCount() != 0)
+        if (iris_[i].flitCount() != 0)
             active_.add(pms + static_cast<std::uint32_t>(i));
     }
 }
@@ -655,10 +654,10 @@ std::uint64_t
 SlottedRingNetwork::flitsInFlight() const
 {
     std::uint64_t count = 0;
-    for (const auto &nic : nics_)
-        count += nic->flitCount();
-    for (const auto &iri : iris_)
-        count += iri->flitCount();
+    for (const SlottedNic &nic : nics_)
+        count += nic.flitCount();
+    for (const SlottedIri &iri : iris_)
+        count += iri.flitCount();
     return count;
 }
 
@@ -686,7 +685,7 @@ SlottedRingNetwork::registerMetrics(MetricRegistry &registry) const
                 .level;
         const std::string prefix = "ring.l" + std::to_string(level) +
                                    ".iri" + std::to_string(i);
-        const SlottedIri *iri = iris_[i].get();
+        const SlottedIri *iri = &iris_[i];
         registry.addCounter(prefix + ".retries",
                             [iri]() { return iri->retries(); });
         registry.addGauge(prefix + ".flits", [iri]() {
@@ -701,8 +700,8 @@ std::uint64_t
 SlottedRingNetwork::totalRetries() const
 {
     std::uint64_t total = 0;
-    for (const auto &iri : iris_)
-        total += iri->retries();
+    for (const SlottedIri &iri : iris_)
+        total += iri.retries();
     return total;
 }
 

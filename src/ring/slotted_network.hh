@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stable_pool.hh"
 #include "common/staged_fifo.hh"
 #include "common/types.hh"
 #include "proto/packet.hh"
@@ -232,8 +233,10 @@ class SlottedRingNetwork : public Network
     RingStructure structure_;
     std::uint32_t clFlits_;
 
-    std::vector<std::unique_ptr<SlottedNic>> nics_;
-    std::vector<std::unique_ptr<SlottedIri>> iris_;
+    // Contiguous value storage (see common/stable_pool.hh): the hop
+    // schedule strides through components without a pointer chase.
+    StablePool<SlottedNic> nics_;
+    StablePool<SlottedIri> iris_;
     /** One occupancy record per ring (one slot reserved for
      * down-phase cells on multi-level systems). */
     std::vector<RingOccupancy> occupancy_;

@@ -21,6 +21,7 @@
 #define HRSIM_SIM_ACTIVE_SET_HH
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -28,6 +29,34 @@
 
 namespace hrsim
 {
+
+/**
+ * Port-granular activity mask: the node-granular ActiveSet below says
+ * *which* components tick, a PortMask says which of a component's few
+ * ports have work, so its evaluate touches only those. One bit per
+ * port in a uint8 (no component has more than 8), iterated lowest bit
+ * first with ctz — ascending port order, which is exactly the order
+ * the straight-line loops visit ports in, so a mask-driven loop is
+ * bit-identical to the full port scan by construction:
+ *
+ *     for (PortMask m = mask; m != 0; m = dropLowestPort(m))
+ *         visit(lowestSetPort(m));
+ */
+using PortMask = std::uint8_t;
+
+/** Index of the lowest set bit (mask must be nonzero). */
+inline int
+lowestSetPort(PortMask mask)
+{
+    return std::countr_zero(mask);
+}
+
+/** Clear the lowest set bit. */
+inline PortMask
+dropLowestPort(PortMask mask)
+{
+    return static_cast<PortMask>(mask & (mask - 1));
+}
 
 class ActiveSet
 {

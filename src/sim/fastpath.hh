@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Runtime oracle switch for the worm-streaming fast paths.
+ *
+ * The tick hot paths have two implementations: the streaming fast
+ * path (default) and the straight-line legacy code it was derived
+ * from. Setting HRSIM_NO_FASTPATH (any value but "" or "0") selects
+ * the legacy code everywhere, exactly like HRSIM_FORCE_FULL_SCAN does
+ * for the active-set scheduler, so the two can be regression-checked
+ * against each other — the bit-identity grid in test_active_set.cc
+ * runs every config under both settings and requires byte-identical
+ * results (see DESIGN.md section 12 for the invariants).
+ *
+ * The flag is read at System/network construction, never on the hot
+ * path; a run is entirely fast-path or entirely legacy.
+ */
+
+#ifndef HRSIM_SIM_FASTPATH_HH
+#define HRSIM_SIM_FASTPATH_HH
+
+#include <cstdlib>
+
+namespace hrsim
+{
+
+/** Streaming fast paths enabled? (HRSIM_NO_FASTPATH unset/empty/"0") */
+inline bool
+fastPathEnabled()
+{
+    const char *no = std::getenv("HRSIM_NO_FASTPATH");
+    const bool disabled = no != nullptr && no[0] != '\0' &&
+                          !(no[0] == '0' && no[1] == '\0');
+    return !disabled;
+}
+
+} // namespace hrsim
+
+#endif // HRSIM_SIM_FASTPATH_HH

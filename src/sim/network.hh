@@ -74,6 +74,15 @@ class Network
     virtual void setActiveScheduling(bool enabled) { (void)enabled; }
 
     /**
+     * Switch between the worm-streaming fast path (true) and the
+     * legacy straight-line tick code it was derived from (false, the
+     * default — and the HRSIM_NO_FASTPATH oracle). Results are
+     * bit-identical either way (see DESIGN.md section 12); networks
+     * without a fast path ignore the call.
+     */
+    virtual void setFastPath(bool enabled) { (void)enabled; }
+
+    /**
      * True when no component holds any flit, i.e. a tick would move
      * nothing. O(1) for networks with an active-set scheduler.
      */

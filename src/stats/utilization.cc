@@ -30,15 +30,6 @@ UtilizationTracker::addLink(GroupId group, std::uint32_t speed_factor)
 }
 
 void
-UtilizationTracker::recordTransfer(LinkId link)
-{
-    if (!measuring_)
-        return;
-    HRSIM_ASSERT(link < linkGroup_.size());
-    ++groupTransfers_[linkGroup_[link]];
-}
-
-void
 UtilizationTracker::startMeasurement(Cycle now)
 {
     measuring_ = true;

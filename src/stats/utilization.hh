@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 
 namespace hrsim
@@ -46,8 +47,20 @@ class UtilizationTracker
     /** Register a link in a group; @a speed_factor flits/cycle max. */
     LinkId addLink(GroupId group, std::uint32_t speed_factor = 1);
 
-    /** Record that @a link carried a flit this cycle. */
-    void recordTransfer(LinkId link);
+    /**
+     * Record that @a link carried a flit this cycle. Inline: this
+     * sits on the per-flit hot path of every network (one call per
+     * link traversal), so it must compile down to a test and an
+     * indexed increment rather than an out-of-line call.
+     */
+    void
+    recordTransfer(LinkId link)
+    {
+        if (!measuring_)
+            return;
+        HRSIM_ASSERT(link < linkGroup_.size());
+        ++groupTransfers_[linkGroup_[link]];
+    }
 
     /** Start the measurement window at cycle @a now. */
     void startMeasurement(Cycle now);

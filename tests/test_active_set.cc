@@ -1,13 +1,16 @@
 /**
  * @file
  * Active-set scheduler tests: ActiveSet container semantics, and the
- * bit-identity contract between the active-set tick path and the
- * full-scan oracle (HRSIM_FORCE_FULL_SCAN=1) across network kinds,
- * clock speeds, workloads and observability settings. The full
- * RunResult is compared — counters, latency statistics, the
+ * bit-identity contract between the optimized tick paths and their
+ * oracles — the active-set scheduler vs the full scan
+ * (HRSIM_FORCE_FULL_SCAN=1), and the worm-streaming fast path vs the
+ * legacy transmit loops (HRSIM_NO_FASTPATH=1) — across network
+ * kinds, clock speeds, workloads and observability settings. The
+ * full RunResult is compared — counters, latency statistics, the
  * materialized metric registry and mid-run snapshots — with only the
- * sched.* scheduler metrics (which exist only on the active path)
- * excluded. See DESIGN.md section 10 for the invariants under test.
+ * mode-gated metrics (sched.*, *.streamed_flits, which exist only
+ * when their mode is on) excluded. See DESIGN.md sections 10 and 12
+ * for the invariants under test.
  */
 
 #include <gtest/gtest.h>
@@ -114,19 +117,41 @@ class ForceFullScan
     ~ForceFullScan() { unsetenv("HRSIM_FORCE_FULL_SCAN"); }
 };
 
+/** Scoped HRSIM_NO_FASTPATH=1 (read at System construction): the
+ * legacy transmit/arbitration loops, the fast path's oracle. */
+class DisableFastPath
+{
+  public:
+    DisableFastPath() { setenv("HRSIM_NO_FASTPATH", "1", 1); }
+    ~DisableFastPath() { unsetenv("HRSIM_NO_FASTPATH"); }
+};
+
+bool
+isModeGatedMetric(const std::string &name)
+{
+    // sched.* and *.streamed_flits are registered only when their
+    // scheduler mode / fast path is on, by design (so artifacts stay
+    // byte-identical across modes); everything else must match.
+    static const std::string kStreamed = ".streamed_flits";
+    return name.rfind("sched.", 0) == 0 ||
+           (name.size() >= kStreamed.size() &&
+            name.compare(name.size() - kStreamed.size(),
+                         kStreamed.size(), kStreamed) == 0);
+}
+
 std::vector<MetricSample>
 withoutSchedMetrics(const std::vector<MetricSample> &metrics)
 {
     std::vector<MetricSample> kept;
     kept.reserve(metrics.size());
     for (const MetricSample &sample : metrics) {
-        if (sample.name.rfind("sched.", 0) != 0)
+        if (!isModeGatedMetric(sample.name))
             kept.push_back(sample);
     }
     return kept;
 }
 
-/** Full RunResult equality, modulo the sched.* scheduler metrics. */
+/** Full RunResult equality, modulo the mode-gated metrics. */
 void
 expectSameResult(const RunResult &active, const RunResult &oracle)
 {
@@ -314,6 +339,60 @@ TEST(ActiveSetScheduler, ParallelSweepMatchesFullScanOracle)
     for (std::size_t i = 0; i < active.size(); ++i) {
         SCOPED_TRACE("point " + std::to_string(i));
         expectSameResult(active[i], oracle[i]);
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Bit-identity: worm-streaming fast path vs legacy loops
+
+TEST(ActiveSetScheduler, FastPathBitIdenticalAcrossGrid)
+{
+    // Completes the mode cube: the grid test above already checks
+    // (fast, active) == (fast, full-scan); here (fast, active) must
+    // also equal (legacy, active) and (legacy, full-scan), so all
+    // four {fast path on/off} x {active set on/off} cells agree.
+    for (const auto &[name, cfg] : bitIdentityGrid()) {
+        SCOPED_TRACE(name);
+        const RunResult fast = runSystem(cfg);
+        RunResult legacy;
+        {
+            DisableFastPath off;
+            legacy = runSystem(cfg);
+        }
+        RunResult legacyOracle;
+        {
+            DisableFastPath off;
+            ForceFullScan scan;
+            legacyOracle = runSystem(cfg);
+        }
+        expectSameResult(fast, legacy);
+        expectSameResult(fast, legacyOracle);
+    }
+}
+
+TEST(ActiveSetScheduler, FastPathBitIdenticalOnParallelSweep)
+{
+    // The fast path must also hold under worker-thread parallelism
+    // (each worker owns its System; the TSan CI stage re-runs this).
+    std::vector<SystemConfig> points;
+    for (auto &[name, cfg] : bitIdentityGrid()) {
+        if (cfg.sim.metricsEvery == 0 &&
+            cfg.sim.watchdogCycles == SimConfig{}.watchdogCycles) {
+            points.push_back(cfg);
+        }
+    }
+    ASSERT_GE(points.size(), 4u);
+
+    const std::vector<RunResult> fast = runSweep(points, 4);
+    std::vector<RunResult> legacy;
+    {
+        DisableFastPath off;
+        legacy = runSweep(points, 4);
+    }
+    ASSERT_EQ(fast.size(), legacy.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i));
+        expectSameResult(fast[i], legacy[i]);
     }
 }
 

@@ -98,6 +98,30 @@ TEST(MeshRouterUnit, EcubeRoutesXFirst)
     EXPECT_EQ(center.routeOf(2), PortEast); // (2,0)
 }
 
+TEST(MeshRouterUnit, RouteLutMatchesCoordinateExhaustive)
+{
+    // The LUT rows built by MeshNetwork must agree with the
+    // coordinate computation they cache for every (router, dst)
+    // pair. The width grid covers the degenerate 1x1 mesh (every
+    // destination is Local and no ports exist), widths where a
+    // router sits on every distinct edge/corner/interior
+    // configuration, and the paper's odd 11x11 (MeshLarge) plus a
+    // larger power of two.
+    for (const int width : {1, 2, 3, 4, 5, 6, 7, 8, 11, 16}) {
+        MeshNetwork net(MeshNetwork::Params{width, 32, 4});
+        const int p = width * width;
+        for (NodeId r = 0; r < p; ++r) {
+            MeshRouter &router = net.router(r);
+            for (NodeId dst = 0; dst < p; ++dst) {
+                ASSERT_EQ(router.routeOf(dst),
+                          router.routeOfCoordinate(dst))
+                    << "width " << width << " router " << r
+                    << " dst " << dst;
+            }
+        }
+    }
+}
+
 TEST(MeshNetwork, AdjacentZeroLoadLatency)
 {
     // 4-flit read request between neighbors: head crosses in cycle 1,

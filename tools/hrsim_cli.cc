@@ -30,6 +30,7 @@
 #include "obs/flit_trace.hh"
 #include "obs/manifest.hh"
 #include "obs/metric_sink.hh"
+#include "sim/fastpath.hh"
 
 namespace
 {
@@ -339,6 +340,17 @@ main(int argc, char **argv)
                          "warning: --stop-batch/--max-cycles/"
                          "--stop-min-batches have no effect without "
                          "--stop-rel-hw\n");
+        }
+        if (!metrics_out.empty() && !fastPathEnabled()) {
+            // Results are bit-identical either way, but the legacy
+            // loops are the slow debugging oracle — flag artifacts
+            // produced under it (the manifest also records
+            // fast_path so the file says it itself).
+            std::fprintf(stderr,
+                         "warning: HRSIM_NO_FASTPATH is set; this "
+                         "run uses the legacy (oracle) tick loops "
+                         "and the manifest will record "
+                         "fast_path=false\n");
         }
         if (!sweep_kind.empty() || list_sweep) {
             if (sweep_kind.empty())
