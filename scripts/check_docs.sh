@@ -1,7 +1,16 @@
 #!/usr/bin/env bash
-# Fail when hrsim_cli --help mentions a flag that README.md's CLI
-# reference does not document. Run as a ctest (docs_check) so the CLI
-# table cannot silently drift out of date.
+# Keep hrsim_cli --help and README.md's CLI reference in lockstep,
+# in both directions. Run as a ctest (docs_check) so neither side can
+# silently drift:
+#
+#  help -> README: every long option the help text mentions must be
+#      documented somewhere in the README.
+#  README -> help: every long option named inside the README's
+#      "## `hrsim_cli` reference" section must still exist in the
+#      help text, so the reference cannot keep describing removed or
+#      renamed flags. The check is scoped to that section because the
+#      rest of the README legitimately mentions foreign flags
+#      (cmake --build, ctest --test-dir, ...).
 #
 # Usage: scripts/check_docs.sh HRSIM_CLI README
 set -u
@@ -23,18 +32,37 @@ if [[ ! -r "$readme" ]]; then
     exit 2
 fi
 
-missing=0
-# Every long option the help text mentions, deduplicated.
-for flag in $("$cli" --help 2>&1 | grep -oE -- '--[a-z][a-z-]*' | sort -u); do
+help_flags=$("$cli" --help 2>&1 | grep -oE -- '--[a-z][a-z-]*' | sort -u)
+
+failed=0
+# Direction 1: every long option the help text mentions, deduplicated.
+for flag in $help_flags; do
     # Word-boundary match so --r does not accept --ring as coverage.
     if ! grep -qE -- "${flag}([^a-z-]|$)" "$readme"; then
         echo "README.md does not document $flag" >&2
-        missing=1
+        failed=1
     fi
 done
 
-if [[ $missing -ne 0 ]]; then
-    echo "docs check failed: update the CLI reference in $readme" >&2
+# Direction 2: every flag the CLI reference section documents must
+# still exist. --help itself is the one flag the usage text does not
+# list.
+reference_flags=$(awk '/^## `hrsim_cli` reference/{f=1;next}
+                       /^## /{f=0} f' "$readme" |
+                  grep -oE -- '--[a-z][a-z-]*' | sort -u)
+for flag in $reference_flags; do
+    [[ "$flag" == "--help" ]] && continue
+    if ! grep -qE -- "${flag}([^a-z-]|$)" <<< "$help_flags"; then
+        echo "README.md documents $flag, which hrsim_cli --help" \
+             "no longer mentions" >&2
+        failed=1
+    fi
+done
+
+if [[ $failed -ne 0 ]]; then
+    echo "docs check failed: reconcile hrsim_cli --help and the CLI" \
+         "reference in $readme" >&2
     exit 1
 fi
-echo "docs check passed: every hrsim_cli flag is documented"
+echo "docs check passed: hrsim_cli --help and the README CLI" \
+     "reference agree in both directions"

@@ -5,11 +5,12 @@
 #  1. release  — Release build, the full ctest suite (unit tests,
 #                paper-conformance checks, and the script gates:
 #                metrics_schema_check, docs_check, simspeed_smoke,
-#                adaptive_smoke).
+#                adaptive_smoke, fault_smoke).
 #  2. tsan     — -DHRSIM_SANITIZE=thread, the concurrency-sensitive
 #                tests (sweep engine, adaptive run control, active-set
-#                scheduler): the parallel sweep's work-claiming and
-#                result reaping must be race-free.
+#                scheduler, fault replay under parallel sweeps): the
+#                parallel sweep's work-claiming and result reaping
+#                must be race-free.
 #  3. asan     — -DHRSIM_SANITIZE=address, the same test set plus the
 #                container/stats units: the hot-path ring buffers and
 #                the adaptive batch storage index with raw masks and
@@ -32,7 +33,7 @@ src=$(cd "$(dirname "$0")/.." && pwd)
 
 # Tests worth re-running under the sanitizers: everything that
 # exercises threads, the adaptive controller, or raw-index storage.
-SANITIZED_FILTER='Sweep|AdaptiveSystem|RunController|ActiveSet|RingDeque|StagedFifo|BatchMeans|TQuantile|Mser'
+SANITIZED_FILTER='Sweep|AdaptiveSystem|RunController|ActiveSet|RingDeque|StagedFifo|BatchMeans|TQuantile|Mser|Fault'
 
 run_release() {
     cmake -B "$src/build-ci" -S "$src" -DCMAKE_BUILD_TYPE=Release

@@ -25,12 +25,15 @@
  * operation performs no heap allocation at all. Queues up to
  * InlineCap elements live in an in-object small buffer — no heap
  * allocation even at construction, and the flits stay on the same
- * cache lines as the queue bookkeeping; deeper queues fall back to
- * one heap allocation. InlineCap is a per-use-site tuning knob: the
+ * cache lines as the queue bookkeeping; deeper queues either make
+ * one heap allocation or, via the setCapacity(capacity, T*)
+ * overload, borrow caller-provided storage (the mesh network's
+ * per-router arena). InlineCap is a per-use-site tuning knob: the
  * shallow ring-network queues (<= 5 flits at the benchmarked
  * cache-line sizes) benefit from the locality, while the mesh router
- * uses InlineCap = 0 — six queues per router would bloat the object
- * past what its per-cycle sweep can hold in cache (measured slower).
+ * uses InlineCap = 0 with arena storage — six in-object buffers per
+ * router would bloat the object past what its per-cycle sweep can
+ * hold in cache (measured slower).
  * Visible and staged elements share the ring: staged pushes are
  * appended after the visible region and commit() simply extends the
  * visible count. The canPush() accounting (visible +

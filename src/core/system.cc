@@ -70,6 +70,23 @@ System::System(const SystemConfig &cfg)
     buildNetwork();
     buildWorkload();
 
+    if (!cfg_.faultPlan.empty()) {
+        if (cfg_.kind == NetworkKind::HierarchicalRing &&
+            cfg_.ringSlotted) {
+            fatal("System: fault injection is not supported with the "
+                  "slotted ring (no worm-drain path); use the "
+                  "wormhole ring or the mesh");
+        }
+        // Validates every target against the topology and shares the
+        // conservation ledger with the network.
+        faults_ = std::make_unique<FaultController>(cfg_.faultPlan,
+                                                    *network_);
+        for (auto &processor : processors_) {
+            processor->setRetryPolicy(&cfg_.faultPlan.retry,
+                                      &retryCounters_);
+        }
+    }
+
     network_->setDeliveryHandler(
         [this](const Packet &pkt, Cycle when) {
             lastProgress_ = when;
@@ -282,6 +299,19 @@ System::registerSystemMetrics()
         });
     }
 
+    // Fault-injection introspection. Registered only under a fault
+    // plan (same convention as sched.*): fault-free artifacts never
+    // mention the subsystem.
+    if (faults_) {
+        faults_->registerMetrics(metrics_);
+        metrics_.addCounter("retry.reissued",
+                            &retryCounters_.reissued);
+        metrics_.addCounter("retry.stale_responses",
+                            &retryCounters_.stale);
+        metrics_.addCounter("retry.abandoned",
+                            &retryCounters_.abandoned);
+    }
+
     network_->registerMetrics(metrics_);
 }
 
@@ -299,6 +329,11 @@ System::tickOnce()
         if (tracer_)
             tracer_->setCycle(now_);
     }
+    // Fault edges fire before anything evaluates the cycle, so a
+    // window [s, e) is in force for exactly the ticks it names (and
+    // the lazy replay stays jump-safe; see fault_controller.hh).
+    if (faults_)
+        faults_->advanceTo(now_);
     if (cfg_.sim.idleSkip) {
         // Fast path: tick only components with work to do. The
         // nextWake()/syncSkipped() contract keeps every metric

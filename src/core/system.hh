@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "fault/fault_controller.hh"
+#include "fault/fault_plan.hh"
 #include "obs/metric_registry.hh"
 #include "proto/packet_factory.hh"
 #include "ring/ring_network.hh"
@@ -121,6 +123,16 @@ struct SystemConfig
     SimConfig sim;
 
     /**
+     * Deterministic fault schedule (src/fault/). An empty plan — the
+     * default — allocates no fault state anywhere and keeps every
+     * artifact byte-identical to a fault-free build; a non-empty plan
+     * arms the FaultController, the processors' retry engine and the
+     * fault.* / drop.* / retry.* metrics. Not supported with
+     * ringSlotted (the slotted data path has no worm-drain story).
+     */
+    FaultPlan faultPlan;
+
+    /**
      * Replay this trace instead of the synthetic M-MRP generator.
      * The trace must reference only PM ids < numProcessors(); the
      * outstanding limit T and memory model still apply. Not owned;
@@ -214,6 +226,15 @@ class System
     /** Every named metric of this system (see src/obs/). */
     const MetricRegistry &metrics() const { return metrics_; }
 
+    /** The fault controller, or nullptr without a fault plan. */
+    const FaultController *faults() const { return faults_.get(); }
+
+    /** Retry-engine event counts (all zero without a fault plan). */
+    const RetryCounters &retryCounters() const
+    {
+        return retryCounters_;
+    }
+
     /**
      * Attach (or detach, with nullptr) a flit-event tracer. The
      * tracer observes inject/hop/eject events without touching any
@@ -264,6 +285,9 @@ class System
     /** Resolved adaptive policy (enabled() == false for fixed). */
     StopPolicy stopPolicy_;
     std::unique_ptr<Network> network_;
+    /** Non-null only when cfg_.faultPlan is non-empty. */
+    std::unique_ptr<FaultController> faults_;
+    RetryCounters retryCounters_;
     std::unique_ptr<PacketFactory> factory_;
     std::vector<std::unique_ptr<TrafficSource>> processors_;
     std::vector<std::unique_ptr<MemoryModule>> memories_;

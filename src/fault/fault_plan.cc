@@ -1,0 +1,313 @@
+#include "fault/fault_plan.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hrsim
+{
+
+const char *
+toString(FaultAction action)
+{
+    switch (action) {
+      case FaultAction::LinkDown:
+        return "down";
+      case FaultAction::Stall:
+        return "stall";
+      case FaultAction::Corrupt:
+        return "corrupt";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+const char *meshPortNames[4] = {"east", "west", "south", "north"};
+
+/** Consume a literal prefix; false leaves @a text untouched. */
+bool
+eat(std::string_view &text, std::string_view prefix)
+{
+    if (text.substr(0, prefix.size()) != prefix)
+        return false;
+    text.remove_prefix(prefix.size());
+    return true;
+}
+
+/** Consume a non-negative decimal integer. */
+bool
+eatNumber(std::string_view &text, std::uint64_t &out)
+{
+    std::size_t used = 0;
+    std::uint64_t value = 0;
+    while (used < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[used]))) {
+        value = value * 10 + static_cast<std::uint64_t>(text[used] - '0');
+        ++used;
+    }
+    if (used == 0)
+        return false;
+    text.remove_prefix(used);
+    out = value;
+    return true;
+}
+
+bool
+parseTarget(std::string_view &text, FaultTarget &out, std::string &err)
+{
+    std::uint64_t num = 0;
+    if (eat(text, "mesh.r")) {
+        if (!eatNumber(text, num)) {
+            err = "expected router id after 'mesh.r'";
+            return false;
+        }
+        out.id = static_cast<std::int32_t>(num);
+        out.kind = FaultTargetKind::MeshRouter;
+        if (!eat(text, "."))
+            return true;
+        for (int p = 0; p < 4; ++p) {
+            if (eat(text, meshPortNames[p])) {
+                out.kind = FaultTargetKind::MeshPort;
+                out.port = p;
+                return true;
+            }
+        }
+        err = "expected east|west|south|north after 'mesh.r" +
+              std::to_string(out.id) + ".'";
+        return false;
+    }
+    if (eat(text, "ring.nic")) {
+        if (!eatNumber(text, num)) {
+            err = "expected PM number after 'ring.nic'";
+            return false;
+        }
+        out.kind = FaultTargetKind::RingNic;
+        out.id = static_cast<std::int32_t>(num);
+        return true;
+    }
+    if (eat(text, "ring.l")) {
+        if (!eatNumber(text, num)) {
+            err = "expected level after 'ring.l'";
+            return false;
+        }
+        out.level = static_cast<std::int32_t>(num);
+        if (!eat(text, ".iri")) {
+            err = "expected '.iri<I>' after 'ring.l" +
+                  std::to_string(out.level) + "'";
+            return false;
+        }
+        if (!eatNumber(text, num)) {
+            err = "expected IRI index after 'iri'";
+            return false;
+        }
+        out.kind = FaultTargetKind::RingIri;
+        out.id = static_cast<std::int32_t>(num);
+        if (eat(text, ".lower")) {
+            out.upper = false;
+            return true;
+        }
+        if (eat(text, ".upper")) {
+            out.upper = true;
+            return true;
+        }
+        err = "expected '.lower' or '.upper' after IRI target";
+        return false;
+    }
+    err = "unknown fault target (want mesh.r<N>[.<port>], "
+          "ring.nic<P> or ring.l<L>.iri<I>.<side>)";
+    return false;
+}
+
+} // namespace
+
+std::string
+FaultTarget::canonical() const
+{
+    std::string text;
+    switch (kind) {
+      case FaultTargetKind::MeshRouter:
+        text = "mesh.r" + std::to_string(id);
+        break;
+      case FaultTargetKind::MeshPort:
+        text = "mesh.r" + std::to_string(id) + "." +
+               meshPortNames[port];
+        break;
+      case FaultTargetKind::RingNic:
+        text = "ring.nic" + std::to_string(id);
+        break;
+      case FaultTargetKind::RingIri:
+        text = "ring.l" + std::to_string(level) + ".iri" +
+               std::to_string(id) + (upper ? ".upper" : ".lower");
+        break;
+    }
+    return text;
+}
+
+std::string
+FaultEvent::canonical() const
+{
+    std::string text = target.canonical();
+    text += ':';
+    text += toString(action);
+    text += '@';
+    text += std::to_string(start);
+    text += "..";
+    if (end != foreverCycle)
+        text += std::to_string(end);
+    return text;
+}
+
+std::string
+FaultPlan::canonical() const
+{
+    std::string text;
+    for (const FaultEvent &event : events) {
+        if (!text.empty())
+            text += ';';
+        text += event.canonical();
+    }
+    text += "|timeout=" + std::to_string(retry.timeoutCycles);
+    text += "|retries=" + std::to_string(retry.maxRetries);
+    return text;
+}
+
+bool
+parseFaultSpec(std::string_view spec, FaultEvent &out, std::string &err)
+{
+    std::string_view text = spec;
+    FaultEvent event;
+    if (!parseTarget(text, event.target, err))
+        return false;
+    if (!eat(text, ":")) {
+        err = "expected ':<action>' after fault target";
+        return false;
+    }
+    if (eat(text, "down")) {
+        event.action = FaultAction::LinkDown;
+    } else if (eat(text, "stall")) {
+        event.action = FaultAction::Stall;
+    } else if (eat(text, "corrupt")) {
+        event.action = FaultAction::Corrupt;
+    } else {
+        err = "unknown fault action (want down|stall|corrupt)";
+        return false;
+    }
+    if (event.action != FaultAction::Stall &&
+        event.target.kind == FaultTargetKind::MeshRouter) {
+        err = "action '" + std::string(toString(event.action)) +
+              "' needs a link target; name an output port "
+              "(mesh.r<N>.east|west|south|north)";
+        return false;
+    }
+    if (event.action == FaultAction::Stall &&
+        event.target.kind == FaultTargetKind::MeshPort) {
+        err = "'stall' freezes a whole router; drop the port "
+              "(mesh.r<N>)";
+        return false;
+    }
+    if (!eat(text, "@")) {
+        err = "expected '@<start>..<end>' after fault action";
+        return false;
+    }
+    std::uint64_t start = 0;
+    if (!eatNumber(text, start)) {
+        err = "expected start cycle after '@'";
+        return false;
+    }
+    if (!eat(text, "..")) {
+        err = "expected '..' after start cycle";
+        return false;
+    }
+    event.start = start;
+    std::uint64_t end = 0;
+    if (text.empty()) {
+        event.end = FaultEvent::foreverCycle;
+    } else if (eatNumber(text, end) && text.empty()) {
+        event.end = end;
+    } else {
+        err = "trailing garbage after fault window";
+        return false;
+    }
+    if (event.end <= event.start) {
+        err = "empty fault window (end must exceed start)";
+        return false;
+    }
+    out = event;
+    return true;
+}
+
+bool
+parseFaultPlanText(std::string_view text, FaultPlan &out,
+                   std::string &err)
+{
+    FaultPlan plan;
+    std::size_t lineNo = 0;
+    while (!text.empty()) {
+        ++lineNo;
+        const std::size_t eol = text.find('\n');
+        std::string_view line = text.substr(0, eol);
+        text.remove_prefix(eol == std::string_view::npos ? text.size()
+                                                         : eol + 1);
+        const std::size_t hash = line.find('#');
+        if (hash != std::string_view::npos)
+            line = line.substr(0, hash);
+        while (!line.empty() &&
+               std::isspace(static_cast<unsigned char>(line.front())))
+            line.remove_prefix(1);
+        while (!line.empty() &&
+               std::isspace(static_cast<unsigned char>(line.back())))
+            line.remove_suffix(1);
+        if (line.empty())
+            continue;
+
+        std::uint64_t value = 0;
+        std::string_view rest = line;
+        if (eat(rest, "timeout ")) {
+            if (!eatNumber(rest, value) || !rest.empty() || value == 0) {
+                err = "line " + std::to_string(lineNo) +
+                      ": 'timeout' wants one positive cycle count";
+                return false;
+            }
+            plan.retry.timeoutCycles = value;
+            continue;
+        }
+        if (eat(rest, "retries ")) {
+            if (!eatNumber(rest, value) || !rest.empty()) {
+                err = "line " + std::to_string(lineNo) +
+                      ": 'retries' wants one non-negative count";
+                return false;
+            }
+            plan.retry.maxRetries =
+                static_cast<std::uint32_t>(value);
+            continue;
+        }
+        FaultEvent event;
+        std::string specErr;
+        if (!parseFaultSpec(line, event, specErr)) {
+            err = "line " + std::to_string(lineNo) + ": " + specErr;
+            return false;
+        }
+        plan.events.push_back(event);
+    }
+    out = std::move(plan);
+    return true;
+}
+
+bool
+loadFaultPlanFile(const std::string &path, FaultPlan &out,
+                  std::string &err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err = "cannot open fault plan '" + path + "'";
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseFaultPlanText(text.str(), out, err);
+}
+
+} // namespace hrsim

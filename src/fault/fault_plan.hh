@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Deterministic fault schedules: what breaks, when, and for how long.
+ *
+ * A FaultPlan is a list of FaultEvents, each naming one physical
+ * target (a mesh router output port, a ring NIC, or one side of an
+ * inter-ring interface), one action, and an absolute cycle window
+ * [start, end). The plan is data, not behaviour: it is parsed up
+ * front from `--fault` specs or a `--fault-plan` file, validated
+ * against the network topology at System construction, and applied
+ * edge-by-edge by the FaultController as simulated time passes.
+ * Nothing about a fault is random — the same plan and seed replay
+ * the same run bit for bit, serially or under a parallel sweep.
+ *
+ * Spec grammar (one fault per spec):
+ *
+ *     <target>:<action>@<start>..<end>
+ *     <target>:<action>@<start>..          (until the end of the run)
+ *
+ *   target  := mesh.r<N>                     router (stall only)
+ *            | mesh.r<N>.<east|west|south|north>   output link
+ *            | ring.nic<P>                   NIC of PM P
+ *            | ring.l<L>.iri<I>.<lower|upper>      one IRI side
+ *   action  := down | stall | corrupt
+ *
+ * `down` and `corrupt` act on the target's ring/mesh output link
+ * (for a NIC, its ring output); `stall` freezes the whole component.
+ * A plan file holds one spec per line, plus optional `timeout N` and
+ * `retries N` directives setting the processors' RetryPolicy; `#`
+ * starts a comment.
+ */
+
+#ifndef HRSIM_FAULT_FAULT_PLAN_HH
+#define HRSIM_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hrsim
+{
+
+/** What a fault does to its target during the active window. */
+enum class FaultAction : std::uint8_t
+{
+    /** Output link dead: the sender drains worms into the fault and
+     *  drops them (one flit per cycle), reclaiming credits so the
+     *  fabric never wedges. Nothing crosses the link. */
+    LinkDown = 0,
+    /** Component frozen: it neither evaluates nor accepts; traffic
+     *  backs up behind it and resumes when the window closes. */
+    Stall = 1,
+    /** Header corruption: worms whose head crosses the target link
+     *  during the window are poisoned and dropped at ejection. */
+    Corrupt = 2,
+};
+
+const char *toString(FaultAction action);
+
+/** Which physical component a fault names. */
+enum class FaultTargetKind : std::uint8_t
+{
+    MeshRouter = 0, //!< whole router (stall only)
+    MeshPort = 1,   //!< one router output port (down/corrupt)
+    RingNic = 2,    //!< NIC of one PM (any action)
+    RingIri = 3,    //!< one side of an inter-ring interface
+};
+
+struct FaultTarget
+{
+    FaultTargetKind kind = FaultTargetKind::MeshRouter;
+    std::int32_t id = 0;    //!< router id / NIC pm / IRI index in level
+    std::int32_t port = 0;  //!< mesh output port (MeshPort only)
+    std::int32_t level = 0; //!< parent-ring level (RingIri only)
+    bool upper = false;     //!< IRI upper side (RingIri only)
+
+    /** Canonical spec-grammar rendering ("mesh.r3.east"). */
+    std::string canonical() const;
+};
+
+/** One scheduled fault: target + action over [start, end). */
+struct FaultEvent
+{
+    FaultTarget target;
+    FaultAction action = FaultAction::LinkDown;
+    Cycle start = 0;
+    /** First cycle the fault is no longer active (foreverCycle =
+     *  never lifted). */
+    Cycle end = 0;
+
+    static constexpr Cycle foreverCycle = ~Cycle{0};
+
+    /** Canonical spec rendering, parseable by parseFaultSpec(). */
+    std::string canonical() const;
+};
+
+/**
+ * How processors respond to transactions the fabric lost. Active
+ * only when a fault plan is present; without one the issue path is
+ * byte-identical to a build without the fault subsystem.
+ */
+struct RetryPolicy
+{
+    /** Cycles a request may stay unanswered before it is reissued.
+     *  Must comfortably exceed the fault-free round trip. */
+    Cycle timeoutCycles = 4096;
+
+    /** Reissues allowed per transaction before it is abandoned. */
+    std::uint32_t maxRetries = 3;
+};
+
+/** A full fault schedule plus the retry policy that rides with it. */
+struct FaultPlan
+{
+    std::vector<FaultEvent> events;
+    RetryPolicy retry;
+
+    bool empty() const { return events.empty(); }
+
+    /** Canonical one-line rendering (configKey() material): specs in
+     *  plan order joined by ';', then the retry policy. */
+    std::string canonical() const;
+};
+
+/**
+ * Parse one spec-grammar fault ("mesh.r3.east:down@1000..2000").
+ * On success appends to @a out and returns true; on failure leaves
+ * @a out untouched, puts a one-line diagnostic in @a err and returns
+ * false.
+ */
+bool parseFaultSpec(std::string_view spec, FaultEvent &out,
+                    std::string &err);
+
+/**
+ * Parse a whole plan text (the `--fault-plan` file format): one spec
+ * per line, `timeout N` / `retries N` directives, `#` comments.
+ * Events keep file order. Returns false with a line-numbered
+ * diagnostic in @a err on the first malformed line.
+ */
+bool parseFaultPlanText(std::string_view text, FaultPlan &out,
+                        std::string &err);
+
+/** parseFaultPlanText() on a file's contents; I/O errors go to
+ *  @a err too. */
+bool loadFaultPlanFile(const std::string &path, FaultPlan &out,
+                       std::string &err);
+
+/**
+ * Shared retry-engine event counts, summed across all PMs (like
+ * WorkloadCounters). Registered as the retry.* metrics; exists only
+ * while a fault plan is active.
+ */
+struct RetryCounters
+{
+    std::uint64_t reissued = 0;  //!< requests resent after a timeout
+    std::uint64_t stale = 0;     //!< responses to a dead transaction
+    std::uint64_t abandoned = 0; //!< transactions given up on
+};
+
+/**
+ * Flit- and worm-level conservation ledger. Allocated only when a
+ * fault plan is active and shared by the network and its components;
+ * the conservation invariant
+ *
+ *     injectedFlits == deliveredFlits + droppedFlits + in-flight
+ *
+ * holds at every cycle boundary and is asserted in tests.
+ */
+struct FaultAccounting
+{
+    std::uint64_t injectedFlits = 0;  //!< entered the fabric
+    std::uint64_t deliveredFlits = 0; //!< ejected to a live receiver
+    std::uint64_t droppedFlits = 0;   //!< drained into a fault
+    std::uint64_t droppedWorms = 0;   //!< worms that lost their tail
+    std::uint64_t poisonedWorms = 0;  //!< worms corrupted in flight
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_FAULT_FAULT_PLAN_HH

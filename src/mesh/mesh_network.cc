@@ -99,6 +99,8 @@ MeshNetwork::inject(NodeId pm, const Packet &pkt)
     routers_[static_cast<std::size_t>(pm)].inject(pkt);
     routers_[static_cast<std::size_t>(pm)].poke();
     active_.add(static_cast<std::uint32_t>(pm));
+    if (acct_)
+        acct_->injectedFlits += pkt.sizeFlits;
     HRSIM_TRACE_FLIT(tracer_, FlitEvent::Inject, pkt.id, pm,
                      routers_[static_cast<std::size_t>(pm)].flitCount());
 }
@@ -241,6 +243,78 @@ MeshNetwork::registerMetrics(MetricRegistry &registry) const
                                   router->flitCount());
                           });
     }
+}
+
+bool
+MeshNetwork::faultTargetValid(const FaultTarget &target) const
+{
+    if (target.kind != FaultTargetKind::MeshRouter &&
+        target.kind != FaultTargetKind::MeshPort) {
+        return false;
+    }
+    if (target.id < 0 || target.id >= numProcessors())
+        return false;
+    if (target.kind == FaultTargetKind::MeshPort) {
+        // The named output must actually be wired: edge routers have
+        // no east link on the last column, etc.
+        const int x = target.id % params_.width;
+        const int y = target.id / params_.width;
+        switch (target.port) {
+          case PortEast:
+            return x + 1 < params_.width;
+          case PortWest:
+            return x > 0;
+          case PortSouth:
+            return y + 1 < params_.width;
+          case PortNorth:
+            return y > 0;
+          default:
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+MeshNetwork::applyFault(const FaultEvent &event, bool active)
+{
+    HRSIM_ASSERT(!faultState_.empty());
+    const auto id = static_cast<std::size_t>(event.target.id);
+    MeshRouterFaults &faults = faultState_[id];
+    const auto port = static_cast<std::size_t>(event.target.port);
+    const std::int8_t delta = active ? 1 : -1;
+    switch (event.action) {
+      case FaultAction::LinkDown:
+        HRSIM_ASSERT(active || faults.portDown[port] > 0);
+        faults.portDown[port] =
+            static_cast<std::uint8_t>(faults.portDown[port] + delta);
+        break;
+      case FaultAction::Stall:
+        HRSIM_ASSERT(active || faults.stalled > 0);
+        faults.stalled =
+            static_cast<std::uint8_t>(faults.stalled + delta);
+        break;
+      case FaultAction::Corrupt:
+        HRSIM_ASSERT(active || faults.portCorrupt[port] > 0);
+        faults.portCorrupt[port] = static_cast<std::uint8_t>(
+            faults.portCorrupt[port] + delta);
+        break;
+    }
+    // Both edges wake the router: activation so a dead output starts
+    // draining (and a stalled router pins itself awake via
+    // sweepKeep), deactivation so frozen traffic moves again.
+    routers_[id].poke();
+    active_.add(static_cast<std::uint32_t>(id));
+}
+
+void
+MeshNetwork::setFaultAccounting(FaultAccounting *acct)
+{
+    acct_ = acct;
+    faultState_.assign(routers_.size(), MeshRouterFaults{});
+    for (std::size_t id = 0; id < routers_.size(); ++id)
+        routers_[id].setFaultState(acct ? &faultState_[id] : nullptr,
+                                   acct);
 }
 
 MeshRouter &

@@ -55,6 +55,9 @@ class MeshNetwork : public Network
     void setFastPath(bool enabled) override;
     bool isIdle() const override;
     std::size_t activeNodeCount() const override;
+    bool faultTargetValid(const FaultTarget &target) const override;
+    void applyFault(const FaultEvent &event, bool active) override;
+    void setFaultAccounting(FaultAccounting *acct) override;
 
     /** Mesh-link utilization in [0, 1] (the paper's Figure 13). */
     double networkUtilization() const;
@@ -95,6 +98,10 @@ class MeshNetwork : public Network
     ActiveSet active_;
     /** Saturated ticks since the last amortized sleep sweep. */
     std::uint32_t satTicks_ = 0;
+    /** Per-router fault state; allocated by setFaultAccounting()
+     * (i.e. only when a fault plan is active). */
+    std::vector<MeshRouterFaults> faultState_;
+    FaultAccounting *acct_ = nullptr;
 };
 
 } // namespace hrsim

@@ -166,6 +166,12 @@ void
 MeshRouter::evaluate(Cycle now)
 {
     changed_ = false;
+    // Stall fault: the crossbar core is frozen — no arbitration, no
+    // traversal. Input latches still accept arrivals (staged pushes
+    // commit as usual), so traffic backs up behind the router and
+    // resumes untouched when the window closes.
+    if (faults_ && faults_->stalled)
+        return;
     if (fastPath_)
         evaluateFast(now);
     else
@@ -306,6 +312,12 @@ void
 MeshRouter::traverseOutput(int out, Cycle now)
 {
     Output &port = out_[static_cast<std::size_t>(out)];
+    if (faults_ && out != PortLocal &&
+        (faults_->out[static_cast<std::size_t>(out)].killing ||
+         faults_->portDown[static_cast<std::size_t>(out)] != 0)) {
+        killOutput(out);
+        return;
+    }
     const Flit *next = peekInput(port.owner);
     if (!next)
         return; // worm starved: hold the port
@@ -320,15 +332,47 @@ MeshRouter::traverseOutput(int out, Cycle now)
         changed_ = true;
         streamedFlits_ += static_cast<std::uint64_t>(!flit.isHead());
         tail = flit.isTail();
-        if (tail && deliver_)
+        if (acct_) {
+            if (flit.poisoned)
+                ++acct_->droppedFlits;
+            else
+                ++acct_->deliveredFlits;
+        }
+        // Poisoned worms (corrupted headers, or the kill token of a
+        // truncated worm) drain out here but are never delivered.
+        if (tail && deliver_ && !flit.poisoned)
             deliver_(packetFromFlit(flit), now);
     } else {
         HRSIM_ASSERT(port.peerBuf != nullptr);
         if (!port.peerBuf->canPush())
             return; // blocked: flits wait in the input buffer
+        bool poison = false;
+        if (faults_) {
+            auto &kill = faults_->out[static_cast<std::size_t>(out)];
+            if (next->isHead() &&
+                faults_->portCorrupt[static_cast<std::size_t>(out)] !=
+                    0) {
+                // Corrupt fault: the header crossing the bad link
+                // poisons the whole worm (sticky past the window and
+                // past any nested window boundary — the header is
+                // what's broken).
+                kill.poisoning = true;
+                if (acct_)
+                    ++acct_->poisonedWorms;
+            }
+            poison = kill.poisoning;
+            if (poison && next->isTail())
+                kill.poisoning = false;
+        }
         // Stream the flit straight from the input front into the
         // downstream buffer: one element copy, no pop-into-temporary.
-        port.peerBuf->pushFrom(*next);
+        if (poison) {
+            Flit copy = *next;
+            copy.poisoned = true;
+            port.peerBuf->pushFrom(copy);
+        } else {
+            port.peerBuf->pushFrom(*next);
+        }
         changed_ = true;
         port.neighbor->poked_ = true; // arrival: stay up next cycle
         if (wakeSet_)                 // and wake if sleeping
@@ -352,6 +396,70 @@ MeshRouter::traverseOutput(int out, Cycle now)
             localSrc_ = LocalSrc::None;
         port.owner = -1;
         port.wormPkt = 0;
+    }
+}
+
+void
+MeshRouter::killOutput(int out)
+{
+    Output &port = out_[static_cast<std::size_t>(out)];
+    if (port.owner == -1)
+        return; // nothing bound to the dead link yet
+    const Flit *next = peekInput(port.owner);
+    if (!next)
+        return; // starved: the rest of the worm is still upstream
+    HRSIM_ASSERT(next->packet == port.wormPkt);
+    auto &kill = faults_->out[static_cast<std::size_t>(out)];
+    if (!kill.killing) {
+        kill.killing = true;
+        kill.decided = false;
+    }
+    if (!kill.decided) {
+        // First flit of the condemned worm tells us whether its head
+        // already crossed: flits cross in order, so a front index
+        // above zero means the worm's leading flits are downstream
+        // and the kill must send them a terminator.
+        kill.decided = true;
+        kill.terminator = next->index > 0;
+        if (acct_)
+            ++acct_->droppedWorms;
+    }
+    if (kill.terminator) {
+        // Terminate the downstream fragment: hand it one poisoned
+        // tail flit (the link-level error token of the dead link) so
+        // every router ahead unbinds normally and the fragment drains
+        // to its ejection port, where the poison suppresses delivery.
+        HRSIM_ASSERT(port.peerBuf != nullptr);
+        if (!port.peerBuf->canPush())
+            return; // wait for space; credit wake re-runs this
+        Flit token = *next;
+        token.index = token.sizeFlits - 1;
+        token.poisoned = true;
+        port.peerBuf->pushFrom(token);
+        port.neighbor->poked_ = true;
+        if (wakeSet_)
+            wakeSet_->add(
+                static_cast<std::uint32_t>(port.neighbor->id_));
+        kill.terminator = false;
+    } else if (acct_) {
+        ++acct_->droppedFlits;
+    }
+    // Drain one flit per cycle, exactly the rate of a live link;
+    // dropInput() frees the upstream slot, so credits flow and the
+    // fabric behind the fault never wedges.
+    const bool tail = next->isTail();
+    dropInput(port.owner);
+    changed_ = true;
+    if (tail) {
+        inputBound_[static_cast<std::size_t>(port.owner)] = -1;
+        boundMask_ &= static_cast<PortMask>(~(1u << port.owner));
+        ownedMask_ &= static_cast<PortMask>(~(1u << out));
+        if (port.owner == PortLocal)
+            localSrc_ = LocalSrc::None;
+        port.owner = -1;
+        port.wormPkt = 0;
+        kill.killing = false;
+        kill.decided = false;
     }
 }
 

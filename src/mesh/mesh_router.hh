@@ -22,6 +22,7 @@
 
 #include "common/staged_fifo.hh"
 #include "common/types.hh"
+#include "fault/fault_plan.hh"
 #include "obs/flit_trace.hh"
 #include "proto/packet.hh"
 #include "sim/active_set.hh"
@@ -51,6 +52,34 @@ MeshPort oppositePort(MeshPort port);
  * with heap-allocated routers and with the contiguous pool layout).
  */
 using MeshFifo = StagedFifo<Flit, 0>;
+
+/**
+ * Per-router fault state, allocated by MeshNetwork only while a
+ * fault plan is active (routers hold a null pointer otherwise, so
+ * fault-free runs pay nothing). Windows may overlap, so the per-port
+ * and stall flags are nesting depth counters, not booleans.
+ */
+struct MeshRouterFaults
+{
+    std::array<std::uint8_t, 4> portDown{};    //!< LinkDown depth
+    std::array<std::uint8_t, 4> portCorrupt{}; //!< Corrupt depth
+    std::uint8_t stalled = 0;                  //!< Stall depth
+
+    /**
+     * Worm-kill state machine of one output port. A kill outlives
+     * the window that started it: once a worm starts draining into a
+     * dead link it must drain to its tail even if the link comes
+     * back, because its leading flits are already gone.
+     */
+    struct OutKill
+    {
+        bool killing = false;    //!< draining the bound worm
+        bool decided = false;    //!< first flit inspected?
+        bool terminator = false; //!< owe downstream a poisoned tail
+        bool poisoning = false;  //!< Corrupt: stamping this worm
+    };
+    std::array<OutKill, 4> out{};
+};
 
 class MeshRouter
 {
@@ -128,7 +157,12 @@ class MeshRouter
      */
     bool sweepKeep()
     {
-        const bool keep = changed_ || poked_;
+        // A stalled router is pinned awake: it holds flits that move
+        // again the cycle its window closes, and keeping it in the
+        // active set also keeps the network non-idle so the system
+        // never fast-forwards across a stall.
+        const bool keep = changed_ || poked_ ||
+                          (faults_ && faults_->stalled);
         poked_ = false;
         return keep;
     }
@@ -154,6 +188,17 @@ class MeshRouter
      * neighbor's input buffer wakes the neighbor (by its PM id).
      */
     void setWakeSet(ActiveSet *set) { wakeSet_ = set; }
+
+    /**
+     * Attach this router's fault state and the network's shared
+     * conservation ledger (both owned elsewhere; null = fault-free).
+     */
+    void
+    setFaultState(MeshRouterFaults *faults, FaultAccounting *acct)
+    {
+        faults_ = faults;
+        acct_ = acct;
+    }
 
     NodeId id() const { return id_; }
 
@@ -196,6 +241,13 @@ class MeshRouter
 
     /** Move one flit across owned output @a out if flow control allows. */
     void traverseOutput(int out, Cycle now);
+
+    /**
+     * Drain-and-drop one flit of the worm bound to dead output
+     * @a out (see MeshRouterFaults::OutKill). Cold path, fault runs
+     * only.
+     */
+    void killOutput(int out);
 
     /** Next flit availabe on input @a in (nullptr if none). */
     const Flit *peekInput(int in) const;
@@ -251,6 +303,9 @@ class MeshRouter
     DeliverFn deliver_;
     FlitTracer *const *tracerSlot_ = nullptr;
     ActiveSet *wakeSet_ = nullptr;
+    /** Fault state + ledger; null (the fast case) without a plan. */
+    MeshRouterFaults *faults_ = nullptr;
+    FaultAccounting *acct_ = nullptr;
 };
 
 } // namespace hrsim

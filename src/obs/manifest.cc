@@ -81,6 +81,12 @@ configKey(const SystemConfig &cfg)
     key += " seed=" + std::to_string(cfg.sim.seed);
     if (cfg.trace != nullptr)
         key += " trace_records=" + std::to_string(cfg.trace->size());
+    if (!cfg.faultPlan.empty()) {
+        // A fault schedule changes what a run simulates, so it is
+        // part of the result's identity. Appended only when present:
+        // fault-free keys (and their hashes) stay stable.
+        key += " faults=" + cfg.faultPlan.canonical();
+    }
     return key;
 }
 

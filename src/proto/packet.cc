@@ -77,6 +77,7 @@ makeFlit(const Packet &packet, std::uint32_t index)
     flit.src = packet.src;
     flit.type = packet.type;
     flit.issueCycle = packet.issueCycle;
+    flit.reqId = packet.reqId;
     return flit;
 }
 
@@ -90,6 +91,7 @@ packetFromFlit(const Flit &flit)
     packet.dst = flit.dst;
     packet.sizeFlits = flit.sizeFlits;
     packet.issueCycle = flit.issueCycle;
+    packet.reqId = flit.reqId;
     return packet;
 }
 

@@ -82,6 +82,13 @@ struct Packet
     std::uint32_t sizeFlits = 0;
     /** Cycle the original request was issued (for round-trip time). */
     Cycle issueCycle = 0;
+    /**
+     * Id of the request packet a response answers (0 for requests).
+     * Lets a processor with a retry engine match a response to the
+     * pending transaction even after the request was reissued under
+     * a different packet id.
+     */
+    PacketId reqId = 0;
 };
 
 /**
@@ -100,8 +107,16 @@ struct Flit
     NodeId src = invalidNode;
     PacketType type = PacketType::ReadRequest;
     Cycle issueCycle = 0;        //!< issue time of the original request
+    PacketId reqId = 0;          //!< answered request id (responses)
     /** Remaining ring hops of a broadcast cell (slotted mode). */
     std::uint16_t ttl = 0;
+    /**
+     * Header corrupted by a fault window. The flag is sticky for the
+     * whole worm (the head's poisoning spreads to every flit behind
+     * it at the faulted link) and makes the receiver drop the packet
+     * at ejection instead of delivering it.
+     */
+    bool poisoned = false;
 
     bool isHead() const { return index == 0; }
     bool isTail() const { return index + 1 == sizeFlits; }

@@ -52,6 +52,7 @@ class PacketFactory
         pkt.dst = request.src;
         pkt.sizeFlits = spec_.packetFlits(pkt.type, cacheLineBytes_);
         pkt.issueCycle = request.issueCycle;
+        pkt.reqId = request.id;
         return pkt;
     }
 

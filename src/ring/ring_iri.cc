@@ -124,6 +124,12 @@ RingIri::routeUpper(const Flit &flit, bool count_wait)
 void
 RingIri::computeAcceptanceLower()
 {
+    // A stalled side is frozen and must not advertise acceptance
+    // (the blocked-worm wait counters freeze with it).
+    if (lowerFaults_ && lowerFaults_->stalled != 0) {
+        lower_.accept = false;
+        return;
+    }
     if (!lower_.in.cur) {
         lower_.accept = true;
         return;
@@ -147,6 +153,10 @@ RingIri::computeAcceptanceLower()
 void
 RingIri::computeAcceptanceUpper()
 {
+    if (upperFaults_ && upperFaults_->stalled != 0) {
+        upper_.accept = false;
+        return;
+    }
     if (!upper_.in.cur) {
         upper_.accept = true;
         return;
@@ -168,6 +178,9 @@ RingIri::computeAcceptanceUpper()
 void
 RingIri::evaluateLower()
 {
+    // A stalled side does nothing; traffic waits in place.
+    if (lowerFaults_ && lowerFaults_->stalled != 0)
+        return;
     // Quiescent fast path: nothing latched, buffered or descending
     // means there is nothing to divert, forward or inject this cycle.
     if (!lower_.in.cur && lower_.transitBuf.empty() &&
@@ -182,8 +195,12 @@ RingIri::evaluateLower()
         StagedFifo<Flit> &queue = upQueue(lower_.in.cur->type);
         HRSIM_ASSERT(queue.canPush());
         queue.push(*lower_.in.cur);
+        // The flit leaves the lower ring; 1 + ttl because a kill
+        // token carries its dead worm's occupancy debt (ttl is
+        // always 0 in fault-free runs — see RingSideFaults).
+        lower_.occupancy->add(
+            -1 - static_cast<std::int64_t>(lower_.in.cur->ttl));
         lower_.in.cur.reset();
-        lower_.occupancy->add(-1); // the flit leaves the lower ring
     }
 
     // 2. Drive the lower-ring output: same-ring transit (including
@@ -218,6 +235,9 @@ RingIri::evaluateLower()
 void
 RingIri::evaluateUpper()
 {
+    // A stalled side does nothing; traffic waits in place.
+    if (upperFaults_ && upperFaults_->stalled != 0)
+        return;
     // Quiescent fast path, mirroring evaluateLower().
     if (!upper_.in.cur && upper_.transitBuf.empty() &&
         upResp_.empty() && upReq_.empty()) {
@@ -231,8 +251,10 @@ RingIri::evaluateUpper()
         StagedFifo<Flit> &queue = downQueue(upper_.in.cur->type);
         HRSIM_ASSERT(queue.canPush());
         queue.push(*upper_.in.cur);
+        // The flit leaves the upper ring (1 + ttl: kill-token debt).
+        upper_.occupancy->add(
+            -1 - static_cast<std::int64_t>(upper_.in.cur->ttl));
         upper_.in.cur.reset();
-        upper_.occupancy->add(-1); // the flit leaves the upper ring
     }
 
     // 2. Drive the upper-ring output: same-ring transit first, then

@@ -142,6 +142,35 @@ class RingIri
         upperEscaped_ = 0;
     }
 
+    /**
+     * Attach per-side fault state and the network's shared
+     * conservation ledger (all owned by the network; null = the
+     * fault-free fast case). Also wires both ring outputs.
+     */
+    void
+    setFaultState(RingSideFaults *lower, RingSideFaults *upper,
+                  FaultAccounting *acct)
+    {
+        lowerFaults_ = lower;
+        upperFaults_ = upper;
+        lower_.out.setFaultState(lower, acct);
+        upper_.out.setFaultState(upper, acct);
+    }
+
+    /**
+     * Must this IRI stay in the active set even while empty? A
+     * stalled side pins the IRI awake so its acceptance flag is
+     * recomputed (sleeping rests at accept = true, the opposite of
+     * what a stall advertises) and the network never fast-forwards
+     * across the stall window.
+     */
+    bool
+    faultPinned() const
+    {
+        return (lowerFaults_ && lowerFaults_->stalled) ||
+               (upperFaults_ && upperFaults_->stalled);
+    }
+
     /** One-line buffer state (stall diagnostics). */
     void debugDump(std::ostream &out) const;
 
@@ -215,6 +244,10 @@ class RingIri
     StagedFifo<Flit> upReq_;
     StagedFifo<Flit> downResp_;
     StagedFifo<Flit> downReq_;
+
+    /** Per-side fault state; null (the fast case) without a plan. */
+    const RingSideFaults *lowerFaults_ = nullptr;
+    const RingSideFaults *upperFaults_ = nullptr;
 
     RingStreamSource lowerRingSource_;
     RingStreamSource upperRingSource_;

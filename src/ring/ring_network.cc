@@ -199,6 +199,8 @@ RingNetwork::inject(NodeId pm, const Packet &pkt)
         fatal("RingNetwork: broadcast requires slotted switching");
     nics_[static_cast<std::size_t>(pm)].inject(pkt);
     activeNics_.add(static_cast<std::uint32_t>(pm));
+    if (acct_)
+        acct_->injectedFlits += pkt.sizeFlits;
     HRSIM_TRACE_FLIT(tracer_, FlitEvent::Inject, pkt.id, pm,
                      nics_[static_cast<std::size_t>(pm)].flitCount());
 }
@@ -307,7 +309,7 @@ RingNetwork::tickActive(Cycle now)
     activeNics_.retain([this](std::uint32_t id) {
         RingNic &nic = nics_[id];
         nic.commit();
-        if (!nic.empty()) {
+        if (!nic.empty() || nic.faultPinned()) {
             // Next tick's phase A, while the NIC is cache-hot.
             nic.computeAcceptance();
             return true;
@@ -353,7 +355,7 @@ RingNetwork::tickActive(Cycle now)
     // IRI sleep sweep: drained IRIs leave the set until a flit wakes
     // them again (the NIC sweep already ran, fused with commit).
     activeIris_.retain([this](std::uint32_t id) {
-        if (!iris_[id].empty())
+        if (!iris_[id].empty() || iris_[id].faultPinned())
             return true;
         iris_[id].prepareSleep();
         return false;
@@ -369,7 +371,7 @@ RingNetwork::setActiveScheduling(bool enabled)
     // Establish the invariant "asleep <=> empty": wake everything
     // holding flits, put everything else into its rest state.
     for (std::size_t i = 0; i < nics_.size(); ++i) {
-        if (nics_[i].flitCount() != 0) {
+        if (nics_[i].flitCount() != 0 || nics_[i].faultPinned()) {
             activeNics_.add(static_cast<std::uint32_t>(i));
             // The active tick expects NIC acceptance one tick ahead
             // (fused into the commit sweep); seed it here.
@@ -379,7 +381,7 @@ RingNetwork::setActiveScheduling(bool enabled)
         }
     }
     for (std::size_t i = 0; i < iris_.size(); ++i) {
-        if (iris_[i].flitCount() != 0)
+        if (iris_[i].flitCount() != 0 || iris_[i].faultPinned())
             activeIris_.add(static_cast<std::uint32_t>(i));
         else
             iris_[i].prepareSleep();
@@ -486,6 +488,95 @@ RingNetwork::registerMetrics(MetricRegistry &registry) const
                         [this]() { return totalWaitCycles(); });
     registry.addCounter("ring.escapes",
                         [this]() { return totalEscapes(); });
+}
+
+bool
+RingNetwork::faultTargetValid(const FaultTarget &target) const
+{
+    if (target.kind == FaultTargetKind::RingNic)
+        return target.id >= 0 && target.id < numProcessors();
+    if (target.kind != FaultTargetKind::RingIri)
+        return false;
+    if (target.id < 0 ||
+        target.id >= static_cast<std::int32_t>(iris_.size())) {
+        return false;
+    }
+    // IRI naming matches the metric names: an IRI belongs to the
+    // hierarchy level of its parent ring (the ring its upper side
+    // sits on), so ring.l0.iri* hang off the global ring.
+    const int level =
+        structure_
+            .rings[static_cast<std::size_t>(
+                structure_.iris[static_cast<std::size_t>(target.id)]
+                    .parentRing)]
+            .level;
+    return level == static_cast<int>(target.level);
+}
+
+void
+RingNetwork::applyFault(const FaultEvent &event, bool active)
+{
+    HRSIM_ASSERT(!sideFaults_.empty());
+    const FaultTarget &target = event.target;
+    std::size_t slot;
+    if (target.kind == FaultTargetKind::RingNic) {
+        slot = static_cast<std::size_t>(target.id);
+    } else {
+        slot = nics_.size() +
+               2 * static_cast<std::size_t>(target.id) +
+               (target.upper ? 1 : 0);
+    }
+    RingSideFaults &faults = sideFaults_[slot];
+    const std::int8_t delta = active ? 1 : -1;
+    switch (event.action) {
+      case FaultAction::LinkDown:
+        HRSIM_ASSERT(active || faults.down > 0);
+        faults.down = static_cast<std::uint8_t>(faults.down + delta);
+        break;
+      case FaultAction::Stall:
+        HRSIM_ASSERT(active || faults.stalled > 0);
+        faults.stalled =
+            static_cast<std::uint8_t>(faults.stalled + delta);
+        break;
+      case FaultAction::Corrupt:
+        HRSIM_ASSERT(active || faults.corrupt > 0);
+        faults.corrupt =
+            static_cast<std::uint8_t>(faults.corrupt + delta);
+        break;
+    }
+    // Both edges wake the component: activation so a stalled side
+    // pins itself awake (and advertises accept = false) and a dead
+    // output starts draining, deactivation so frozen traffic moves
+    // again.
+    if (target.kind == FaultTargetKind::RingNic) {
+        activeNics_.add(static_cast<std::uint32_t>(target.id));
+        // The active tick computes NIC acceptance at the end of the
+        // previous cycle (fused into the commit sweep), before this
+        // edge existed; recompute so the flag matches what the full
+        // scan's phase A would publish this cycle. (IRI acceptance
+        // runs every tick for awake IRIs, so waking is enough.)
+        nics_[static_cast<std::size_t>(target.id)].computeAcceptance();
+    } else {
+        activeIris_.add(static_cast<std::uint32_t>(target.id));
+    }
+}
+
+void
+RingNetwork::setFaultAccounting(FaultAccounting *acct)
+{
+    acct_ = acct;
+    sideFaults_.assign(nics_.size() + 2 * iris_.size(),
+                       RingSideFaults{});
+    for (std::size_t pm = 0; pm < nics_.size(); ++pm) {
+        nics_[pm].setFaultState(acct ? &sideFaults_[pm] : nullptr,
+                                acct);
+    }
+    for (std::size_t i = 0; i < iris_.size(); ++i) {
+        const std::size_t base = nics_.size() + 2 * i;
+        iris_[i].setFaultState(acct ? &sideFaults_[base] : nullptr,
+                               acct ? &sideFaults_[base + 1] : nullptr,
+                               acct);
+    }
 }
 
 } // namespace hrsim

@@ -80,6 +80,9 @@ class RingNetwork : public Network
     void setFastPath(bool enabled) override;
     bool isIdle() const override;
     std::size_t activeNodeCount() const override;
+    bool faultTargetValid(const FaultTarget &target) const override;
+    void applyFault(const FaultEvent &event, bool active) override;
+    void setFaultAccounting(FaultAccounting *acct) override;
 
     /** Utilization of the rings at a hierarchy level (0 = global). */
     double levelUtilization(int level) const;
@@ -143,6 +146,12 @@ class RingNetwork : public Network
     ActiveSet activeIris_;
     /** Per-IRI flag: upper side in the fast (global) domain. */
     std::vector<std::uint8_t> iriFastUpper_;
+
+    /** Per-attachment-point fault state, allocated only while a
+     * fault plan is active: NIC pm at [pm], IRI i's lower/upper
+     * sides at [P + 2i] / [P + 2i + 1]. */
+    std::vector<RingSideFaults> sideFaults_;
+    FaultAccounting *acct_ = nullptr;
 };
 
 } // namespace hrsim

@@ -20,6 +20,12 @@ RingNic::RingNic(NodeId pm, std::uint32_t cl_flits, bool bypass)
 void
 RingNic::computeAcceptance()
 {
+    // A stalled NIC is frozen: it cannot dispose of a latch flit, so
+    // it must not advertise acceptance.
+    if (faults_ && faults_->stalled != 0) {
+        side_.accept = false;
+        return;
+    }
     // Upstream may transmit iff the latch is free, or its occupant is
     // guaranteed disposable this cycle: it sinks into the PM (input
     // queues always drain in our model) or the ring buffer has room.
@@ -31,6 +37,10 @@ RingNic::computeAcceptance()
 void
 RingNic::evaluate(Cycle now)
 {
+    // A stalled NIC does nothing: no sink, no forward, no inject.
+    // Traffic waits in place and resumes when the window closes.
+    if (faults_ && faults_->stalled != 0)
+        return;
     // Quiescent fast path: no latch flit and nothing visible in any
     // queue means there is nothing to sink, forward or inject. (A
     // worm holding the output link but starved of flits also does no
@@ -43,8 +53,19 @@ RingNic::evaluate(Cycle now)
     if (side_.in.cur && !isTransit(*side_.in.cur)) {
         const Flit flit = *side_.in.cur;
         side_.in.cur.reset();
-        side_.occupancy->add(-1); // the flit leaves the ring
-        if (flit.isTail() && deliver_)
+        // The flit leaves the ring; 1 + ttl because a kill token
+        // carries the occupancy debt of its worm's dead flits (ttl
+        // is always 0 in fault-free runs — see RingSideFaults).
+        side_.occupancy->add(-1 - static_cast<std::int64_t>(flit.ttl));
+        if (acct_) {
+            if (flit.poisoned)
+                ++acct_->droppedFlits;
+            else
+                ++acct_->deliveredFlits;
+        }
+        // Poisoned worms (corrupted headers, or the kill token of a
+        // truncated worm) drain out here but are never delivered.
+        if (flit.isTail() && deliver_ && !flit.poisoned)
             deliver_(packetFromFlit(flit), now);
     }
 

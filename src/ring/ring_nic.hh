@@ -110,6 +110,28 @@ class RingNic
         side_.accept = true;
     }
 
+    /**
+     * Attach this NIC's fault state and the network's shared
+     * conservation ledger (both owned by the network; null = the
+     * fault-free fast case). Also wires the ring output.
+     */
+    void
+    setFaultState(RingSideFaults *faults, FaultAccounting *acct)
+    {
+        faults_ = faults;
+        acct_ = acct;
+        side_.out.setFaultState(faults, acct);
+    }
+
+    /**
+     * Must this NIC stay in the active set even while empty? A
+     * stalled component pins itself awake so its acceptance flag is
+     * recomputed (a sleeping NIC rests at accept = true, the
+     * opposite of what a stall advertises) and the network never
+     * fast-forwards across the stall window.
+     */
+    bool faultPinned() const { return faults_ && faults_->stalled; }
+
     /** One-line buffer state (stall diagnostics). */
     void debugDump(std::ostream &out) const;
 
@@ -130,6 +152,9 @@ class RingNic
     QueueSource reqSource_;
 
     DeliverFn deliver_;
+    /** Fault state + ledger; null (the fast case) without a plan. */
+    const RingSideFaults *faults_ = nullptr;
+    FaultAccounting *acct_ = nullptr;
 };
 
 } // namespace hrsim

@@ -26,6 +26,7 @@
 
 #include "common/log.hh"
 #include "common/staged_fifo.hh"
+#include "fault/fault_plan.hh"
 #include "obs/flit_trace.hh"
 #include "proto/packet.hh"
 #include "sim/active_set.hh"
@@ -144,6 +145,41 @@ enum class RingSource : std::uint8_t
     RingTransit, //!< same-ring traffic (buffer or latch bypass)
     QueueA,      //!< first PM/inter-ring queue (responses)
     QueueB,      //!< second PM/inter-ring queue (requests)
+};
+
+/**
+ * Fault state of one ring attachment point (a NIC side or one IRI
+ * side), allocated by RingNetwork only while a fault plan is active
+ * (components hold a null pointer otherwise, so fault-free runs pay
+ * nothing). Windows may overlap, so the action flags are nesting
+ * depth counters, not booleans. Kill state outlives the window that
+ * started it: once a worm starts draining into a dead link it must
+ * drain to its tail even if the link comes back, because its leading
+ * flits are already gone.
+ *
+ * Occupancy conservation under truncation (see DESIGN.md section
+ * 13): bubble flow control reserves a whole packet at ring admission
+ * and releases one slot per flit leaving the ring, so a truncated
+ * worm would leak the slots of the flits that died. The terminator
+ * token therefore carries the debt in its ttl field (unused outside
+ * slotted mode, which rejects fault plans): every leave-ring site
+ * releases 1 + ttl, and drops behind a token release nothing. A worm
+ * killed whole at a worm boundary sends no token, so those drops
+ * release 1 + ttl themselves.
+ */
+struct RingSideFaults
+{
+    std::uint8_t stalled = 0; //!< Stall depth (whole component)
+    std::uint8_t down = 0;    //!< LinkDown depth (this side's output)
+    std::uint8_t corrupt = 0; //!< Corrupt depth (this side's output)
+
+    bool killing = false;   //!< draining a worm into the dead link
+    bool tokenSent = false; //!< terminator already pushed downstream
+    /** Boundary kill (head never crossed): no token, so each dropped
+     *  flit releases its own occupancy share. */
+    bool releaseOnDrop = false;
+    RingSource victim = RingSource::None; //!< source being drained
+    bool poisoning = false; //!< Corrupt: stamping the current worm
 };
 
 /**
@@ -267,6 +303,18 @@ class RingOutput
         wakeId_ = wake_id;
     }
 
+    /**
+     * Attach this output's fault state and the network's shared
+     * conservation ledger (both owned by the network; null = the
+     * fault-free fast case).
+     */
+    void
+    setFaultState(RingSideFaults *faults, FaultAccounting *acct)
+    {
+        faults_ = faults;
+        acct_ = acct;
+    }
+
     bool downstreamAccepts() const { return *acceptFlag_; }
     bool inWorm() const { return inWorm_; }
     PacketId wormPacket() const { return wormPkt_; }
@@ -291,6 +339,10 @@ class RingOutput
     bool
     transmit(FlitSource *ring, FlitSource *queue_a, FlitSource *queue_b)
     {
+        if (faults_ && (faults_->down != 0 || faults_->killing)) {
+            faultCycle(ring, queue_a, queue_b);
+            return false;
+        }
         // A worm from a PM or inter-ring queue enters the ring here.
         // Bubble flow control keeps one free max-packet slot so the
         // ring always rotates; the phase gate additionally reserves a
@@ -355,7 +407,9 @@ class RingOutput
             // released one by one as its flits leave the ring.
             occupancy_->add(source->peek()->sizeFlits);
         }
-        const Flit flit = source->consume();
+        Flit flit = source->consume();
+        if (faults_)
+            stampPoison(flit);
         downstream_->staged = flit;
         if (wakeSet_)
             wakeSet_->add(wakeId_); // wake a sleeping neighbor
@@ -394,6 +448,12 @@ class RingOutput
     bool
     transmitFast(RingSrc *ring, QA *queue_a, QB *queue_b)
     {
+        if (faults_ && (faults_->down != 0 || faults_->killing)) {
+            // Cold path, shared with transmit(): fast and legacy
+            // transmits stay bit-identical under faults for free.
+            faultCycle(ring, queue_a, queue_b);
+            return false;
+        }
         const auto admissible = [this](const auto *src) {
             const Flit *head = src->peek();
             if (!head || !head->isHead())
@@ -484,7 +544,9 @@ class RingOutput
             // released one by one as its flits leave the ring.
             occupancy_->add(source->peek()->sizeFlits);
         }
-        const Flit flit = source->consume();
+        Flit flit = source->consume();
+        if (faults_)
+            stampPoison(flit);
         downstream_->staged = flit;
         if (wakeSet_)
             wakeSet_->add(wakeId_); // wake a sleeping neighbor
@@ -504,6 +566,139 @@ class RingOutput
         }
         return true;
     }
+    /**
+     * One cycle of a dead output link (cold path, fault runs only).
+     * Starts a kill when a worm is caught by the fault — mid-flight
+     * (its head is downstream, so the fragment must be terminated)
+     * or whole at a worm boundary (ring transit cannot route around
+     * a dead ring link, so the worm drains into it) — and advances
+     * an in-progress drain by one flit. Queue worms waiting to enter
+     * the ring are simply not admitted while the link is down.
+     */
+    void
+    faultCycle(FlitSource *ring, FlitSource *queue_a,
+               FlitSource *queue_b)
+    {
+        RingSideFaults &f = *faults_;
+        if (!f.killing) {
+            if (f.down == 0)
+                return; // kill finished, link back up: normal next cycle
+            if (inWorm_) {
+                // Mid-worm: leading flits are already downstream, so
+                // the drain owes them a terminator token.
+                f.killing = true;
+                f.tokenSent = false;
+                f.releaseOnDrop = false;
+                f.victim = wormSrc_;
+                if (acct_)
+                    ++acct_->droppedWorms;
+            } else if (ring && ring->peek()) {
+                // Worm boundary: the transit worm dies whole. No
+                // token (nothing crossed), so its drops release
+                // their own occupancy shares.
+                HRSIM_ASSERT(ring->peek()->isHead());
+                f.killing = true;
+                f.tokenSent = false;
+                f.releaseOnDrop = true;
+                f.victim = RingSource::RingTransit;
+                if (acct_)
+                    ++acct_->droppedWorms;
+            } else {
+                return; // dead link, nothing to drain
+            }
+        }
+        killStep(sourceFor(f.victim, ring, queue_a, queue_b));
+    }
+
+    /**
+     * Drain one flit of the condemned worm per cycle — exactly the
+     * rate of a live link — so upstream credits keep flowing and the
+     * ring behind the fault never wedges.
+     */
+    void
+    killStep(FlitSource *source)
+    {
+        RingSideFaults &f = *faults_;
+        const Flit *next = source->peek();
+        if (!next)
+            return; // starved: the rest of the worm is still upstream
+        if (inWorm_)
+            HRSIM_ASSERT(next->packet == wormPkt_);
+        if (!f.releaseOnDrop && !f.tokenSent) {
+            // Terminate the downstream fragment: hand it one
+            // poisoned tail flit (the link-level error token of the
+            // dead link) so every node ahead unbinds normally and
+            // the fragment drains to its destination NIC, where the
+            // poison suppresses delivery. The token carries the
+            // occupancy debt of the flits that died (ttl), released
+            // wherever it leaves a ring.
+            if (!downstreamAccepts())
+                return; // wait for latch space; flits queue behind
+            HRSIM_ASSERT(!downstream_->staged);
+            const bool was_tail = next->isTail();
+            Flit token = *next;
+            token.ttl = static_cast<std::uint16_t>(
+                token.sizeFlits - 1 - token.index + token.ttl);
+            token.index = token.sizeFlits - 1;
+            token.poisoned = true;
+            source->consume();
+            downstream_->staged = token;
+            if (wakeSet_)
+                wakeSet_->add(wakeId_);
+            f.tokenSent = true;
+            if (was_tail)
+                finishKill();
+            return;
+        }
+        const Flit flit = source->consume();
+        if (acct_)
+            ++acct_->droppedFlits;
+        if (f.releaseOnDrop) {
+            // The flit leaves the ring into the fault; 1 + ttl in
+            // case the victim is itself a truncated fragment whose
+            // token carries debt.
+            occupancy_->add(-1 - static_cast<std::int64_t>(flit.ttl));
+        }
+        if (flit.isTail())
+            finishKill();
+    }
+
+    void
+    finishKill()
+    {
+        faults_->killing = false;
+        faults_->tokenSent = false;
+        faults_->releaseOnDrop = false;
+        faults_->victim = RingSource::None;
+        // A half-stamped corrupt worm died; don't poison the next one.
+        faults_->poisoning = false;
+        inWorm_ = false;
+        wormSrc_ = RingSource::None;
+        wormPkt_ = 0;
+    }
+
+    /**
+     * Corrupt fault: a header crossing the bad link poisons its
+     * whole worm (sticky past the window and past any nested window
+     * boundary — the header is what's broken). Poisoned worms travel
+     * normally and are dropped, not delivered, at their destination.
+     */
+    void
+    stampPoison(Flit &flit)
+    {
+        RingSideFaults &f = *faults_;
+        if (flit.isHead() && f.corrupt != 0) {
+            f.poisoning = true;
+            if (acct_)
+                ++acct_->poisonedWorms;
+        }
+        if (f.poisoning) {
+            flit.poisoned = true;
+            if (flit.isTail())
+                f.poisoning = false;
+        }
+    }
+
     FlitSource *
     sourceFor(RingSource kind, FlitSource *ring, FlitSource *queue_a,
               FlitSource *queue_b) const
@@ -538,6 +733,10 @@ class RingOutput
     bool inWorm_ = false;
     RingSource wormSrc_ = RingSource::None;
     PacketId wormPkt_ = 0;
+
+    /** Fault state + ledger; null (the fast case) without a plan. */
+    RingSideFaults *faults_ = nullptr;
+    FaultAccounting *acct_ = nullptr;
 };
 
 /** One attachment point of a node on a ring. */

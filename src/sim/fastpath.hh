@@ -7,9 +7,10 @@
  * from. Setting HRSIM_NO_FASTPATH (any value but "" or "0") selects
  * the legacy code everywhere, exactly like HRSIM_FORCE_FULL_SCAN does
  * for the active-set scheduler, so the two can be regression-checked
- * against each other — the bit-identity grid in test_active_set.cc
- * runs every config under both settings and requires byte-identical
- * results (see DESIGN.md section 12 for the invariants).
+ * against each other — the bit-identity grids in test_active_set.cc
+ * (fault-free configs) and test_fault.cc (scheduled fault plans) run
+ * every config under both settings and require byte-identical
+ * results (see DESIGN.md sections 12 and 13 for the invariants).
  *
  * The flag is read at System/network construction, never on the hot
  * path; a run is entirely fast-path or entirely legacy.

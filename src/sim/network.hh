@@ -19,6 +19,7 @@
 
 #include <functional>
 
+#include "common/log.hh"
 #include "common/types.hh"
 #include "obs/flit_trace.hh"
 #include "proto/packet.hh"
@@ -28,6 +29,9 @@ namespace hrsim
 {
 
 class MetricRegistry;
+struct FaultAccounting;
+struct FaultEvent;
+struct FaultTarget;
 
 class Network
 {
@@ -101,6 +105,47 @@ class Network
     registerMetrics(MetricRegistry &registry) const
     {
         (void)registry;
+    }
+
+    /**
+     * Does this network have the component @a target names? Used to
+     * validate a fault plan against the topology at System build
+     * time. The default (no fault support) rejects every target —
+     * plans against such a network fail fast instead of silently
+     * doing nothing.
+     */
+    virtual bool
+    faultTargetValid(const FaultTarget &target) const
+    {
+        (void)target;
+        return false;
+    }
+
+    /**
+     * Apply (@a active) or lift one scheduled fault. Called by the
+     * FaultController at the event's start and end cycles, before
+     * the cycle is evaluated. Overlapping windows on one target
+     * nest: implementations count applications per target rather
+     * than setting booleans. Only reachable after faultTargetValid()
+     * accepted the target, so the default is unreachable.
+     */
+    virtual void
+    applyFault(const FaultEvent &event, bool active)
+    {
+        (void)event;
+        (void)active;
+        HRSIM_PANIC("network has no fault support");
+    }
+
+    /**
+     * Share the conservation ledger (injected/delivered/dropped
+     * flits). Non-null only when a fault plan is active; networks
+     * skip all fault accounting when unset, keeping fault-free runs
+     * byte-identical to a tree without the subsystem.
+     */
+    virtual void setFaultAccounting(FaultAccounting *acct)
+    {
+        (void)acct;
     }
 
     /** Attach (or detach, with nullptr) the flit event tracer. */

@@ -36,6 +36,13 @@
  * identity, no sweep scheduling enters the decision sequence, so an
  * adaptive run stops at the same cycle with the same stop reason
  * under --jobs 1, --jobs N, and across reruns.
+ *
+ * Under a fault plan (DESIGN.md section 13) the controller only ever
+ * sees survivors: dropped and abandoned transactions contribute no
+ * latency sample, so the rule converges on the survivors' estimate —
+ * hrsim_cli warns about the combination, and degradation studies
+ * should prefer the fixed-length protocol plus the drop.* / retry.*
+ * counters.
  */
 
 #ifndef HRSIM_STATS_RUN_CONTROLLER_HH

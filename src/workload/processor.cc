@@ -58,29 +58,110 @@ Processor::tryIssue(const PendingMiss &miss, Cycle now)
     network_.inject(pm_, pkt);
     ++outstanding_;
     ++counters_.remoteIssued;
+    if (retry_) {
+        RemoteTxn txn;
+        txn.target = miss.target;
+        txn.isRead = miss.isRead;
+        txn.issueCycle = now;
+        txn.deadline = now + retry_->timeoutCycles;
+        txn.ids.reserve(retry_->maxRetries + 1);
+        txn.ids.push_back(pkt.id);
+        txns_.push_back(std::move(txn));
+    }
     return true;
+}
+
+void
+Processor::setRetryPolicy(const RetryPolicy *policy,
+                          RetryCounters *counters)
+{
+    HRSIM_ASSERT((policy == nullptr) == (counters == nullptr));
+    retry_ = policy;
+    retryCounters_ = counters;
+    if (retry_) {
+        txns_.reserve(
+            static_cast<std::size_t>(std::max(cfg_.outstandingT, 1)));
+    }
+}
+
+Cycle
+Processor::nextDeadline() const
+{
+    Cycle deadline = neverWake;
+    for (const RemoteTxn &txn : txns_)
+        deadline = std::min(deadline, txn.deadline);
+    return deadline;
+}
+
+void
+Processor::processTimeouts(Cycle now)
+{
+    for (std::size_t i = 0; i < txns_.size();) {
+        RemoteTxn &txn = txns_[i];
+        if (txn.deadline > now) {
+            ++i;
+            continue;
+        }
+        if (txn.retries >= retry_->maxRetries) {
+            // Give up: free the slot so the workload keeps running on
+            // the surviving fabric. A response that still shows up is
+            // counted stale in onResponse().
+            HRSIM_ASSERT(outstanding_ > 0);
+            --outstanding_;
+            ++retryCounters_->abandoned;
+            txns_[i] = std::move(txns_.back());
+            txns_.pop_back();
+            continue;
+        }
+        // Reissue under a fresh packet id but the original issue
+        // cycle, so a latency sample from a late success spans the
+        // whole outage. A full NIC queue just leaves the deadline in
+        // the past: the retry re-runs every tick until it fits.
+        const Packet pkt = factory_.makeRequest(
+            pm_, txn.target, txn.isRead, txn.issueCycle);
+        if (network_.canInject(pm_, pkt)) {
+            network_.inject(pm_, pkt);
+            ++txn.retries;
+            txn.deadline = now + retry_->timeoutCycles;
+            txn.ids.push_back(pkt.id);
+            ++retryCounters_->reissued;
+        }
+        ++i;
+    }
 }
 
 Cycle
 Processor::nextWake(Cycle now) const
 {
+    Cycle wake;
     if (stalled_) {
         if (outstanding_ >= cfg_.outstandingT) {
             // Saturated: tryIssue fails on the outstanding check
             // alone until a completion frees a slot. Local
             // completions are timed; remote ones re-arm us via the
             // delivery path.
-            return localDue_.empty() ? neverWake : localDue_.front();
+            wake = localDue_.empty() ? neverWake : localDue_.front();
+        } else {
+            // Blocked on a full NIC queue: retry every cycle.
+            return now + 1;
         }
-        // Blocked on a full NIC queue: retry every cycle.
-        return now + 1;
+    } else {
+        // Unblocked: nothing happens until the pre-drawn next miss or
+        // the next local completion (whichever comes first). Skipped
+        // cycles are pure no-ops — their failing miss draws are
+        // already consumed.
+        wake = nextMissAt_;
+        if (!localDue_.empty() && localDue_.front() < wake)
+            wake = localDue_.front();
     }
-    // Unblocked: nothing happens until the pre-drawn next miss or the
-    // next local completion (whichever comes first). Skipped cycles
-    // are pure no-ops — their failing miss draws are already consumed.
-    Cycle wake = nextMissAt_;
-    if (!localDue_.empty() && localDue_.front() < wake)
-        wake = localDue_.front();
+    if (retry_ && !txns_.empty()) {
+        // The retry engine must run at the earliest deadline even
+        // when the generator is asleep — an expired deadline (a
+        // reissue still waiting out a full NIC queue) re-arms every
+        // cycle.
+        const Cycle deadline = nextDeadline();
+        wake = std::min(wake, std::max(deadline, now + 1));
+    }
     return wake;
 }
 
@@ -111,6 +192,11 @@ Processor::tick(Cycle now)
         --outstanding_;
         ++counters_.localCompleted;
     }
+
+    // Reissue/abandon before the stalled-issue retry below: an
+    // abandonment can free the slot the stalled miss is waiting for.
+    if (retry_ && !txns_.empty())
+        processTimeouts(now);
 
     if (stalled_) {
         ++counters_.blockedCycles;
@@ -147,6 +233,29 @@ Processor::onResponse(const Packet &pkt, Cycle now)
 {
     HRSIM_ASSERT(!isRequest(pkt.type));
     HRSIM_ASSERT(pkt.dst == pm_);
+    if (retry_) {
+        // Match against every id the transaction ever issued: after a
+        // timeout both the original response and the reissue's answer
+        // are in flight, and whichever lands first completes it. The
+        // loser — or a response to an abandoned transaction — is
+        // stale and must not touch the outstanding count.
+        std::size_t match = txns_.size();
+        for (std::size_t i = 0; i < txns_.size() && match == txns_.size();
+             ++i) {
+            for (const PacketId id : txns_[i].ids) {
+                if (id == pkt.reqId) {
+                    match = i;
+                    break;
+                }
+            }
+        }
+        if (match == txns_.size()) {
+            ++retryCounters_->stale;
+            return;
+        }
+        txns_[match] = std::move(txns_.back());
+        txns_.pop_back();
+    }
     HRSIM_ASSERT(outstanding_ > 0);
     --outstanding_;
     ++counters_.remoteCompleted;

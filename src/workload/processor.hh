@@ -16,6 +16,19 @@
  * memory latency. Only remote misses contribute to the round-trip
  * latency statistic, measured from issue (entry into the NIC output
  * queue) to receipt of the response's tail flit.
+ *
+ * Under a fault plan (setRetryPolicy) the processor additionally
+ * keeps a pending-transaction table for its remote misses: a
+ * transaction unanswered for timeoutCycles is reissued as a fresh
+ * request packet (same target, same original issue cycle, so the
+ * latency sample still measures the full outage), and abandoned —
+ * its outstanding slot freed — once maxRetries reissues have gone
+ * unanswered. Responses are matched through Packet::reqId against
+ * every id the transaction ever issued (the original answer may
+ * arrive after a timeout-triggered reissue; either completes it);
+ * responses matching no live transaction are counted stale and
+ * dropped. Without a policy none of this state exists and the issue
+ * path is byte-identical to a build without the fault subsystem.
  */
 
 #ifndef HRSIM_WORKLOAD_PROCESSOR_HH
@@ -27,6 +40,7 @@
 #include "common/ring_deque.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "fault/fault_plan.hh"
 #include "proto/packet.hh"
 #include "proto/packet_factory.hh"
 #include "sim/network.hh"
@@ -101,6 +115,13 @@ class Processor : public TrafficSource
     int outstanding() const override { return outstanding_; }
     bool blocked() const override { return stalled_; }
 
+    /** Arm the timeout/reissue engine (see the file comment). */
+    void setRetryPolicy(const RetryPolicy *policy,
+                        RetryCounters *counters) override;
+
+    /** Remote transactions currently in the retry table (tests). */
+    std::size_t pendingRetries() const { return txns_.size(); }
+
   private:
     struct PendingMiss
     {
@@ -108,8 +129,29 @@ class Processor : public TrafficSource
         bool isRead;
     };
 
+    /**
+     * One remote transaction tracked by the retry engine. `ids`
+     * holds every request id issued for it — original first — since
+     * any of them may still draw the matching response.
+     */
+    struct RemoteTxn
+    {
+        NodeId target;
+        bool isRead;
+        std::uint32_t retries = 0;
+        Cycle issueCycle;         //!< original issue (latency base)
+        Cycle deadline;           //!< reissue/abandon at this cycle
+        std::vector<PacketId> ids;
+    };
+
     /** Try to issue @a miss; true on success. */
     bool tryIssue(const PendingMiss &miss, Cycle now);
+
+    /** Reissue or abandon every transaction past its deadline. */
+    void processTimeouts(Cycle now);
+
+    /** Earliest retry deadline, or neverWake with none pending. */
+    Cycle nextDeadline() const;
 
     /**
      * Pre-draw the Bernoulli(C) miss sequence starting at cycle
@@ -141,6 +183,13 @@ class Processor : public TrafficSource
 
     /** Completion times of in-flight local accesses (sorted). */
     RingDeque<Cycle> localDue_;
+
+    // Retry engine (active only under a fault plan; see the file
+    // comment). retry_ == nullptr is the fast, byte-identical case.
+    const RetryPolicy *retry_ = nullptr;
+    RetryCounters *retryCounters_ = nullptr;
+    /** Live remote transactions, at most outstandingT of them. */
+    std::vector<RemoteTxn> txns_;
 };
 
 } // namespace hrsim

@@ -17,6 +17,9 @@
 namespace hrsim
 {
 
+struct RetryPolicy;
+struct RetryCounters;
+
 class TrafficSource
 {
   public:
@@ -63,6 +66,23 @@ class TrafficSource
 
     /** Also record remote latencies into @a histogram (optional). */
     virtual void setHistogram(Histogram *histogram) = 0;
+
+    /**
+     * Arm the graceful-degradation retry engine (fault runs only):
+     * unanswered remote requests are reissued after
+     * policy->timeoutCycles and abandoned — the outstanding slot
+     * freed — after policy->maxRetries reissues. Both pointers must
+     * outlive the source. The default is a no-op: trace replay has no
+     * generator to re-drive, so TraceProcessor transactions lost to a
+     * fault simply stay outstanding (and trip the watchdog, which is
+     * the right diagnostic for a replayed workload).
+     */
+    virtual void
+    setRetryPolicy(const RetryPolicy *policy, RetryCounters *counters)
+    {
+        (void)policy;
+        (void)counters;
+    }
 };
 
 } // namespace hrsim
