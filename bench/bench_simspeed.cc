@@ -195,6 +195,11 @@ main(int argc, char **argv)
                                 hrsim::buildType());
     benchmark::AddCustomContext("hrsim_git",
                                 hrsim::buildGitDescribe());
+    // Configured compiler flags: two Release baselines taken with
+    // different -march/-O levels are not comparable, and without
+    // this record the JSON cannot say so.
+    benchmark::AddCustomContext("hrsim_build_flags",
+                                hrsim::buildCxxFlags());
     const char *jobs_env = std::getenv("HRSIM_JOBS");
     benchmark::AddCustomContext(
         "hrsim_jobs",
@@ -209,6 +214,10 @@ main(int argc, char **argv)
     benchmark::AddCustomContext(
         "hrsim_no_fastpath",
         no_fast != nullptr && no_fast[0] != '\0' ? no_fast : "0");
+    const char *no_col = std::getenv("HRSIM_NO_COLUMNAR");
+    benchmark::AddCustomContext(
+        "hrsim_no_columnar",
+        no_col != nullptr && no_col[0] != '\0' ? no_col : "0");
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

@@ -148,8 +148,22 @@ writeJson(const std::string &path, const std::vector<Row> &rows)
 
     out << "{\n  \"context\": {\n";
     out << "    \"date\": \"" << date << "\",\n";
-    out << "    \"num_cpus\": "
-        << std::thread::hardware_concurrency() << ",\n";
+    // hardware_concurrency() is allowed to return 0 when the count
+    // is unknowable; report at least 1 so downstream tooling never
+    // divides by the CPU count of a machine that claims to have none.
+    const unsigned cpus = std::thread::hardware_concurrency();
+    out << "    \"num_cpus\": " << (cpus != 0 ? cpus : 1u) << ",\n";
+    // Compiler identification, so baselines taken on different
+    // toolchains are distinguishable in the artifact itself.
+#if defined(__clang__)
+    out << "    \"compiler\": \"clang " << __clang_major__ << '.'
+        << __clang_minor__ << '.' << __clang_patchlevel__ << "\",\n";
+#elif defined(__GNUC__)
+    out << "    \"compiler\": \"gcc " << __GNUC__ << '.'
+        << __GNUC_MINOR__ << '.' << __GNUC_PATCHLEVEL__ << "\",\n";
+#else
+    out << "    \"compiler\": \"unknown\",\n";
+#endif
     // The harness is compiled with the benchmarks themselves, so the
     // build type of "the library" is simply this translation unit's.
 #ifdef NDEBUG

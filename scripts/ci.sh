@@ -33,11 +33,18 @@ src=$(cd "$(dirname "$0")/.." && pwd)
 
 # Tests worth re-running under the sanitizers: everything that
 # exercises threads, the adaptive controller, or raw-index storage.
-SANITIZED_FILTER='Sweep|AdaptiveSystem|RunController|ActiveSet|RingDeque|StagedFifo|BatchMeans|TQuantile|Mser|Fault'
+# LayoutSmoke/StablePool cover the columnar bitmap scans and the
+# placement-new pool — raw masks and lifetimes, ASan/TSan territory.
+SANITIZED_FILTER='Sweep|AdaptiveSystem|RunController|ActiveSet|RingDeque|StagedFifo|BatchMeans|TQuantile|Mser|Fault|LayoutSmoke|StablePool'
 
 run_release() {
     cmake -B "$src/build-ci" -S "$src" -DCMAKE_BUILD_TYPE=Release
     cmake --build "$src/build-ci" -j "$jobs"
+    # Fail fast on the columnar layout invariants before the full
+    # suite: a broken bitmap scan fails hundreds of downstream tests
+    # with less useful diagnostics.
+    ctest --test-dir "$src/build-ci" -R '^layout_smoke$' \
+        --output-on-failure
     ctest --test-dir "$src/build-ci" -j 2 --output-on-failure
 }
 

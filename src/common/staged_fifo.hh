@@ -47,6 +47,7 @@
 
 #include <array>
 #include <cstddef>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -268,6 +269,281 @@ class StagedFifo
     T *ext_ = nullptr; //!< beyond-inline storage (heap_ or external)
     std::vector<T> heap_; //!< owned storage when none was provided
     std::array<T, inlineCapacity> inline_{};
+};
+
+/**
+ * The hot cursor block of one ColumnFifo: the six per-cycle counters
+ * of the staged-FIFO discipline, extracted into a 24-byte POD so a
+ * network can hold all its queues' cursors in one contiguous column
+ * (see sim/columns.hh). The end-of-cycle commit sweep then walks the
+ * column linearly — e.g. a mesh router's six queues commit from
+ * ~144 contiguous bytes instead of six spans of a ~600-byte object —
+ * and a neighbor's canPush() probe reads the same hot lines.
+ */
+struct FifoState
+{
+    std::uint32_t capacity = 0;
+    std::uint32_t head = 0; //!< oldest visible element
+    std::uint32_t tail = 0; //!< next write position
+    std::uint32_t visible = 0;
+    std::uint32_t staged = 0;
+    std::uint32_t poppedThisCycle = 0;
+
+    /** End-of-cycle commit: publish pushes, recycle popped slots. */
+    void
+    commit()
+    {
+        // Same read-only early-out as StagedFifo::commit(): most
+        // queues saw no traffic this cycle.
+        if ((staged | poppedThisCycle) == 0)
+            return;
+        visible += staged;
+        staged = 0;
+        poppedThisCycle = 0;
+    }
+};
+
+/**
+ * Flat two-pointer handle onto a ColumnFifo's cursor block and
+ * element storage. The per-cycle streaming loops cache one of these
+ * per crossbar output (source queue and peer buffer), so each
+ * streamed flit costs two direct pointer loads instead of chasing
+ * fifo-object -> cursor-block -> field chains. Semantics of every
+ * operation match ColumnFifo exactly (same accounting, same
+ * assertions) — a view is the same queue seen through fewer hops.
+ * Views are invalidated by bindState()/setCapacity() on the
+ * underlying queue; all callers re-cache after column binding.
+ */
+template <typename T>
+struct FifoView
+{
+    FifoState *st = nullptr;
+    T *ext = nullptr;
+
+    bool valid() const { return st != nullptr; }
+    bool empty() const { return st->visible == 0; }
+
+    const T &
+    front() const
+    {
+        HRSIM_ASSERT(st->visible > 0);
+        return ext[st->head];
+    }
+
+    // dropFront()/pushFrom() are const: they mutate the pointed-to
+    // queue, not the view, so a by-value view copy can stream.
+    void
+    dropFront() const
+    {
+        HRSIM_ASSERT(st->visible > 0);
+        st->head = st->head + 1 == st->capacity ? 0 : st->head + 1;
+        --st->visible;
+        ++st->poppedThisCycle;
+    }
+
+    bool
+    canPush() const
+    {
+        return st->visible + st->poppedThisCycle + st->staged <
+               st->capacity;
+    }
+
+    void
+    pushFrom(const T &value) const
+    {
+        HRSIM_ASSERT(canPush());
+        ext[st->tail] = value;
+        st->tail = st->tail + 1 == st->capacity ? 0 : st->tail + 1;
+        ++st->staged;
+    }
+
+    std::size_t totalSize() const { return st->visible + st->staged; }
+};
+
+/**
+ * StagedFifo variant whose cursor block can be hoisted into a
+ * network-owned FifoState column. Semantics are identical to
+ * StagedFifo (same propose/commit discipline, same accounting, same
+ * assertions); the cursors default to a heap-allocated block (the
+ * HRSIM_NO_COLUMNAR oracle layout) until bindState() repoints them.
+ * Element storage is never inline: columnar users (the mesh router)
+ * already place elements in a caller arena, and keeping the payload
+ * out of the object is what lets the commit sweep touch columns only.
+ * The shell itself is deliberately slim — two hot pointers plus two
+ * cold owners, 32 bytes — so six of them don't spread a router's
+ * other hot fields across extra cache lines the way an in-object
+ * cursor block would (measured: that bloat cost more than the whole
+ * columnar win on the saturated mesh).
+ */
+template <typename T>
+class ColumnFifo
+{
+  public:
+    explicit ColumnFifo(std::size_t capacity = 0)
+        : ownSt_(new FifoState), st_(ownSt_.get())
+    {
+        setCapacity(capacity);
+    }
+
+    // Non-copyable/non-movable: ext_ may alias heap_'s buffer or a
+    // caller arena, and st_ may point into a network column.
+    ColumnFifo(const ColumnFifo &) = delete;
+    ColumnFifo &operator=(const ColumnFifo &) = delete;
+    ColumnFifo(ColumnFifo &&) = delete;
+    ColumnFifo &operator=(ColumnFifo &&) = delete;
+
+    /**
+     * Hoist the cursor block into @a state (a network column slot):
+     * current values move over, then every operation reads and
+     * writes the new storage. Call once at setup, before traffic.
+     */
+    void
+    bindState(FifoState *state)
+    {
+        *state = *st_;
+        st_ = state;
+        ownSt_.reset(); // cursors live in the column from here on
+    }
+
+    /** Change the capacity; only legal on an empty queue. */
+    void
+    setCapacity(std::size_t capacity)
+    {
+        HRSIM_ASSERT(st_->visible == 0 && st_->staged == 0);
+        st_->capacity = static_cast<std::uint32_t>(capacity);
+        ownBuf_.reset(capacity != 0 ? new T[capacity] : nullptr);
+        ext_ = ownBuf_.get();
+        st_->head = 0;
+        st_->tail = 0;
+        st_->poppedThisCycle = 0;
+    }
+
+    /** Like setCapacity(), but with caller-provided element storage
+     *  (see StagedFifo::setCapacity(capacity, T*)). */
+    void
+    setCapacity(std::size_t capacity, T *storage)
+    {
+        HRSIM_ASSERT(st_->visible == 0 && st_->staged == 0);
+        HRSIM_ASSERT(storage != nullptr);
+        st_->capacity = static_cast<std::uint32_t>(capacity);
+        ownBuf_.reset();
+        ext_ = storage;
+        st_->head = 0;
+        st_->tail = 0;
+        st_->poppedThisCycle = 0;
+    }
+
+    std::size_t capacity() const { return st_->capacity; }
+
+    /** Elements visible to the consumer this cycle. */
+    std::size_t size() const { return st_->visible; }
+
+    bool empty() const { return st_->visible == 0; }
+
+    /** Producer-visible occupancy (see StagedFifo). */
+    std::size_t
+    producerOccupancy() const
+    {
+        return st_->visible + st_->poppedThisCycle + st_->staged;
+    }
+
+    /** May a producer stage an element this cycle? */
+    bool
+    canPush() const
+    {
+        return producerOccupancy() < st_->capacity;
+    }
+
+    /** Free producer slots remaining this cycle. */
+    std::size_t
+    producerSpace() const
+    {
+        const std::size_t occ = producerOccupancy();
+        return occ >= st_->capacity ? 0 : st_->capacity - occ;
+    }
+
+    /** Stage an element; visible to the consumer after commit(). */
+    void
+    push(T value)
+    {
+        HRSIM_ASSERT(canPush());
+        ext_[st_->tail] = std::move(value);
+        st_->tail = advance(st_->tail);
+        ++st_->staged;
+    }
+
+    /** Stage a copy of @a value (see StagedFifo::pushFrom). */
+    void
+    pushFrom(const T &value)
+    {
+        HRSIM_ASSERT(canPush());
+        ext_[st_->tail] = value;
+        st_->tail = advance(st_->tail);
+        ++st_->staged;
+    }
+
+    /** Oldest visible element. Queue must be non-empty. */
+    const T &
+    front() const
+    {
+        HRSIM_ASSERT(st_->visible > 0);
+        return ext_[st_->head];
+    }
+
+    /** Remove the oldest visible element without returning it. */
+    void
+    dropFront()
+    {
+        HRSIM_ASSERT(st_->visible > 0);
+        st_->head = advance(st_->head);
+        --st_->visible;
+        ++st_->poppedThisCycle;
+    }
+
+    /** Remove and return the oldest visible element. */
+    T
+    pop()
+    {
+        HRSIM_ASSERT(st_->visible > 0);
+        T value = std::move(ext_[st_->head]);
+        st_->head = advance(st_->head);
+        --st_->visible;
+        ++st_->poppedThisCycle;
+        return value;
+    }
+
+    /** End-of-cycle commit: publish pushes, recycle popped slots. */
+    void commit() { st_->commit(); }
+
+    /** Discard all contents (visible and staged). */
+    void
+    clear()
+    {
+        st_->head = 0;
+        st_->tail = 0;
+        st_->visible = 0;
+        st_->staged = 0;
+        st_->poppedThisCycle = 0;
+    }
+
+    /** Total elements in the queue including staged ones. */
+    std::size_t totalSize() const { return st_->visible + st_->staged; }
+
+    /** Flat handle onto this queue (see FifoView). Re-acquire after
+     *  bindState() or setCapacity(). */
+    FifoView<T> view() { return FifoView<T>{st_, ext_}; }
+
+  private:
+    std::uint32_t
+    advance(std::uint32_t index) const
+    {
+        return index + 1 == st_->capacity ? 0 : index + 1;
+    }
+
+    std::unique_ptr<FifoState> ownSt_; //!< oracle cursor storage
+    FifoState *st_;                    //!< live cursor block
+    T *ext_ = nullptr;          //!< element storage (owned or arena)
+    std::unique_ptr<T[]> ownBuf_; //!< owned storage when none given
 };
 
 } // namespace hrsim

@@ -6,6 +6,7 @@
 #include "common/log.hh"
 #include "mesh/mesh_network.hh"
 #include "ring/slotted_network.hh"
+#include "sim/columns.hh"
 #include "sim/fastpath.hh"
 #include "workload/region.hh"
 
@@ -121,6 +122,13 @@ System::System(const SystemConfig &cfg)
         force != nullptr && force[0] != '\0' &&
         !(force[0] == '0' && force[1] == '\0');
     activeSched_ = cfg_.sim.idleSkip && !full_scan;
+
+    // The columnar tick engine has its own oracle switch
+    // (HRSIM_NO_COLUMNAR, read once here); see src/sim/columns.hh.
+    // Must precede setActiveScheduling() so its wake seeding lands
+    // in the columnar bitmap mask rather than the legacy ActiveSet.
+    network_->setColumnar(columnarEnabled());
+
     network_->setActiveScheduling(activeSched_);
 
     // The worm-streaming fast path has its own oracle switch

@@ -74,6 +74,11 @@ MeshNetwork::MeshNetwork(const Params &params)
                 wire(PortNorth, x, y - 1);
         }
     }
+    // Every group and link is registered now, so the tracker's
+    // counter pointers are stable — cache them (and the peer views)
+    // in each output port for the per-hop fast path.
+    for (auto &router : routers_)
+        router.refreshViews();
 }
 
 int
@@ -98,7 +103,7 @@ MeshNetwork::inject(NodeId pm, const Packet &pkt)
         fatal("MeshNetwork: meshes have no broadcast; send unicasts");
     routers_[static_cast<std::size_t>(pm)].inject(pkt);
     routers_[static_cast<std::size_t>(pm)].poke();
-    active_.add(static_cast<std::uint32_t>(pm));
+    wakeRouter(static_cast<std::uint32_t>(pm));
     if (acct_)
         acct_->injectedFlits += pkt.sizeFlits;
     HRSIM_TRACE_FLIT(tracer_, FlitEvent::Inject, pkt.id, pm,
@@ -113,8 +118,22 @@ MeshNetwork::tick(Cycle now)
     if (!activeSched_) {
         for (auto &router : routers_)
             router.evaluate(now);
-        for (auto &router : routers_)
-            router.commit();
+        if (columnar_) {
+            // Router commits are exactly six FIFO-state commits each
+            // (flags carry no commit step), so with every cursor
+            // hoisted into fifoCol_ the per-router commit loop
+            // collapses into one linear sweep over the column.
+            for (FifoState &state : fifoCol_)
+                state.commit();
+        } else {
+            for (auto &router : routers_)
+                router.commit();
+        }
+        return;
+    }
+
+    if (columnar_) {
+        tickColumnar(now);
         return;
     }
 
@@ -169,6 +188,42 @@ MeshNetwork::tick(Cycle now)
 }
 
 void
+MeshNetwork::tickColumnar(Cycle now)
+{
+    // Same scheduler as tickActive above, restated over the bitmap
+    // mask and flat FIFO columns. Bit-identity with the legacy path
+    // (DESIGN.md section 14): the mask's forEach visits live ids in
+    // ascending order; a router woken mid-pass and visited in the
+    // same pass was asleep, so its evaluate provably changes nothing
+    // (neighbor occupancy is invariant until the commits below), and
+    // visiting it now instead of next cycle is a no-op either way.
+    if (activeMask_.size() * 4 >= routers_.size() * 3) {
+        for (MeshRouter &router : routers_)
+            router.evaluate(now);
+        // Amortized sleep sweep, as in tick(): most saturated ticks
+        // commit everything via a linear cursor sweep (a clean FIFO's
+        // commit is a no-op) and skip the retain.
+        if (++satTicks_ % 16 != 0) {
+            for (FifoState &state : fifoCol_)
+                state.commit();
+            return;
+        }
+    } else {
+        activeMask_.forEach([this, now](std::uint32_t id) {
+            routers_[id].evaluate(now);
+        });
+    }
+    activeMask_.retain([this](std::uint32_t id) {
+        FifoState *states = &fifoCol_[static_cast<std::size_t>(id) * 6];
+        for (int q = 0; q < 6; ++q)
+            states[q].commit();
+        return routers_[id].sweepKeep();
+    });
+    if (activeMask_.empty())
+        HRSIM_ASSERT(flitsInFlight() == 0);
+}
+
+void
 MeshNetwork::setActiveScheduling(bool enabled)
 {
     activeSched_ = enabled;
@@ -177,9 +232,36 @@ MeshNetwork::setActiveScheduling(bool enabled)
     for (std::size_t id = 0; id < routers_.size(); ++id) {
         if (routers_[id].flitCount() != 0) {
             routers_[id].poke();
-            active_.add(static_cast<std::uint32_t>(id));
+            wakeRouter(static_cast<std::uint32_t>(id));
         }
     }
+}
+
+void
+MeshNetwork::setColumnar(bool enabled)
+{
+    columnar_ = enabled;
+    if (!enabled)
+        return;
+    // Hoist the hot per-cycle state into flat columns: six FIFO
+    // cursor blocks per router (inputs N/E/S/W, then outResp, then
+    // outReq) plus one changed/poked flag pair, both indexed by
+    // router id, and the two-level bitmap that replaces the
+    // ActiveSet. Binding copies current values before repointing, so
+    // the call is sound at any time (System makes it before any
+    // traffic and before setActiveScheduling seeds wakes).
+    fifoCol_.resize(routers_.size() * 6);
+    flagsCol_.resize(routers_.size());
+    activeMask_.reset(routers_.size());
+    for (std::size_t id = 0; id < routers_.size(); ++id) {
+        routers_[id].bindColumns(&fifoCol_[id * 6], &flagsCol_[id]);
+        routers_[id].setWakeMask(&activeMask_);
+    }
+    // Second pass: peer-buffer views cached at connect() point at
+    // the abandoned oracle cursor blocks now — re-cache them against
+    // the column.
+    for (auto &router : routers_)
+        router.refreshViews();
 }
 
 void
@@ -193,15 +275,15 @@ MeshNetwork::setFastPath(bool enabled)
 bool
 MeshNetwork::isIdle() const
 {
-    if (activeSched_)
-        return active_.empty();
-    return flitsInFlight() == 0;
+    if (!activeSched_)
+        return flitsInFlight() == 0;
+    return columnar_ ? activeMask_.empty() : active_.empty();
 }
 
 std::size_t
 MeshNetwork::activeNodeCount() const
 {
-    return active_.size();
+    return columnar_ ? activeMask_.size() : active_.size();
 }
 
 std::uint64_t
@@ -304,7 +386,7 @@ MeshNetwork::applyFault(const FaultEvent &event, bool active)
     // draining (and a stalled router pins itself awake via
     // sweepKeep), deactivation so frozen traffic moves again.
     routers_[id].poke();
-    active_.add(static_cast<std::uint32_t>(id));
+    wakeRouter(static_cast<std::uint32_t>(id));
 }
 
 void

@@ -53,6 +53,7 @@ class MeshNetwork : public Network
     void registerMetrics(MetricRegistry &registry) const override;
     void setActiveScheduling(bool enabled) override;
     void setFastPath(bool enabled) override;
+    void setColumnar(bool enabled) override;
     bool isIdle() const override;
     std::size_t activeNodeCount() const override;
     bool faultTargetValid(const FaultTarget &target) const override;
@@ -98,6 +99,29 @@ class MeshNetwork : public Network
     ActiveSet active_;
     /** Saturated ticks since the last amortized sleep sweep. */
     std::uint32_t satTicks_ = 0;
+
+    // Columnar engine state (setColumnar; see sim/columns.hh): six
+    // FifoState cursor blocks per router at [id * 6] and one
+    // changed/poked flag pair per router, both contiguous, plus the
+    // bitmap active mask replacing active_.
+    bool columnar_ = false;
+    std::vector<FifoState> fifoCol_;
+    std::vector<RouterFlags> flagsCol_;
+    ActiveMask activeMask_;
+
+    /** Active-scheduled tick over the columnar layout. */
+    void tickColumnar(Cycle now);
+
+    /** Wake a router in whichever scheduler structure is live. */
+    void
+    wakeRouter(std::uint32_t id)
+    {
+        if (columnar_)
+            activeMask_.add(id);
+        else
+            active_.add(id);
+    }
+
     /** Per-router fault state; allocated by setFaultAccounting()
      * (i.e. only when a fault plan is active). */
     std::vector<MeshRouterFaults> faultState_;

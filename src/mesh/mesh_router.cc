@@ -56,6 +56,7 @@ MeshRouter::connect(MeshPort out, MeshRouter *neighbor,
     port.neighbor = neighbor;
     port.peerBuf =
         &neighbor->inBuf_[static_cast<std::size_t>(oppositePort(out))];
+    port.peer = port.peerBuf->view();
     port.util = util;
     port.link = link;
     // The facing input on the neighbor is fed by this router: popping
@@ -112,42 +113,6 @@ MeshRouter::peekInput(int in) const
     return nullptr;
 }
 
-void
-MeshRouter::dropInput(int in)
-{
-    if (in != PortLocal) {
-        inBuf_[static_cast<std::size_t>(in)].dropFront();
-        // Credit wake: the freed slot becomes pushable after this
-        // router's commit, so the upstream feeder must be awake next
-        // cycle even if its own evaluate changed nothing.
-        MeshRouter *up = upstream_[static_cast<std::size_t>(in)];
-        HRSIM_ASSERT(up != nullptr);
-        up->poked_ = true;
-        if (wakeSet_)
-            wakeSet_->add(static_cast<std::uint32_t>(up->id_));
-        return;
-    }
-    switch (localSrc_) {
-      case LocalSrc::Resp:
-        outResp_.dropFront();
-        return;
-      case LocalSrc::Req:
-        outReq_.dropFront();
-        return;
-      case LocalSrc::None:
-        // First flit of a new local worm: bind the winning queue.
-        if (!outResp_.empty()) {
-            localSrc_ = LocalSrc::Resp;
-            outResp_.dropFront();
-            return;
-        }
-        localSrc_ = LocalSrc::Req;
-        outReq_.dropFront();
-        return;
-    }
-    HRSIM_PANIC("dropInput: no flit available");
-}
-
 bool
 MeshRouter::quiescent() const
 {
@@ -160,22 +125,6 @@ MeshRouter::quiescent() const
             return false;
     }
     return outResp_.empty() && outReq_.empty();
-}
-
-void
-MeshRouter::evaluate(Cycle now)
-{
-    changed_ = false;
-    // Stall fault: the crossbar core is frozen — no arbitration, no
-    // traversal. Input latches still accept arrivals (staged pushes
-    // commit as usual), so traffic backs up behind the router and
-    // resumes untouched when the window closes.
-    if (faults_ && faults_->stalled)
-        return;
-    if (fastPath_)
-        evaluateFast(now);
-    else
-        evaluateLegacy(now);
 }
 
 void
@@ -237,12 +186,29 @@ MeshRouter::evaluateFast(Cycle now)
     // port just holds its binding, exactly as the legacy traversal
     // loop would.
     PortMask vis = 0;
-    for (int in = 0; in < PortLocal; ++in) {
-        if (!inBuf_[static_cast<std::size_t>(in)].empty())
-            vis |= static_cast<PortMask>(1u << in);
+    if (col_ != nullptr) {
+        // Columnar layout: the six cursor blocks are contiguous, so
+        // the whole visibility scan reads one or two cache lines off
+        // a single base pointer.
+        for (int in = 0; in < PortLocal; ++in) {
+            if (col_[in].visible != 0)
+                vis |= static_cast<PortMask>(1u << in);
+        }
+        const bool local_vis =
+            localSrc_ == LocalSrc::Resp   ? col_[4].visible != 0
+            : localSrc_ == LocalSrc::Req ? col_[5].visible != 0
+                                         : (col_[4].visible |
+                                            col_[5].visible) != 0;
+        if (local_vis)
+            vis |= static_cast<PortMask>(1u << PortLocal);
+    } else {
+        for (int in = 0; in < PortLocal; ++in) {
+            if (!inBuf_[static_cast<std::size_t>(in)].empty())
+                vis |= static_cast<PortMask>(1u << in);
+        }
+        if (peekInput(PortLocal) != nullptr)
+            vis |= static_cast<PortMask>(1u << PortLocal);
     }
-    if (peekInput(PortLocal) != nullptr)
-        vis |= static_cast<PortMask>(1u << PortLocal);
     if (vis == 0)
         return;
 
@@ -299,12 +265,23 @@ MeshRouter::grantOutput(int out, int in)
     boundMask_ |= static_cast<PortMask>(1u << in);
     ownedMask_ |= static_cast<PortMask>(1u << out);
     port.rrPtr = (in + 1) % NumMeshPorts;
-    changed_ = true;
-    if (in == PortLocal && localSrc_ == LocalSrc::None) {
-        // Bind the queue now: a packet arriving in the other queue
-        // before the first flit crosses must not steal the port
-        // (responses only outrank requests at packet boundaries).
-        localSrc_ = outResp_.empty() ? LocalSrc::Req : LocalSrc::Resp;
+    hot_->changed = true;
+    if (in == PortLocal) {
+        if (localSrc_ == LocalSrc::None) {
+            // Bind the queue now: a packet arriving in the other
+            // queue before the first flit crosses must not steal the
+            // port (responses only outrank requests at packet
+            // boundaries).
+            localSrc_ =
+                outResp_.empty() ? LocalSrc::Req : LocalSrc::Resp;
+        }
+        port.src = (localSrc_ == LocalSrc::Resp ? outResp_ : outReq_)
+                       .view();
+        port.srcUpstream = nullptr;
+    } else {
+        port.src = inBuf_[static_cast<std::size_t>(in)].view();
+        port.srcUpstream = upstream_[static_cast<std::size_t>(in)];
+        HRSIM_ASSERT(port.srcUpstream != nullptr);
     }
 }
 
@@ -318,9 +295,10 @@ MeshRouter::traverseOutput(int out, Cycle now)
         killOutput(out);
         return;
     }
-    const Flit *next = peekInput(port.owner);
-    if (!next)
+    const FifoView<Flit> src = port.src;
+    if (src.empty())
         return; // worm starved: hold the port
+    const Flit *next = &src.front();
     HRSIM_ASSERT(next->packet == port.wormPkt);
     bool tail;
     if (out == PortLocal) {
@@ -328,8 +306,10 @@ MeshRouter::traverseOutput(int out, Cycle now)
         // the delivery callback runs after the pop (it may re-enter
         // this router through a synchronous response injection).
         const Flit flit = *next;
-        dropInput(port.owner);
-        changed_ = true;
+        src.dropFront();
+        if (port.srcUpstream)
+            wakeNeighbor(port.srcUpstream);
+        hot_->changed = true;
         streamedFlits_ += static_cast<std::uint64_t>(!flit.isHead());
         tail = flit.isTail();
         if (acct_) {
@@ -344,7 +324,7 @@ MeshRouter::traverseOutput(int out, Cycle now)
             deliver_(packetFromFlit(flit), now);
     } else {
         HRSIM_ASSERT(port.peerBuf != nullptr);
-        if (!port.peerBuf->canPush())
+        if (!port.peer.canPush())
             return; // blocked: flits wait in the input buffer
         bool poison = false;
         if (faults_) {
@@ -369,24 +349,23 @@ MeshRouter::traverseOutput(int out, Cycle now)
         if (poison) {
             Flit copy = *next;
             copy.poisoned = true;
-            port.peerBuf->pushFrom(copy);
+            port.peer.pushFrom(copy);
         } else {
-            port.peerBuf->pushFrom(*next);
+            port.peer.pushFrom(*next);
         }
-        changed_ = true;
-        port.neighbor->poked_ = true; // arrival: stay up next cycle
-        if (wakeSet_)                 // and wake if sleeping
-            wakeSet_->add(
-                static_cast<std::uint32_t>(port.neighbor->id_));
-        if (port.util)
-            port.util->recordTransfer(port.link);
+        hot_->changed = true;
+        wakeNeighbor(port.neighbor);
+        if (port.utilCounter != nullptr && *port.utilMeasuring)
+            ++*port.utilCounter;
         HRSIM_TRACE_FLIT(tracerSlot_ ? *tracerSlot_ : nullptr,
                          FlitEvent::Hop, next->packet, id_,
-                         port.peerBuf->totalSize());
+                         port.peer.totalSize());
         streamedFlits_ +=
             static_cast<std::uint64_t>(!next->isHead());
         tail = next->isTail();
-        dropInput(port.owner);
+        src.dropFront();
+        if (port.srcUpstream)
+            wakeNeighbor(port.srcUpstream);
     }
     if (tail) {
         inputBound_[static_cast<std::size_t>(port.owner)] = -1;
@@ -396,6 +375,8 @@ MeshRouter::traverseOutput(int out, Cycle now)
             localSrc_ = LocalSrc::None;
         port.owner = -1;
         port.wormPkt = 0;
+        port.src = {};
+        port.srcUpstream = nullptr;
     }
 }
 
@@ -405,9 +386,10 @@ MeshRouter::killOutput(int out)
     Output &port = out_[static_cast<std::size_t>(out)];
     if (port.owner == -1)
         return; // nothing bound to the dead link yet
-    const Flit *next = peekInput(port.owner);
-    if (!next)
+    const FifoView<Flit> src = port.src;
+    if (src.empty())
         return; // starved: the rest of the worm is still upstream
+    const Flit *next = &src.front();
     HRSIM_ASSERT(next->packet == port.wormPkt);
     auto &kill = faults_->out[static_cast<std::size_t>(out)];
     if (!kill.killing) {
@@ -430,26 +412,25 @@ MeshRouter::killOutput(int out)
         // every router ahead unbinds normally and the fragment drains
         // to its ejection port, where the poison suppresses delivery.
         HRSIM_ASSERT(port.peerBuf != nullptr);
-        if (!port.peerBuf->canPush())
+        if (!port.peer.canPush())
             return; // wait for space; credit wake re-runs this
         Flit token = *next;
         token.index = token.sizeFlits - 1;
         token.poisoned = true;
-        port.peerBuf->pushFrom(token);
-        port.neighbor->poked_ = true;
-        if (wakeSet_)
-            wakeSet_->add(
-                static_cast<std::uint32_t>(port.neighbor->id_));
+        port.peer.pushFrom(token);
+        wakeNeighbor(port.neighbor);
         kill.terminator = false;
     } else if (acct_) {
         ++acct_->droppedFlits;
     }
     // Drain one flit per cycle, exactly the rate of a live link;
-    // dropInput() frees the upstream slot, so credits flow and the
+    // the drop frees the upstream slot, so credits flow and the
     // fabric behind the fault never wedges.
     const bool tail = next->isTail();
-    dropInput(port.owner);
-    changed_ = true;
+    src.dropFront();
+    if (port.srcUpstream)
+        wakeNeighbor(port.srcUpstream);
+    hot_->changed = true;
     if (tail) {
         inputBound_[static_cast<std::size_t>(port.owner)] = -1;
         boundMask_ &= static_cast<PortMask>(~(1u << port.owner));
@@ -458,6 +439,8 @@ MeshRouter::killOutput(int out)
             localSrc_ = LocalSrc::None;
         port.owner = -1;
         port.wormPkt = 0;
+        port.src = {};
+        port.srcUpstream = nullptr;
         kill.killing = false;
         kill.decided = false;
     }

@@ -26,6 +26,7 @@
 #include "obs/flit_trace.hh"
 #include "proto/packet.hh"
 #include "sim/active_set.hh"
+#include "sim/columns.hh"
 #include "stats/utilization.hh"
 
 namespace hrsim
@@ -46,12 +47,18 @@ enum MeshPort : int
 MeshPort oppositePort(MeshPort port);
 
 /**
- * Router queues skip the StagedFifo small-buffer: six queues per
- * router would grow MeshRouter ~3x, and the per-cycle sweep over all
+ * Router queues skip any inline small-buffer: six queues per router
+ * would grow MeshRouter ~3x, and the per-cycle sweep over all
  * routers is cache-footprint-bound (measured slower inline, both
  * with heap-allocated routers and with the contiguous pool layout).
+ * ColumnFifo additionally lets the network hoist the six cursor
+ * blocks into a contiguous FifoState column (bindColumns), so the
+ * end-of-cycle commit sweep and the neighbors' canPush() probes read
+ * hot columns instead of router objects; unbound (the
+ * HRSIM_NO_COLUMNAR oracle) it is cursor-in-object like the old
+ * StagedFifo<Flit, 0> was.
  */
-using MeshFifo = StagedFifo<Flit, 0>;
+using MeshFifo = ColumnFifo<Flit>;
 
 /**
  * Per-router fault state, allocated by MeshNetwork only while a
@@ -121,8 +128,24 @@ class MeshRouter
                  UtilizationTracker *util,
                  UtilizationTracker::LinkId link);
 
-    /** Route, arbitrate and traverse one cycle. */
-    void evaluate(Cycle now);
+    /** Route, arbitrate and traverse one cycle. Inline so the
+     * scheduler's per-router call jumps straight into the selected
+     * engine instead of through an extra dispatch frame. */
+    void
+    evaluate(Cycle now)
+    {
+        hot_->changed = false;
+        // Stall fault: the crossbar core is frozen — no arbitration,
+        // no traversal. Input latches still accept arrivals (staged
+        // pushes commit as usual), so traffic backs up behind the
+        // router and resumes untouched when the window closes.
+        if (faults_ && faults_->stalled)
+            return;
+        if (fastPath_)
+            evaluateFast(now);
+        else
+            evaluateLegacy(now);
+    }
 
     /**
      * Select the worm-streaming fast path (default off = the legacy
@@ -161,14 +184,15 @@ class MeshRouter
         // again the cycle its window closes, and keeping it in the
         // active set also keeps the network non-idle so the system
         // never fast-forwards across a stall.
-        const bool keep = changed_ || poked_ ||
-                          (faults_ && faults_->stalled);
-        poked_ = false;
+        RouterFlags &hot = *hot_;
+        const bool keep =
+            hot.changed || hot.poked || (faults_ && faults_->stalled);
+        hot.poked = false;
         return keep;
     }
 
     /** External event: ensure the next retain keeps this router. */
-    void poke() { poked_ = true; }
+    void poke() { hot_->poked = true; }
 
     /** End-of-cycle commit of all router FIFOs. */
     void commit();
@@ -188,6 +212,48 @@ class MeshRouter
      * neighbor's input buffer wakes the neighbor (by its PM id).
      */
     void setWakeSet(ActiveSet *set) { wakeSet_ = set; }
+
+    /** Route wakes into the columnar bitmap (wins over wakeSet_). */
+    void setWakeMask(ActiveMask *mask) { wakeMask_ = mask; }
+
+    /**
+     * Columnar rebinding (see sim/columns.hh): hoist the six queue
+     * cursor blocks into @a states (inBuf_[0..3], outResp_, outReq_
+     * in that order) and the changed/poked flag pair into @a flags —
+     * all network-column slots. Current values move over; call once
+     * at setup, before the first tick.
+     */
+    void
+    bindColumns(FifoState *states, RouterFlags *flags)
+    {
+        for (std::size_t p = 0; p < 4; ++p)
+            inBuf_[p].bindState(&states[p]);
+        outResp_.bindState(&states[4]);
+        outReq_.bindState(&states[5]);
+        col_ = states;
+        *flags = *hot_;
+        hot_ = flags;
+    }
+
+    /**
+     * Re-cache the flat peer-buffer views after every router's
+     * bindColumns() moved the cursor blocks (the network calls this
+     * in a second pass — a view cached before the *neighbor's*
+     * binding would point at its abandoned oracle block).
+     */
+    void
+    refreshViews()
+    {
+        for (auto &port : out_) {
+            if (port.peerBuf != nullptr)
+                port.peer = port.peerBuf->view();
+            if (port.util != nullptr) {
+                port.utilMeasuring = port.util->measuringFlag();
+                port.utilCounter =
+                    port.util->transferCounter(port.link);
+            }
+        }
+    }
 
     /**
      * Attach this router's fault state and the network's shared
@@ -252,8 +318,21 @@ class MeshRouter
     /** Next flit availabe on input @a in (nullptr if none). */
     const Flit *peekInput(int in) const;
 
-    /** Drop the peeked flit from input @a in (binds local queues). */
-    void dropInput(int in);
+    /** Poke + wake @a neighbor (flit arrival or credit event). */
+    void
+    wakeNeighbor(MeshRouter *neighbor)
+    {
+        // Test-before-set: at saturation almost every neighbor is
+        // already poked, and skipping the redundant store keeps its
+        // flag line clean in this core's cache.
+        RouterFlags &hot = *neighbor->hot_;
+        if (!hot.poked)    // stay up next cycle
+            hot.poked = true;
+        if (wakeMask_)     // and wake if sleeping
+            wakeMask_->add(static_cast<std::uint32_t>(neighbor->id_));
+        else if (wakeSet_)
+            wakeSet_->add(static_cast<std::uint32_t>(neighbor->id_));
+    }
 
     NodeId id_;
     int width_;
@@ -277,21 +356,41 @@ class MeshRouter
         int owner = -1; //!< input currently holding this port
         PacketId wormPkt = 0;
         int rrPtr = 0;  //!< round-robin arbitration pointer
+        /** The owner worm's source queue, cached at grant so each
+         * streamed flit skips the peekInput() owner/localSrc
+         * dispatch (the queue is fixed for the worm's lifetime). */
+        FifoView<Flit> src{};
+        /** Credit-wake target for pops from src: the upstream
+         * feeder for directional inputs, null for the local port. */
+        MeshRouter *srcUpstream = nullptr;
         MeshRouter *neighbor = nullptr;
-        /** The neighbor's facing input buffer (cached at connect). */
+        /** The neighbor's facing input buffer (cached at connect,
+         * re-cached by refreshViews() after column binding). */
         MeshFifo *peerBuf = nullptr;
+        /** Flat handle onto peerBuf (same re-cache discipline). */
+        FifoView<Flit> peer{};
         UtilizationTracker *util = nullptr;
         UtilizationTracker::LinkId link = 0;
+        /** Cached tracker internals (refreshViews): one flag load
+         * and one increment per hop instead of two vector walks. */
+        const bool *utilMeasuring = nullptr;
+        std::uint64_t *utilCounter = nullptr;
     };
     std::array<Output, NumMeshPorts> out_;
 
     bool fastPath_ = false;
-    /** This cycle's evaluate granted a port or moved a flit. */
-    bool changed_ = false;
-    /** External wake event since the last retain (see sweepKeep()). */
-    bool poked_ = false;
+    /** changed/poked flag pair behind a rebindable handle: the sleep
+     * sweep reads and cross-router wakes write through hot_, which
+     * the columnar engine repoints at a network column slot
+     * (in-object by default — the HRSIM_NO_COLUMNAR layout). */
+    RouterFlags hotLocal_;
+    RouterFlags *hot_ = &hotLocal_;
     /** This router's row of the network's e-cube LUT (may be null). */
     const std::uint8_t *routeRow_ = nullptr;
+    /** The six contiguous column cursor blocks once bound (null in
+     * the HRSIM_NO_COLUMNAR layout): the fast-path visibility scan
+     * reads them with one base pointer instead of six st_ hops. */
+    const FifoState *col_ = nullptr;
     /** Port activity: inputs bound to an output worm. */
     PortMask boundMask_ = 0;
     /** Port activity: outputs owned by an input worm. */
@@ -303,6 +402,8 @@ class MeshRouter
     DeliverFn deliver_;
     FlitTracer *const *tracerSlot_ = nullptr;
     ActiveSet *wakeSet_ = nullptr;
+    /** Columnar wake target; when set it wins over wakeSet_. */
+    ActiveMask *wakeMask_ = nullptr;
     /** Fault state + ledger; null (the fast case) without a plan. */
     MeshRouterFaults *faults_ = nullptr;
     FaultAccounting *acct_ = nullptr;

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "obs/build_info.hh"
+#include "sim/columns.hh"
 #include "sim/fastpath.hh"
 
 namespace hrsim
@@ -107,6 +108,7 @@ makeManifest(const SystemConfig &cfg, unsigned jobs,
     manifest.seed = cfg.sim.seed;
     manifest.jobs = jobs;
     manifest.fastPath = fastPathEnabled();
+    manifest.columnar = columnarEnabled();
     manifest.wallSeconds = wall_seconds;
     manifest.nodeCyclesPerSec =
         wall_seconds > 0.0 ? total_node_cycles / wall_seconds : 0.0;

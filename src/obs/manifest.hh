@@ -50,6 +50,13 @@ struct RunManifest
      */
     bool fastPath = true;
 
+    /**
+     * Columnar tick engine on for this run? Same provenance-not-
+     * identity status as fastPath: HRSIM_NO_COLUMNAR=1 swaps in the
+     * legacy per-node layout with bit-identical results.
+     */
+    bool columnar = true;
+
     double wallSeconds = 0.0;
     /** Simulated node-cycles per wall second over the whole run. */
     double nodeCyclesPerSec = 0.0;

@@ -56,6 +56,8 @@ writeManifestJson(std::ostream &out, const RunManifest &manifest)
     out << "    \"jobs\": " << manifest.jobs << ",\n";
     out << "    \"fast_path\": "
         << (manifest.fastPath ? "true" : "false") << ",\n";
+    out << "    \"columnar\": "
+        << (manifest.columnar ? "true" : "false") << ",\n";
     out << "    \"wall_seconds\": " << jsonNumber(manifest.wallSeconds)
         << ",\n";
     out << "    \"node_cycles_per_sec\": "
@@ -169,6 +171,7 @@ writeMetricsCsv(std::ostream &out, const RunManifest &manifest,
     out << "# seed=" << manifest.seed << '\n';
     out << "# jobs=" << manifest.jobs << '\n';
     out << "# fast_path=" << (manifest.fastPath ? 1 : 0) << '\n';
+    out << "# columnar=" << (manifest.columnar ? 1 : 0) << '\n';
     out << "# wall_seconds=" << jsonNumber(manifest.wallSeconds)
         << '\n';
     out << "# node_cycles_per_sec="

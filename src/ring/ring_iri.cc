@@ -11,8 +11,7 @@ RingIri::RingIri(NodeId subtree_lo, NodeId subtree_hi,
                  std::uint32_t queue_packets)
     : subtreeLo_(subtree_lo), subtreeHi_(subtree_hi),
       waitLimit_(wait_limit),
-      lowerRingSource_(lower_.transitBuf, lower_.in),
-      upperRingSource_(upper_.transitBuf, upper_.in),
+      lowerRingSource_(lower_), upperRingSource_(upper_),
       upRespSource_(upResp_), upReqSource_(upReq_),
       downRespSource_(downResp_), downReqSource_(downReq_)
 {
@@ -127,25 +126,25 @@ RingIri::computeAcceptanceLower()
     // A stalled side is frozen and must not advertise acceptance
     // (the blocked-worm wait counters freeze with it).
     if (lowerFaults_ && lowerFaults_->stalled != 0) {
-        lower_.accept = false;
+        lower_.accept() = false;
         return;
     }
-    if (!lower_.in.cur) {
-        lower_.accept = true;
+    if (!lower_.in().cur) {
+        lower_.accept() = true;
         return;
     }
-    const Flit &flit = *lower_.in.cur;
+    const Flit &flit = *lower_.in().cur;
     switch (routeLower(flit, /*count_wait=*/true)) {
       case WormRoute::ChangeRing:
         // Whole-packet room in the up queue was reserved at the
         // head, so the flit is guaranteed disposable.
-        lower_.accept = true;
+        lower_.accept() = true;
         break;
       case WormRoute::Continue:
-        lower_.accept = lower_.transitBuf.canPush();
+        lower_.accept() = lower_.transitBuf.canPush();
         break;
       case WormRoute::Wait:
-        lower_.accept = false; // latch held: back-pressure the ring
+        lower_.accept() = false; // latch held: back-pressure the ring
         break;
     }
 }
@@ -154,23 +153,23 @@ void
 RingIri::computeAcceptanceUpper()
 {
     if (upperFaults_ && upperFaults_->stalled != 0) {
-        upper_.accept = false;
+        upper_.accept() = false;
         return;
     }
-    if (!upper_.in.cur) {
-        upper_.accept = true;
+    if (!upper_.in().cur) {
+        upper_.accept() = true;
         return;
     }
-    const Flit &flit = *upper_.in.cur;
+    const Flit &flit = *upper_.in().cur;
     switch (routeUpper(flit, /*count_wait=*/true)) {
       case WormRoute::ChangeRing:
-        upper_.accept = true;
+        upper_.accept() = true;
         break;
       case WormRoute::Continue:
-        upper_.accept = upper_.transitBuf.canPush();
+        upper_.accept() = upper_.transitBuf.canPush();
         break;
       case WormRoute::Wait:
-        upper_.accept = false; // latch held: back-pressure the ring
+        upper_.accept() = false; // latch held: back-pressure the ring
         break;
     }
 }
@@ -183,32 +182,32 @@ RingIri::evaluateLower()
         return;
     // Quiescent fast path: nothing latched, buffered or descending
     // means there is nothing to divert, forward or inject this cycle.
-    if (!lower_.in.cur && lower_.transitBuf.empty() &&
+    if (!lower_.in().cur && lower_.transitBuf.empty() &&
         downResp_.empty() && downReq_.empty()) {
         lowerEscaped_ = 0; // an escaped head that moved on re-decides
         return;
     }
 
     // 1. Divert a ring-changing worm's flit into its up queue.
-    if (lower_.in.cur &&
-        routeLower(*lower_.in.cur) == WormRoute::ChangeRing) {
-        StagedFifo<Flit> &queue = upQueue(lower_.in.cur->type);
+    if (lower_.in().cur &&
+        routeLower(*lower_.in().cur) == WormRoute::ChangeRing) {
+        StagedFifo<Flit> &queue = upQueue(lower_.in().cur->type);
         HRSIM_ASSERT(queue.canPush());
-        queue.push(*lower_.in.cur);
+        queue.push(*lower_.in().cur);
         // The flit leaves the lower ring; 1 + ttl because a kill
         // token carries its dead worm's occupancy debt (ttl is
         // always 0 in fault-free runs — see RingSideFaults).
         lower_.occupancy->add(
-            -1 - static_cast<std::int64_t>(lower_.in.cur->ttl));
-        lower_.in.cur.reset();
+            -1 - static_cast<std::int64_t>(lower_.in().cur->ttl));
+        lower_.in().cur.reset();
     }
 
     // 2. Drive the lower-ring output: same-ring transit (including
     //    recirculating worms) first, then descending responses, then
     //    descending requests.
     lowerRingSource_.setLatchIsTransit(
-        lower_.in.cur.has_value() &&
-        routeLower(*lower_.in.cur) == WormRoute::Continue);
+        lower_.in().cur.has_value() &&
+        routeLower(*lower_.in().cur) == WormRoute::Continue);
     if (fastPath_) {
         lower_.out.transmitFast(&lowerRingSource_, &downRespSource_,
                                 &downReqSource_);
@@ -218,16 +217,16 @@ RingIri::evaluateLower()
     }
 
     // 3. Absorb a continuing latch flit into the lower ring buffer.
-    if (lower_.in.cur &&
-        routeLower(*lower_.in.cur) == WormRoute::Continue &&
+    if (lower_.in().cur &&
+        routeLower(*lower_.in().cur) == WormRoute::Continue &&
         lower_.transitBuf.canPush()) {
-        lower_.transitBuf.push(*lower_.in.cur);
-        lower_.in.cur.reset();
+        lower_.transitBuf.push(*lower_.in().cur);
+        lower_.in().cur.reset();
     }
 
     // An escaped head that moved on re-decides on its next lap.
     if (lowerEscaped_ != 0 &&
-        (!lower_.in.cur || lower_.in.cur->packet != lowerEscaped_)) {
+        (!lower_.in().cur || lower_.in().cur->packet != lowerEscaped_)) {
         lowerEscaped_ = 0;
     }
 }
@@ -239,29 +238,29 @@ RingIri::evaluateUpper()
     if (upperFaults_ && upperFaults_->stalled != 0)
         return;
     // Quiescent fast path, mirroring evaluateLower().
-    if (!upper_.in.cur && upper_.transitBuf.empty() &&
+    if (!upper_.in().cur && upper_.transitBuf.empty() &&
         upResp_.empty() && upReq_.empty()) {
         upperEscaped_ = 0;
         return;
     }
 
     // 1. Divert a ring-changing worm's flit into its down queue.
-    if (upper_.in.cur &&
-        routeUpper(*upper_.in.cur) == WormRoute::ChangeRing) {
-        StagedFifo<Flit> &queue = downQueue(upper_.in.cur->type);
+    if (upper_.in().cur &&
+        routeUpper(*upper_.in().cur) == WormRoute::ChangeRing) {
+        StagedFifo<Flit> &queue = downQueue(upper_.in().cur->type);
         HRSIM_ASSERT(queue.canPush());
-        queue.push(*upper_.in.cur);
+        queue.push(*upper_.in().cur);
         // The flit leaves the upper ring (1 + ttl: kill-token debt).
         upper_.occupancy->add(
-            -1 - static_cast<std::int64_t>(upper_.in.cur->ttl));
-        upper_.in.cur.reset();
+            -1 - static_cast<std::int64_t>(upper_.in().cur->ttl));
+        upper_.in().cur.reset();
     }
 
     // 2. Drive the upper-ring output: same-ring transit first, then
     //    ascending responses, then ascending requests.
     upperRingSource_.setLatchIsTransit(
-        upper_.in.cur.has_value() &&
-        routeUpper(*upper_.in.cur) == WormRoute::Continue);
+        upper_.in().cur.has_value() &&
+        routeUpper(*upper_.in().cur) == WormRoute::Continue);
     if (fastPath_) {
         upper_.out.transmitFast(&upperRingSource_, &upRespSource_,
                                 &upReqSource_);
@@ -271,16 +270,16 @@ RingIri::evaluateUpper()
     }
 
     // 3. Absorb a continuing latch flit into the upper ring buffer.
-    if (upper_.in.cur &&
-        routeUpper(*upper_.in.cur) == WormRoute::Continue &&
+    if (upper_.in().cur &&
+        routeUpper(*upper_.in().cur) == WormRoute::Continue &&
         upper_.transitBuf.canPush()) {
-        upper_.transitBuf.push(*upper_.in.cur);
-        upper_.in.cur.reset();
+        upper_.transitBuf.push(*upper_.in().cur);
+        upper_.in().cur.reset();
     }
 
     // An escaped head that moved on re-decides on its next lap.
     if (upperEscaped_ != 0 &&
-        (!upper_.in.cur || upper_.in.cur->packet != upperEscaped_)) {
+        (!upper_.in().cur || upper_.in().cur->packet != upperEscaped_)) {
         upperEscaped_ = 0;
     }
 }
@@ -288,14 +287,14 @@ RingIri::evaluateUpper()
 void
 RingIri::commitLower()
 {
-    lower_.in.commit();
+    lower_.in().commit();
     lower_.transitBuf.commit();
 }
 
 void
 RingIri::commitUpper()
 {
-    upper_.in.commit();
+    upper_.in().commit();
     upper_.transitBuf.commit();
     upResp_.commit();
     upReq_.commit();
@@ -310,13 +309,13 @@ RingIri::flitCount() const
         lower_.transitBuf.totalSize() + upper_.transitBuf.totalSize() +
         upResp_.totalSize() + upReq_.totalSize() +
         downResp_.totalSize() + downReq_.totalSize();
-    if (lower_.in.cur)
+    if (lower_.in().cur)
         ++count;
-    if (lower_.in.staged)
+    if (lower_.in().staged)
         ++count;
-    if (upper_.in.cur)
+    if (upper_.in().cur)
         ++count;
-    if (upper_.in.staged)
+    if (upper_.in().staged)
         ++count;
     return count;
 }
@@ -331,9 +330,9 @@ RingIri::debugDump(std::ostream &out) const
 {
     const auto side_info = [&](const char *tag, const RingSide &side) {
         out << " " << tag << "[latch=";
-        if (side.in.cur) {
-            out << side.in.cur->packet << ":" << side.in.cur->index
-                << "->" << side.in.cur->dst;
+        if (side.in().cur) {
+            out << side.in().cur->packet << ":" << side.in().cur->index
+                << "->" << side.in().cur->dst;
         } else {
             out << "-";
         }
@@ -347,7 +346,7 @@ RingIri::debugDump(std::ostream &out) const
             out << "(pkt " << side.out.wormPacket() << " src "
                 << static_cast<int>(side.out.wormSource()) << ")";
         }
-        out << " accept=" << side.accept << "]";
+        out << " accept=" << side.accept() << "]";
     };
     out << "IRI [" << subtreeLo_ << "," << subtreeHi_ << ")";
     side_info("lo", lower_);

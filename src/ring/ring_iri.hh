@@ -118,8 +118,8 @@ class RingIri
     bool
     empty() const
     {
-        return !lower_.in.cur && !lower_.in.staged &&
-               !upper_.in.cur && !upper_.in.staged &&
+        return !lower_.in().cur && !lower_.in().staged &&
+               !upper_.in().cur && !upper_.in().staged &&
                lower_.transitBuf.totalSize() == 0 &&
                upper_.transitBuf.totalSize() == 0 &&
                upResp_.totalSize() == 0 && upReq_.totalSize() == 0 &&
@@ -136,8 +136,8 @@ class RingIri
     void
     prepareSleep()
     {
-        lower_.accept = true;
-        upper_.accept = true;
+        lower_.accept() = true;
+        upper_.accept() = true;
         lowerEscaped_ = 0;
         upperEscaped_ = 0;
     }

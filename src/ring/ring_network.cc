@@ -129,7 +129,7 @@ RingNetwork::RingNetwork(const Params &params)
             else if (ring.slots[i].kind == RingSlotDesc::Kind::IriUpper)
                 trace_node = -(2 * ring.slots[i].index + 2);
             from.occupancy = &occupancy_[r];
-            from.out.connect(&to.in, &to.accept, &util_, link,
+            from.out.connect(&to.in(), &to.accept(), &util_, link,
                              &occupancy_[r], ring.subtreeLo,
                              ring.subtreeHi, starvation_limit,
                              &tracer_, trace_node, wake_set, wake_id);
@@ -198,7 +198,7 @@ RingNetwork::inject(NodeId pm, const Packet &pkt)
     if (pkt.dst == broadcastNode)
         fatal("RingNetwork: broadcast requires slotted switching");
     nics_[static_cast<std::size_t>(pm)].inject(pkt);
-    activeNics_.add(static_cast<std::uint32_t>(pm));
+    wakeNic(static_cast<std::uint32_t>(pm));
     if (acct_)
         acct_->injectedFlits += pkt.sizeFlits;
     HRSIM_TRACE_FLIT(tracer_, FlitEvent::Inject, pkt.id, pm,
@@ -208,10 +208,12 @@ RingNetwork::inject(NodeId pm, const Packet &pkt)
 void
 RingNetwork::tick(Cycle now)
 {
-    if (activeSched_)
-        tickActive(now);
-    else
+    if (!activeSched_)
         tickFullScan(now);
+    else if (columnar_)
+        tickColumnar(now);
+    else
+        tickActive(now);
 }
 
 void
@@ -363,6 +365,129 @@ RingNetwork::tickActive(Cycle now)
 }
 
 void
+RingNetwork::tickColumnar(Cycle now)
+{
+    // The columnar engine replaces the ActiveSet prefix/raw walks of
+    // tickActive() with live ascending-id scans of two-level bitmap
+    // masks (sim/columns.hh). Soundness relies on the same facts the
+    // ActiveSet argument uses — a component woken mid-tick was empty
+    // (asleep <=> empty) and staged flits stay invisible until
+    // commit, so an extra visit of a woken component is a no-op (its
+    // quiescent early-out fires), while a skipped visit matches the
+    // orderedPrefix behaviour. Either way the scan is byte-identical
+    // to the full scan; see DESIGN.md section 14.
+
+    // Phase A: acceptance flags from start-of-cycle state. No wakes
+    // happen here (no flits move), so the live scan equals the
+    // start-of-phase membership. NIC acceptance is fused into the
+    // commit sweep below, exactly as in tickActive().
+    iriMask_.forEach([this](std::uint32_t id) {
+        iris_[id].computeAcceptanceLower();
+    });
+    iriMask_.forEach([this](std::uint32_t id) {
+        if (!iriFastUpper_[id])
+            iris_[id].computeAcceptanceUpper();
+    });
+
+    // Phase B: system-clock domain. Transmits wake downstream
+    // components mid-scan; visited-or-not both reproduce the oracle
+    // (see above).
+    nicMask_.forEach(
+        [this, now](std::uint32_t id) { nics_[id].evaluate(now); });
+    iriMask_.forEach(
+        [this](std::uint32_t id) { iris_[id].evaluateLower(); });
+    iriMask_.forEach([this](std::uint32_t id) {
+        if (!iriFastUpper_[id])
+            iris_[id].evaluateUpper();
+    });
+
+    // NIC commit + sleep sweep, fused as in tickActive(). The live
+    // scan covers mid-tick wakes (their bits are already set).
+    nicMask_.retain([this](std::uint32_t id) {
+        RingNic &nic = nics_[id];
+        nic.commit();
+        if (!nic.empty() || nic.faultPinned()) {
+            // Next tick's phase A, while the NIC is cache-hot.
+            nic.computeAcceptance();
+            return true;
+        }
+        nic.prepareSleep();
+        return false;
+    });
+
+    // Commit the IRIs' system-clock domain (commits touch one
+    // component each, so ascending id order replaces wake order).
+    iriMask_.forEach([this](std::uint32_t id) {
+        iris_[id].commitLower();
+        if (!iriFastUpper_[id])
+            iris_[id].commitUpper();
+    });
+
+    // Fast domain: the global ring runs globalRingSpeed sub-cycles;
+    // each pass is a fresh live scan, covering inter-sub-cycle wakes.
+    if (!fastIris_.empty()) {
+        for (std::uint32_t sub = 0; sub < params_.globalRingSpeed;
+             ++sub) {
+            iriMask_.forEach([this](std::uint32_t id) {
+                if (iriFastUpper_[id])
+                    iris_[id].computeAcceptanceUpper();
+            });
+            iriMask_.forEach([this](std::uint32_t id) {
+                if (iriFastUpper_[id])
+                    iris_[id].evaluateUpper();
+            });
+            iriMask_.forEach([this](std::uint32_t id) {
+                if (iriFastUpper_[id])
+                    iris_[id].commitUpper();
+            });
+        }
+    }
+
+    // IRI sleep sweep (the NIC sweep already ran, fused with commit).
+    iriMask_.retain([this](std::uint32_t id) {
+        if (!iris_[id].empty() || iris_[id].faultPinned())
+            return true;
+        iris_[id].prepareSleep();
+        return false;
+    });
+}
+
+void
+RingNetwork::setColumnar(bool enabled)
+{
+    columnar_ = enabled;
+    if (!enabled)
+        return; // HRSIM_NO_COLUMNAR oracle: in-object layout + sets
+    const std::size_t num_pms = nics_.size();
+    hotCol_.resize(num_pms + 2 * iris_.size());
+    nicMask_.reset(nics_.size());
+    iriMask_.reset(iris_.size());
+    // Hoist every side's latch + acceptance flag into the column
+    // (slot layout matches sideFaults_), then re-aim each upstream
+    // output at the hoisted pair and route its wakes into the masks.
+    for (std::size_t pm = 0; pm < num_pms; ++pm)
+        nics_[pm].side().bindColumns(&hotCol_[pm].in,
+                                     &hotCol_[pm].accept);
+    for (std::size_t i = 0; i < iris_.size(); ++i) {
+        RingHot *base = &hotCol_[num_pms + 2 * i];
+        iris_[i].lower().bindColumns(&base[0].in, &base[0].accept);
+        iris_[i].upper().bindColumns(&base[1].in, &base[1].accept);
+    }
+    for (const RingDesc &ring : structure_.rings) {
+        const std::size_t n = ring.slots.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            RingSide &from = sideAt(ring.slots[i]);
+            const RingSlotDesc &to_slot = ring.slots[(i + 1) % n];
+            RingSide &to = sideAt(to_slot);
+            from.out.repoint(&to.in(), &to.accept());
+            from.out.setWakeMask(
+                to_slot.kind == RingSlotDesc::Kind::Nic ? &nicMask_
+                                                        : &iriMask_);
+        }
+    }
+}
+
+void
 RingNetwork::setActiveScheduling(bool enabled)
 {
     activeSched_ = enabled;
@@ -372,7 +497,7 @@ RingNetwork::setActiveScheduling(bool enabled)
     // holding flits, put everything else into its rest state.
     for (std::size_t i = 0; i < nics_.size(); ++i) {
         if (nics_[i].flitCount() != 0 || nics_[i].faultPinned()) {
-            activeNics_.add(static_cast<std::uint32_t>(i));
+            wakeNic(static_cast<std::uint32_t>(i));
             // The active tick expects NIC acceptance one tick ahead
             // (fused into the commit sweep); seed it here.
             nics_[i].computeAcceptance();
@@ -382,7 +507,7 @@ RingNetwork::setActiveScheduling(bool enabled)
     }
     for (std::size_t i = 0; i < iris_.size(); ++i) {
         if (iris_[i].flitCount() != 0 || iris_[i].faultPinned())
-            activeIris_.add(static_cast<std::uint32_t>(i));
+            wakeIri(static_cast<std::uint32_t>(i));
         else
             iris_[i].prepareSleep();
     }
@@ -401,14 +526,18 @@ RingNetwork::setFastPath(bool enabled)
 bool
 RingNetwork::isIdle() const
 {
-    if (activeSched_)
-        return activeNics_.empty() && activeIris_.empty();
-    return flitsInFlight() == 0;
+    if (!activeSched_)
+        return flitsInFlight() == 0;
+    if (columnar_)
+        return nicMask_.empty() && iriMask_.empty();
+    return activeNics_.empty() && activeIris_.empty();
 }
 
 std::size_t
 RingNetwork::activeNodeCount() const
 {
+    if (columnar_)
+        return nicMask_.size() + iriMask_.size();
     return activeNics_.size() + activeIris_.size();
 }
 
@@ -549,7 +678,7 @@ RingNetwork::applyFault(const FaultEvent &event, bool active)
     // output starts draining, deactivation so frozen traffic moves
     // again.
     if (target.kind == FaultTargetKind::RingNic) {
-        activeNics_.add(static_cast<std::uint32_t>(target.id));
+        wakeNic(static_cast<std::uint32_t>(target.id));
         // The active tick computes NIC acceptance at the end of the
         // previous cycle (fused into the commit sweep), before this
         // edge existed; recompute so the flag matches what the full
@@ -557,7 +686,7 @@ RingNetwork::applyFault(const FaultEvent &event, bool active)
         // runs every tick for awake IRIs, so waking is enough.)
         nics_[static_cast<std::size_t>(target.id)].computeAcceptance();
     } else {
-        activeIris_.add(static_cast<std::uint32_t>(target.id));
+        wakeIri(static_cast<std::uint32_t>(target.id));
     }
 }
 

@@ -78,6 +78,7 @@ class RingNetwork : public Network
     void registerMetrics(MetricRegistry &registry) const override;
     void setActiveScheduling(bool enabled) override;
     void setFastPath(bool enabled) override;
+    void setColumnar(bool enabled) override;
     bool isIdle() const override;
     std::size_t activeNodeCount() const override;
     bool faultTargetValid(const FaultTarget &target) const override;
@@ -118,6 +119,28 @@ class RingNetwork : public Network
     /** Active-set tick: only awake components are visited. */
     void tickActive(Cycle now);
 
+    /** Columnar tick: bitmap masks over hoisted hot columns. */
+    void tickColumnar(Cycle now);
+
+    /** Wake a component in whichever scheduler structure is live. */
+    void
+    wakeNic(std::uint32_t id)
+    {
+        if (columnar_)
+            nicMask_.add(id);
+        else
+            activeNics_.add(id);
+    }
+
+    void
+    wakeIri(std::uint32_t id)
+    {
+        if (columnar_)
+            iriMask_.add(id);
+        else
+            activeIris_.add(id);
+    }
+
     Params params_;
     RingStructure structure_;
     std::uint32_t clFlits_;
@@ -144,6 +167,22 @@ class RingNetwork : public Network
     bool activeSched_ = false;
     ActiveSet activeNics_;
     ActiveSet activeIris_;
+
+    // Columnar engine state (setColumnar; see sim/columns.hh). The
+    // hot column holds every ring attachment point's input latch +
+    // acceptance flag in one contiguous array — the whole inter-node
+    // communication fabric of the network — indexed like
+    // sideFaults_: NIC pm at [pm], IRI i's lower/upper sides at
+    // [P + 2i] / [P + 2i + 1].
+    struct RingHot
+    {
+        RingLatch in;
+        bool accept = false;
+    };
+    bool columnar_ = false;
+    std::vector<RingHot> hotCol_;
+    ActiveMask nicMask_;
+    ActiveMask iriMask_;
     /** Per-IRI flag: upper side in the fast (global) domain. */
     std::vector<std::uint8_t> iriFastUpper_;
 

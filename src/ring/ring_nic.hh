@@ -91,7 +91,7 @@ class RingNic
     bool
     empty() const
     {
-        return !side_.in.cur && !side_.in.staged &&
+        return !side_.in().cur && !side_.in().staged &&
                side_.transitBuf.totalSize() == 0 &&
                outResp_.totalSize() == 0 && outReq_.totalSize() == 0;
     }
@@ -107,7 +107,7 @@ class RingNic
     prepareSleep()
     {
         // An empty latch always computes accept = true.
-        side_.accept = true;
+        side_.accept() = true;
     }
 
     /**

@@ -30,6 +30,7 @@
 #include "obs/flit_trace.hh"
 #include "proto/packet.hh"
 #include "sim/active_set.hh"
+#include "sim/columns.hh"
 #include "stats/utilization.hh"
 
 namespace hrsim
@@ -216,53 +217,6 @@ class QueueSource final : public FlitSource
 };
 
 /**
- * FlitSource for the same-ring transit stream: the ring buffer
- * drains first (FIFO order), then the latch flit may bypass the
- * buffer entirely when the buffer is empty.
- */
-class RingStreamSource final : public FlitSource
-{
-  public:
-    RingStreamSource(StagedFifo<Flit> &buffer, RingLatch &latch)
-        : buffer_(buffer), latch_(latch)
-    {}
-
-    /** Enable/disable the latch bypass (kept on in the paper). */
-    void setBypass(bool enabled) { bypass_ = enabled; }
-
-    /** Tell the source whether the latch flit is ring transit. */
-    void setLatchIsTransit(bool transit) { latchIsTransit_ = transit; }
-
-    const Flit *
-    peek() const override
-    {
-        if (!buffer_.empty())
-            return &buffer_.front();
-        if (bypass_ && latchIsTransit_ && latch_.cur)
-            return &*latch_.cur;
-        return nullptr;
-    }
-
-    Flit
-    consume() override
-    {
-        if (!buffer_.empty())
-            return buffer_.pop();
-        HRSIM_ASSERT(bypass_ && latchIsTransit_ && latch_.cur);
-        Flit flit = *latch_.cur;
-        latch_.cur.reset();
-        latchIsTransit_ = false;
-        return flit;
-    }
-
-  private:
-    StagedFifo<Flit> &buffer_;
-    RingLatch &latch_;
-    bool bypass_ = true;
-    bool latchIsTransit_ = false;
-};
-
-/**
  * Output side of a ring link: wormhole state plus the wiring to the
  * downstream latch and its acceptance flag.
  */
@@ -302,6 +256,22 @@ class RingOutput
         wakeSet_ = wake_set;
         wakeId_ = wake_id;
     }
+
+    /**
+     * Columnar rebinding (see sim/columns.hh): re-target the
+     * downstream latch/acceptance pair after the network hoisted
+     * them into its columns. Called once at setup, before the first
+     * tick, together with the downstream side's bindColumns().
+     */
+    void
+    repoint(RingLatch *latch, const bool *accept_flag)
+    {
+        downstream_ = latch;
+        acceptFlag_ = accept_flag;
+    }
+
+    /** Route wakes into the columnar bitmap (wins over wakeSet_). */
+    void setWakeMask(ActiveMask *mask) { wakeMask_ = mask; }
 
     /**
      * Attach this output's fault state and the network's shared
@@ -411,8 +381,7 @@ class RingOutput
         if (faults_)
             stampPoison(flit);
         downstream_->staged = flit;
-        if (wakeSet_)
-            wakeSet_->add(wakeId_); // wake a sleeping neighbor
+        wake(); // wake a sleeping neighbor
         util_->recordTransfer(link_);
         HRSIM_TRACE_FLIT(
             tracerSlot_ ? *tracerSlot_ : nullptr, FlitEvent::Hop,
@@ -548,8 +517,7 @@ class RingOutput
         if (faults_)
             stampPoison(flit);
         downstream_->staged = flit;
-        if (wakeSet_)
-            wakeSet_->add(wakeId_); // wake a sleeping neighbor
+        wake(); // wake a sleeping neighbor
         util_->recordTransfer(link_);
         HRSIM_TRACE_FLIT(
             tracerSlot_ ? *tracerSlot_ : nullptr, FlitEvent::Hop,
@@ -643,8 +611,7 @@ class RingOutput
             token.poisoned = true;
             source->consume();
             downstream_->staged = token;
-            if (wakeSet_)
-                wakeSet_->add(wakeId_);
+            wake();
             f.tokenSent = true;
             if (was_tail)
                 finishKill();
@@ -699,6 +666,16 @@ class RingOutput
         }
     }
 
+    /** Wake the downstream component in its network's scheduler. */
+    void
+    wake() const
+    {
+        if (wakeMask_)
+            wakeMask_->add(wakeId_); // columnar bitmap engine
+        else if (wakeSet_)
+            wakeSet_->add(wakeId_); // legacy ActiveSet engine
+    }
+
     FlitSource *
     sourceFor(RingSource kind, FlitSource *ring, FlitSource *queue_a,
               FlitSource *queue_b) const
@@ -725,6 +702,8 @@ class RingOutput
     FlitTracer *const *tracerSlot_ = nullptr;
     NodeId traceNode_ = invalidNode;
     ActiveSet *wakeSet_ = nullptr; //!< downstream's active set
+    /** Columnar wake target; when set it wins over wakeSet_. */
+    ActiveMask *wakeMask_ = nullptr;
     std::uint32_t wakeId_ = 0;     //!< downstream's index therein
     std::uint32_t starvationLimit_ = 0;
     std::uint32_t starve_ = 0; //!< cycles a ready queue was passed over
@@ -739,15 +718,98 @@ class RingOutput
     FaultAccounting *acct_ = nullptr;
 };
 
-/** One attachment point of a node on a ring. */
+/**
+ * One attachment point of a node on a ring.
+ *
+ * The input latch and phase-A acceptance flag are the side's *hot*
+ * state: the upstream neighbor's output writes/reads them every
+ * cycle. Both are accessed through rebindable handles so the
+ * columnar engine (sim/columns.hh) can hoist them into a
+ * network-owned column — in()/accept() behave identically in both
+ * layouts, only the storage address differs. Default-bound to
+ * in-object storage (the HRSIM_NO_COLUMNAR oracle layout).
+ */
 struct RingSide
 {
-    RingLatch in;
-    bool accept = false; //!< phase-A acceptance flag for upstream
     StagedFifo<Flit> transitBuf;
     RingOutput out;
     /** Occupancy of the ring this side sits on (shared). */
     RingOccupancy *occupancy = nullptr;
+
+    /** Input latch from the upstream ring neighbor. */
+    RingLatch &in() { return *in_; }
+    const RingLatch &in() const { return *in_; }
+
+    /** Phase-A acceptance flag published for the upstream output. */
+    bool &accept() { return *accept_; }
+    bool accept() const { return *accept_; }
+
+    /**
+     * Hoist the hot pair into @a latch / @a accept_flag (a network
+     * column slot): the current values move over, then every read
+     * and write goes through the new storage. The caller must also
+     * repoint() the upstream RingOutput at the same slot.
+     */
+    void
+    bindColumns(RingLatch *latch, bool *accept_flag)
+    {
+        *latch = *in_;
+        *accept_flag = *accept_;
+        in_ = latch;
+        accept_ = accept_flag;
+    }
+
+  private:
+    RingLatch inLocal_;
+    bool acceptLocal_ = false;
+    RingLatch *in_ = &inLocal_;
+    bool *accept_ = &acceptLocal_;
+};
+
+/**
+ * FlitSource for the same-ring transit stream: the ring buffer
+ * drains first (FIFO order), then the latch flit may bypass the
+ * buffer entirely when the buffer is empty. The latch is read
+ * through the owning side's handle, so column rebinding after
+ * construction is transparent.
+ */
+class RingStreamSource final : public FlitSource
+{
+  public:
+    explicit RingStreamSource(RingSide &side) : side_(side) {}
+
+    /** Enable/disable the latch bypass (kept on in the paper). */
+    void setBypass(bool enabled) { bypass_ = enabled; }
+
+    /** Tell the source whether the latch flit is ring transit. */
+    void setLatchIsTransit(bool transit) { latchIsTransit_ = transit; }
+
+    const Flit *
+    peek() const override
+    {
+        if (!side_.transitBuf.empty())
+            return &side_.transitBuf.front();
+        if (bypass_ && latchIsTransit_ && side_.in().cur)
+            return &*side_.in().cur;
+        return nullptr;
+    }
+
+    Flit
+    consume() override
+    {
+        if (!side_.transitBuf.empty())
+            return side_.transitBuf.pop();
+        HRSIM_ASSERT(bypass_ && latchIsTransit_ && side_.in().cur);
+        Flit flit = *side_.in().cur;
+        side_.in().cur.reset();
+        latchIsTransit_ = false;
+        return flit;
+    }
+
+  private:
+    RingSide &side_;
+    bool bypass_ = true;
+    bool latchIsTransit_ = false;
 };
 
 } // namespace hrsim

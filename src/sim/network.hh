@@ -87,6 +87,18 @@ class Network
     virtual void setFastPath(bool enabled) { (void)enabled; }
 
     /**
+     * Switch between the columnar tick engine (true) — hot per-cycle
+     * state hoisted into flat struct-of-arrays columns and the active
+     * set held as a two-level bitmap — and the legacy in-object
+     * layout (false, the HRSIM_NO_COLUMNAR oracle). Results are
+     * bit-identical either way (see DESIGN.md section 14); networks
+     * without a columnar engine ignore the call. Must be called
+     * before setActiveScheduling() so wake seeding lands in the
+     * right scheduler structure.
+     */
+    virtual void setColumnar(bool enabled) { (void)enabled; }
+
+    /**
      * True when no component holds any flit, i.e. a tick would move
      * nothing. O(1) for networks with an active-set scheduler.
      */

@@ -62,6 +62,27 @@ class UtilizationTracker
         ++groupTransfers_[linkGroup_[link]];
     }
 
+    /**
+     * Stable pointer to the open-window flag, for callers that cache
+     * it next to a cached transferCounter() (one flag load instead
+     * of re-deriving both vector lookups per recorded flit).
+     */
+    const bool *measuringFlag() const { return &measuring_; }
+
+    /**
+     * Stable pointer to @a link's group transfer counter, equivalent
+     * to the increment recordTransfer() performs. Only valid once
+     * every group has been registered — group creation grows the
+     * counter vector and invalidates earlier pointers — so callers
+     * cache it in a post-wiring pass.
+     */
+    std::uint64_t *
+    transferCounter(LinkId link)
+    {
+        HRSIM_ASSERT(link < linkGroup_.size());
+        return &groupTransfers_[linkGroup_[link]];
+    }
+
     /** Start the measurement window at cycle @a now. */
     void startMeasurement(Cycle now);
 

@@ -3,9 +3,11 @@
  * Active-set scheduler tests: ActiveSet container semantics, and the
  * bit-identity contract between the optimized tick paths and their
  * oracles — the active-set scheduler vs the full scan
- * (HRSIM_FORCE_FULL_SCAN=1), and the worm-streaming fast path vs the
- * legacy transmit loops (HRSIM_NO_FASTPATH=1) — across network
- * kinds, clock speeds, workloads and observability settings. The
+ * (HRSIM_FORCE_FULL_SCAN=1), the worm-streaming fast path vs the
+ * legacy transmit loops (HRSIM_NO_FASTPATH=1), and the columnar tick
+ * engine vs the legacy per-node layout (HRSIM_NO_COLUMNAR=1) —
+ * across network kinds, clock speeds, workloads and observability
+ * settings. The
  * full RunResult is compared — counters, latency statistics, the
  * materialized metric registry and mid-run snapshots — with only the
  * mode-gated metrics (sched.*, *.streamed_flits, which exist only
@@ -22,6 +24,7 @@
 #include "core/sweep.hh"
 #include "core/system.hh"
 #include "sim/active_set.hh"
+#include "sim/columns.hh"
 #include "workload/trace.hh"
 
 namespace hrsim
@@ -124,6 +127,16 @@ class DisableFastPath
   public:
     DisableFastPath() { setenv("HRSIM_NO_FASTPATH", "1", 1); }
     ~DisableFastPath() { unsetenv("HRSIM_NO_FASTPATH"); }
+};
+
+/** Scoped HRSIM_NO_COLUMNAR=1 (read at System construction): the
+ * legacy per-node hot-state layout and ActiveSet tick loops, the
+ * columnar engine's oracle. */
+class DisableColumnar
+{
+  public:
+    DisableColumnar() { setenv("HRSIM_NO_COLUMNAR", "1", 1); }
+    ~DisableColumnar() { unsetenv("HRSIM_NO_COLUMNAR"); }
 };
 
 bool
@@ -394,6 +407,192 @@ TEST(ActiveSetScheduler, FastPathBitIdenticalOnParallelSweep)
         SCOPED_TRACE("point " + std::to_string(i));
         expectSameResult(fast[i], legacy[i]);
     }
+}
+
+// ---------------------------------------------------------------- //
+// Bit-identity: columnar tick engine vs legacy per-node layout
+
+TEST(ActiveSetScheduler, ColumnarBitIdenticalAcrossGrid)
+{
+    // Third axis of the mode cube. The tests above pin the four
+    // {fast path} x {full scan} cells with the columnar engine on;
+    // here the same grid must agree with all four cells of the
+    // legacy-layout plane, so every one of the eight
+    // {columnar} x {fast path} x {full scan} combinations produces
+    // the same RunResult.
+    for (const auto &[name, cfg] : bitIdentityGrid()) {
+        SCOPED_TRACE(name);
+        const RunResult columnar = runSystem(cfg);
+        RunResult legacy;
+        {
+            DisableColumnar off;
+            legacy = runSystem(cfg);
+        }
+        RunResult legacyNoFast;
+        {
+            DisableColumnar off;
+            DisableFastPath slow;
+            legacyNoFast = runSystem(cfg);
+        }
+        RunResult legacyFullScan;
+        {
+            DisableColumnar off;
+            ForceFullScan scan;
+            legacyFullScan = runSystem(cfg);
+        }
+        RunResult legacyAllOracles;
+        {
+            DisableColumnar off;
+            DisableFastPath slow;
+            ForceFullScan scan;
+            legacyAllOracles = runSystem(cfg);
+        }
+        expectSameResult(columnar, legacy);
+        expectSameResult(columnar, legacyNoFast);
+        expectSameResult(columnar, legacyFullScan);
+        expectSameResult(columnar, legacyAllOracles);
+    }
+}
+
+TEST(ActiveSetScheduler, ColumnarBitIdenticalOnParallelSweep)
+{
+    // The layout axis crossed with --jobs: each sweep worker owns its
+    // System (and therefore its own columns), so worker parallelism
+    // must not perturb the layout comparison. The TSan CI stage
+    // re-runs this against data races.
+    std::vector<SystemConfig> points;
+    for (auto &[name, cfg] : bitIdentityGrid()) {
+        if (cfg.sim.metricsEvery == 0 &&
+            cfg.sim.watchdogCycles == SimConfig{}.watchdogCycles) {
+            points.push_back(cfg);
+        }
+    }
+    ASSERT_GE(points.size(), 4u);
+
+    const std::vector<RunResult> columnar = runSweep(points, 4);
+    std::vector<RunResult> legacy;
+    {
+        DisableColumnar off;
+        legacy = runSweep(points, 4);
+    }
+    ASSERT_EQ(columnar.size(), legacy.size());
+    for (std::size_t i = 0; i < columnar.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i));
+        expectSameResult(columnar[i], legacy[i]);
+    }
+}
+
+// ---------------------------------------------------------------- //
+// ActiveMask layout smoke tests (run by the layout_smoke ctest)
+
+TEST(LayoutSmoke, ScanVisitsMembersInAscendingIdOrder)
+{
+    // The columnar determinism argument (DESIGN.md section 14) leans
+    // on forEach() visiting the live set in ascending id order no
+    // matter the wake order; pin that across word and summary-word
+    // boundaries (ids straddle leaves 0, 1 and 64).
+    ActiveMask mask;
+    mask.reset(64 * 65 + 7);
+    const std::vector<std::uint32_t> wakes = {
+        4099, 63, 64, 0, 4160, 127, 65, 4098};
+    for (const std::uint32_t id : wakes)
+        mask.add(id);
+    EXPECT_EQ(mask.size(), wakes.size());
+
+    std::vector<std::uint32_t> visited;
+    mask.forEach([&visited](std::uint32_t id) {
+        visited.push_back(id);
+    });
+    EXPECT_EQ(visited, (std::vector<std::uint32_t>{
+                           0, 63, 64, 65, 127, 4098, 4099, 4160}));
+}
+
+TEST(LayoutSmoke, AddIsIdempotentAndContainsTracksMembership)
+{
+    ActiveMask mask;
+    mask.reset(200);
+    EXPECT_TRUE(mask.empty());
+    mask.add(3);
+    mask.add(130);
+    mask.add(3);
+    EXPECT_EQ(mask.size(), 2u);
+    EXPECT_TRUE(mask.contains(3));
+    EXPECT_TRUE(mask.contains(130));
+    EXPECT_FALSE(mask.contains(4));
+}
+
+TEST(LayoutSmoke, RetainScansInIdOrderAndClearsBits)
+{
+    ActiveMask mask;
+    mask.reset(300);
+    for (std::uint32_t id = 0; id < 300; id += 7)
+        mask.add(id);
+
+    std::vector<std::uint32_t> seen;
+    mask.retain([&seen](std::uint32_t id) {
+        seen.push_back(id);
+        return id % 14 == 0;
+    });
+    // The sweep itself runs ascending...
+    for (std::size_t i = 1; i < seen.size(); ++i)
+        EXPECT_LT(seen[i - 1], seen[i]);
+    // ...and only the kept members survive, still in order.
+    std::vector<std::uint32_t> left;
+    mask.forEach([&left](std::uint32_t id) { left.push_back(id); });
+    std::vector<std::uint32_t> expect;
+    for (std::uint32_t id = 0; id < 300; id += 14)
+        expect.push_back(id);
+    EXPECT_EQ(left, expect);
+    EXPECT_EQ(mask.size(), expect.size());
+
+    // A retained-away member can wake again (sleep is not permanent).
+    EXPECT_FALSE(mask.contains(7));
+    mask.add(7);
+    EXPECT_TRUE(mask.contains(7));
+}
+
+TEST(LayoutSmoke, ResetDropsEverything)
+{
+    ActiveMask mask;
+    mask.reset(70);
+    mask.add(69);
+    mask.reset(70);
+    EXPECT_TRUE(mask.empty());
+    EXPECT_FALSE(mask.contains(69));
+}
+
+TEST(LayoutSmoke, MidScanAddsFollowTheSnapshotRule)
+{
+    // forEach snapshots the summary word per 4096-id block and each
+    // leaf word as it reaches it. A mid-scan wake is therefore
+    // visited this pass iff its leaf word is still ahead of the scan
+    // AND already represented in a snapshotted summary (i.e. the
+    // word was live, or lies in a later summary block); wakes into
+    // the current word or into a dead word under the current summary
+    // snapshot defer to the next cycle. Every case is sound — a
+    // woken component's visit is a no-op — but pin the behavior so a
+    // rewrite can't silently change the determinism argument.
+    ActiveMask mask;
+    mask.reset(8192);
+    mask.add(10);   // leaf word 0
+    mask.add(200);  // leaf word 3 (live before the scan)
+    mask.add(4100); // summary block 1
+
+    std::vector<std::uint32_t> visited;
+    mask.forEach([&](std::uint32_t id) {
+        visited.push_back(id);
+        if (id == 10) {
+            mask.add(11);   // current word: next cycle
+            mask.add(100);  // dead word, snapshotted summary: next
+            mask.add(201);  // live later word: this pass
+            mask.add(5000); // later summary block: this pass
+        }
+    });
+    EXPECT_EQ(visited, (std::vector<std::uint32_t>{
+                           10, 200, 201, 4100, 5000}));
+    // Deferred wakes are still members for the next scan.
+    EXPECT_TRUE(mask.contains(11));
+    EXPECT_TRUE(mask.contains(100));
 }
 
 // ---------------------------------------------------------------- //

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for StablePool, the contiguous in-place container every
+ * network's component array (NICs, IRIs, mesh routers) lives in. The
+ * properties checked here are exactly the ones the simulator relies
+ * on: element addresses never move (post-construction wiring stores
+ * raw pointers into siblings), iteration strides the elements in
+ * construction order (tick loops and bit-identity depend on it), and
+ * clear() destroys without releasing the storage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/stable_pool.hh"
+
+namespace hrsim
+{
+namespace
+{
+
+/** Non-movable element that journals construction and destruction. */
+struct Tracked {
+    static int liveCount;
+    static std::vector<int> destroyedIds;
+
+    explicit Tracked(int id_) : id(id_) { ++liveCount; }
+    ~Tracked()
+    {
+        --liveCount;
+        destroyedIds.push_back(id);
+    }
+
+    Tracked(const Tracked &) = delete;
+    Tracked &operator=(const Tracked &) = delete;
+    Tracked(Tracked &&) = delete;
+    Tracked &operator=(Tracked &&) = delete;
+
+    int id;
+    // Pad to something router-like so adjacency checks below exercise
+    // a stride larger than a cache line fraction.
+    std::uint64_t payload[7] = {};
+};
+
+int Tracked::liveCount = 0;
+std::vector<int> Tracked::destroyedIds;
+
+TEST(StablePool, StartsEmpty)
+{
+    StablePool<int> pool;
+    EXPECT_EQ(pool.size(), 0u);
+    EXPECT_TRUE(pool.empty());
+    EXPECT_EQ(pool.begin(), pool.end());
+}
+
+TEST(StablePool, AddressesStableAcrossFills)
+{
+    // The whole point of the container: the address handed out by
+    // emplace_back() #0 must still be valid after every later
+    // emplace_back(), unlike std::vector growth.
+    constexpr std::size_t n = 257;
+    StablePool<Tracked> pool;
+    pool.reserve(n);
+    std::vector<Tracked *> addresses;
+    for (std::size_t i = 0; i < n; ++i) {
+        addresses.push_back(&pool.emplace_back(static_cast<int>(i)));
+        // Every earlier element is still where it was constructed.
+        for (std::size_t j = 0; j <= i; ++j) {
+            ASSERT_EQ(addresses[j], &pool[j]);
+            ASSERT_EQ(pool[j].id, static_cast<int>(j));
+        }
+    }
+    EXPECT_EQ(pool.size(), n);
+}
+
+TEST(StablePool, StorageIsContiguousInOrder)
+{
+    StablePool<Tracked> pool;
+    pool.reserve(8);
+    for (int i = 0; i < 8; ++i)
+        pool.emplace_back(i);
+    for (std::size_t i = 1; i < pool.size(); ++i)
+        EXPECT_EQ(&pool[i], &pool[i - 1] + 1);
+    EXPECT_EQ(pool.data(), &pool[0]);
+}
+
+TEST(StablePool, IterationOrderIsConstructionOrder)
+{
+    StablePool<Tracked> pool;
+    pool.reserve(16);
+    for (int i = 0; i < 16; ++i)
+        pool.emplace_back(i * 3);
+    int expect = 0;
+    for (const Tracked &element : pool) {
+        EXPECT_EQ(element.id, expect * 3);
+        ++expect;
+    }
+    EXPECT_EQ(expect, 16);
+}
+
+TEST(StablePool, ClearDestroysInReverseAndKeepsStorage)
+{
+    Tracked::liveCount = 0;
+    Tracked::destroyedIds.clear();
+    StablePool<Tracked> pool;
+    pool.reserve(4);
+    for (int i = 0; i < 4; ++i)
+        pool.emplace_back(i);
+    const Tracked *before = pool.data();
+    EXPECT_EQ(Tracked::liveCount, 4);
+
+    pool.clear();
+    EXPECT_EQ(Tracked::liveCount, 0);
+    EXPECT_EQ(pool.size(), 0u);
+    EXPECT_TRUE(pool.empty());
+    // Destruction runs back-to-front, mirroring member teardown.
+    EXPECT_EQ(Tracked::destroyedIds,
+              (std::vector<int>{3, 2, 1, 0}));
+
+    // Reuse after clear: the same reservation is refilled in place —
+    // no reallocation, same base address, fresh elements.
+    for (int i = 0; i < 4; ++i)
+        pool.emplace_back(10 + i);
+    EXPECT_EQ(pool.data(), before);
+    EXPECT_EQ(Tracked::liveCount, 4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(pool[i].id, 10 + i);
+}
+
+TEST(StablePool, DestructorDestroysLiveElements)
+{
+    Tracked::liveCount = 0;
+    Tracked::destroyedIds.clear();
+    {
+        StablePool<Tracked> pool;
+        pool.reserve(3);
+        for (int i = 0; i < 3; ++i)
+            pool.emplace_back(i);
+        EXPECT_EQ(Tracked::liveCount, 3);
+    }
+    EXPECT_EQ(Tracked::liveCount, 0);
+    EXPECT_EQ(Tracked::destroyedIds, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(StablePool, ZeroReservationIsAnEmptyPool)
+{
+    StablePool<Tracked> pool;
+    pool.reserve(0);
+    EXPECT_EQ(pool.size(), 0u);
+    EXPECT_TRUE(pool.empty());
+    EXPECT_EQ(pool.begin(), pool.end());
+    pool.clear(); // no-op on empty storage
+}
+
+TEST(StablePool, OveralignedElementsAreAligned)
+{
+    struct alignas(64) Line {
+        explicit Line(int v_) : v(v_) {}
+        int v;
+    };
+    StablePool<Line> pool;
+    pool.reserve(5);
+    for (int i = 0; i < 5; ++i)
+        pool.emplace_back(i);
+    for (const Line &line : pool) {
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&line) % 64, 0u)
+            << "element not 64-byte aligned";
+    }
+}
+
+} // namespace
+} // namespace hrsim

@@ -30,6 +30,7 @@
 #include "obs/flit_trace.hh"
 #include "obs/manifest.hh"
 #include "obs/metric_sink.hh"
+#include "sim/columns.hh"
 #include "sim/fastpath.hh"
 
 namespace
@@ -429,6 +430,15 @@ main(int argc, char **argv)
                          "run uses the legacy (oracle) tick loops "
                          "and the manifest will record "
                          "fast_path=false\n");
+        }
+        if (!metrics_out.empty() && !columnarEnabled()) {
+            // Same oracle caveat for the layout axis: the per-node
+            // legacy layout is bit-identical but slow.
+            std::fprintf(stderr,
+                         "warning: HRSIM_NO_COLUMNAR is set; this "
+                         "run uses the legacy per-node hot-state "
+                         "layout and the manifest will record "
+                         "columnar=false\n");
         }
         if (!sweep_kind.empty() || list_sweep) {
             if (sweep_kind.empty())
