@@ -17,7 +17,10 @@
 # (old/new rate columns). When the library was built Release, any
 # benchmark whose median rate is more than 10% slower than the
 # baseline fails the script (exit 1); non-Release builds only warn,
-# since Debug timings say nothing about the hot path.
+# since Debug timings say nothing about the hot path. Sequential
+# comparisons against a days-old baseline confound code and machine
+# drift — scripts/ab_bench.sh interleaves two live build trees and
+# is the trustworthy way to call a regression.
 #
 # A benchmark harness built Debug silently distorts every timing, so
 # a library_build_type of "debug" in the emitted JSON context fails
@@ -181,6 +184,11 @@ enforce = build_type == "release"
 
 print(f"\ncomparison vs {sys.argv[3]} "
       f"(build_type={build_type or 'unknown'}):")
+print("note: the baseline JSON was taken on an earlier run of this "
+      "box —\nfrequency scaling, thermals and background load may "
+      "have drifted\nsince, so sequential comparisons confound code "
+      "and machine. For a\ntrustworthy verdict build both revisions "
+      "and use the interleaved\nscripts/ab_bench.sh instead.")
 print(f"{'benchmark':<24} {'baseline':>12} {'current':>12} "
       f"{'speedup':>8}")
 regressions = []

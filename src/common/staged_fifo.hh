@@ -36,10 +36,24 @@
  * hold in cache (measured slower).
  * Visible and staged elements share the ring: staged pushes are
  * appended after the visible region and commit() simply extends the
- * visible count. The canPush() accounting (visible +
- * popped-this-cycle + staged < capacity) guarantees the writer can
- * never overrun the reader even though popped slots are reused
- * physically before commit().
+ * visible count. The canPush() accounting (start-of-cycle visible +
+ * staged < capacity) guarantees the writer can never overrun the
+ * reader even though popped slots are reused physically before
+ * commit().
+ *
+ * Counter ownership (the parallel-tick contract, DESIGN.md §15):
+ * `visible` is *frozen* for the whole cycle — pops advance `head` and
+ * bump `poppedThisCycle` instead of decrementing it, and commit()
+ * folds both deltas back in. The consumer-side live size is
+ * visible - poppedThisCycle (identical to the pre-freeze live count),
+ * and the producer-side occupancy is visible + staged (identical to
+ * the old visible + popped + staged sum). The point of the split:
+ * during the evaluate phase every field a *producer* reads (capacity,
+ * visible, tail, staged) is either frozen or written only by that
+ * producer, and every field the *consumer* touches (head,
+ * poppedThisCycle) is read only by the consumer — so a queue whose
+ * producer and consumer sit in different tick shards needs no atomics
+ * to stay race-free and bit-identical.
  */
 
 #ifndef HRSIM_COMMON_STAGED_FIFO_HH
@@ -82,7 +96,7 @@ class StagedFifo
     void
     setCapacity(std::size_t capacity)
     {
-        HRSIM_ASSERT(visible_ == 0 && staged_ == 0);
+        HRSIM_ASSERT(visible_ == poppedThisCycle_ && staged_ == 0);
         capacity_ = static_cast<std::uint32_t>(capacity);
         heap_.clear();
         ext_ = nullptr;
@@ -92,6 +106,7 @@ class StagedFifo
         }
         head_ = 0;
         tail_ = 0;
+        visible_ = 0;
         poppedThisCycle_ = 0;
     }
 
@@ -107,31 +122,32 @@ class StagedFifo
     void
     setCapacity(std::size_t capacity, T *storage)
     {
-        HRSIM_ASSERT(visible_ == 0 && staged_ == 0);
+        HRSIM_ASSERT(visible_ == poppedThisCycle_ && staged_ == 0);
         HRSIM_ASSERT(storage != nullptr);
         capacity_ = static_cast<std::uint32_t>(capacity);
         heap_.clear();
         ext_ = capacity_ > inlineCapacity ? storage : nullptr;
         head_ = 0;
         tail_ = 0;
+        visible_ = 0;
         poppedThisCycle_ = 0;
     }
 
     std::size_t capacity() const { return capacity_; }
 
-    /** Elements visible to the consumer this cycle. */
-    std::size_t size() const { return visible_; }
+    /** Elements still visible to the consumer this cycle. */
+    std::size_t size() const { return visible_ - poppedThisCycle_; }
 
-    bool empty() const { return visible_ == 0; }
+    bool empty() const { return visible_ == poppedThisCycle_; }
 
     /**
-     * Occupancy as seen by a producer: visible elements, plus slots
-     * freed by pops this cycle (not yet reusable), plus staged pushes.
+     * Occupancy as seen by a producer: start-of-cycle visible
+     * elements (pops free slots only at commit) plus staged pushes.
      */
     std::size_t
     producerOccupancy() const
     {
-        return visible_ + poppedThisCycle_ + staged_;
+        return visible_ + staged_;
     }
 
     /** May a producer stage an element this cycle? */
@@ -175,7 +191,7 @@ class StagedFifo
     const T &
     front() const
     {
-        HRSIM_ASSERT(visible_ > 0);
+        HRSIM_ASSERT(visible_ > poppedThisCycle_);
         return data()[head_];
     }
 
@@ -186,9 +202,8 @@ class StagedFifo
     void
     dropFront()
     {
-        HRSIM_ASSERT(visible_ > 0);
+        HRSIM_ASSERT(visible_ > poppedThisCycle_);
         head_ = advance(head_);
-        --visible_;
         ++poppedThisCycle_;
     }
 
@@ -196,10 +211,9 @@ class StagedFifo
     T
     pop()
     {
-        HRSIM_ASSERT(visible_ > 0);
+        HRSIM_ASSERT(visible_ > poppedThisCycle_);
         T value = std::move(data()[head_]);
         head_ = advance(head_);
-        --visible_;
         ++poppedThisCycle_;
         return value;
     }
@@ -214,6 +228,7 @@ class StagedFifo
         if ((staged_ | poppedThisCycle_) == 0)
             return;
         visible_ += staged_;
+        visible_ -= poppedThisCycle_;
         staged_ = 0;
         poppedThisCycle_ = 0;
     }
@@ -233,7 +248,7 @@ class StagedFifo
     std::size_t
     totalSize() const
     {
-        return visible_ + staged_;
+        return visible_ - poppedThisCycle_ + staged_;
     }
 
   private:
@@ -298,6 +313,7 @@ struct FifoState
         if ((staged | poppedThisCycle) == 0)
             return;
         visible += staged;
+        visible -= poppedThisCycle;
         staged = 0;
         poppedThisCycle = 0;
     }
@@ -321,12 +337,12 @@ struct FifoView
     T *ext = nullptr;
 
     bool valid() const { return st != nullptr; }
-    bool empty() const { return st->visible == 0; }
+    bool empty() const { return st->visible == st->poppedThisCycle; }
 
     const T &
     front() const
     {
-        HRSIM_ASSERT(st->visible > 0);
+        HRSIM_ASSERT(st->visible > st->poppedThisCycle);
         return ext[st->head];
     }
 
@@ -335,17 +351,15 @@ struct FifoView
     void
     dropFront() const
     {
-        HRSIM_ASSERT(st->visible > 0);
+        HRSIM_ASSERT(st->visible > st->poppedThisCycle);
         st->head = st->head + 1 == st->capacity ? 0 : st->head + 1;
-        --st->visible;
         ++st->poppedThisCycle;
     }
 
     bool
     canPush() const
     {
-        return st->visible + st->poppedThisCycle + st->staged <
-               st->capacity;
+        return st->visible + st->staged < st->capacity;
     }
 
     void
@@ -357,7 +371,11 @@ struct FifoView
         ++st->staged;
     }
 
-    std::size_t totalSize() const { return st->visible + st->staged; }
+    std::size_t
+    totalSize() const
+    {
+        return st->visible - st->poppedThisCycle + st->staged;
+    }
 };
 
 /**
@@ -409,12 +427,14 @@ class ColumnFifo
     void
     setCapacity(std::size_t capacity)
     {
-        HRSIM_ASSERT(st_->visible == 0 && st_->staged == 0);
+        HRSIM_ASSERT(st_->visible == st_->poppedThisCycle &&
+                     st_->staged == 0);
         st_->capacity = static_cast<std::uint32_t>(capacity);
         ownBuf_.reset(capacity != 0 ? new T[capacity] : nullptr);
         ext_ = ownBuf_.get();
         st_->head = 0;
         st_->tail = 0;
+        st_->visible = 0;
         st_->poppedThisCycle = 0;
     }
 
@@ -423,28 +443,38 @@ class ColumnFifo
     void
     setCapacity(std::size_t capacity, T *storage)
     {
-        HRSIM_ASSERT(st_->visible == 0 && st_->staged == 0);
+        HRSIM_ASSERT(st_->visible == st_->poppedThisCycle &&
+                     st_->staged == 0);
         HRSIM_ASSERT(storage != nullptr);
         st_->capacity = static_cast<std::uint32_t>(capacity);
         ownBuf_.reset();
         ext_ = storage;
         st_->head = 0;
         st_->tail = 0;
+        st_->visible = 0;
         st_->poppedThisCycle = 0;
     }
 
     std::size_t capacity() const { return st_->capacity; }
 
-    /** Elements visible to the consumer this cycle. */
-    std::size_t size() const { return st_->visible; }
+    /** Elements still visible to the consumer this cycle. */
+    std::size_t
+    size() const
+    {
+        return st_->visible - st_->poppedThisCycle;
+    }
 
-    bool empty() const { return st_->visible == 0; }
+    bool
+    empty() const
+    {
+        return st_->visible == st_->poppedThisCycle;
+    }
 
     /** Producer-visible occupancy (see StagedFifo). */
     std::size_t
     producerOccupancy() const
     {
-        return st_->visible + st_->poppedThisCycle + st_->staged;
+        return st_->visible + st_->staged;
     }
 
     /** May a producer stage an element this cycle? */
@@ -486,7 +516,7 @@ class ColumnFifo
     const T &
     front() const
     {
-        HRSIM_ASSERT(st_->visible > 0);
+        HRSIM_ASSERT(st_->visible > st_->poppedThisCycle);
         return ext_[st_->head];
     }
 
@@ -494,9 +524,8 @@ class ColumnFifo
     void
     dropFront()
     {
-        HRSIM_ASSERT(st_->visible > 0);
+        HRSIM_ASSERT(st_->visible > st_->poppedThisCycle);
         st_->head = advance(st_->head);
-        --st_->visible;
         ++st_->poppedThisCycle;
     }
 
@@ -504,10 +533,9 @@ class ColumnFifo
     T
     pop()
     {
-        HRSIM_ASSERT(st_->visible > 0);
+        HRSIM_ASSERT(st_->visible > st_->poppedThisCycle);
         T value = std::move(ext_[st_->head]);
         st_->head = advance(st_->head);
-        --st_->visible;
         ++st_->poppedThisCycle;
         return value;
     }
@@ -527,7 +555,11 @@ class ColumnFifo
     }
 
     /** Total elements in the queue including staged ones. */
-    std::size_t totalSize() const { return st_->visible + st_->staged; }
+    std::size_t
+    totalSize() const
+    {
+        return st_->visible - st_->poppedThisCycle + st_->staged;
+    }
 
     /** Flat handle onto this queue (see FifoView). Re-acquire after
      *  bindState() or setCapacity(). */

@@ -1,0 +1,160 @@
+#include "core/tick_pool.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace hrsim
+{
+namespace
+{
+
+/**
+ * Busy-wait tuning. A tick phase is a few microseconds, so a worker
+ * that just finished one is overwhelmingly likely to see the next
+ * epoch within the pure-spin window; the yield window covers a caller
+ * delayed by its serial between-phase work; only a genuinely idle
+ * simulator (quiescent fast-forward, end of run) pays the condvar.
+ */
+constexpr int kPureSpins = 1 << 12;
+constexpr int kYieldSpins = 1 << 16;
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+} // namespace
+
+TickPool::TickPool(int threads)
+    : threads_(std::max(threads, 1))
+{
+    const int workers = threads_ - 1;
+    done_.reserve(static_cast<std::size_t>(workers));
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        done_.push_back(std::make_unique<Done>());
+    for (int w = 0; w < workers; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w + 1); });
+}
+
+TickPool::~TickPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_.store(true, std::memory_order_seq_cst);
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+TickPool::run(int numShards, TickFn fn, void *ctx)
+{
+    HRSIM_ASSERT(fn != nullptr);
+    if (threads_ == 1 || numShards <= 1) {
+        for (int s = 0; s < numShards; ++s)
+            fn(ctx, s);
+        return;
+    }
+
+    fn_ = fn;
+    ctx_ = ctx;
+    numShards_ = numShards;
+    // The RMW publishes fn_/ctx_/numShards_ to workers whose epoch
+    // load acquires it. seq_cst also orders it against the sleeping_
+    // load below — a worker that missed this epoch while deciding to
+    // sleep is guaranteed visible in sleeping_ (see workerLoop).
+    const std::uint64_t epoch =
+        epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    if (sleeping_.load(std::memory_order_seq_cst) > 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        wake_.notify_all();
+    }
+
+    for (int s = 0; s < numShards; s += threads_)
+        fn(ctx, s);
+
+    // Barrier: every worker publishes the epoch it completed with a
+    // release store; the acquire loads here make all shard writes
+    // visible before run() returns.
+    for (auto &done : done_) {
+        int spins = 0;
+        while (done->epoch.load(std::memory_order_acquire) < epoch) {
+            if (++spins >= kPureSpins) {
+                std::this_thread::yield();
+            } else {
+                cpuRelax();
+            }
+        }
+    }
+    fn_ = nullptr;
+    ctx_ = nullptr;
+    numShards_ = 0;
+}
+
+void
+TickPool::workerLoop(int self)
+{
+    Done &done = *done_[static_cast<std::size_t>(self - 1)];
+    std::uint64_t seen = 0;
+    for (;;) {
+        int spins = 0;
+        while (epoch_.load(std::memory_order_acquire) == seen &&
+               !stop_.load(std::memory_order_acquire)) {
+            ++spins;
+            if (spins < kPureSpins) {
+                cpuRelax();
+            } else if (spins < kYieldSpins) {
+                std::this_thread::yield();
+            } else {
+                // Advertise the sleep *before* re-checking the epoch:
+                // if the check still sees the old epoch, that load
+                // precedes the caller's epoch bump in the seq_cst
+                // order, so the caller's sleeping_ load observes this
+                // increment and takes the notify path.
+                sleeping_.fetch_add(1, std::memory_order_seq_cst);
+                {
+                    std::unique_lock<std::mutex> lock(mu_);
+                    wake_.wait(lock, [&] {
+                        return epoch_.load(
+                                   std::memory_order_acquire) !=
+                                   seen ||
+                               stop_.load(
+                                   std::memory_order_acquire);
+                    });
+                }
+                sleeping_.fetch_sub(1, std::memory_order_seq_cst);
+                spins = 0;
+            }
+        }
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        seen = epoch_.load(std::memory_order_acquire);
+        for (int s = self; s < numShards_; s += threads_)
+            fn_(ctx_, s);
+        done.epoch.store(seen, std::memory_order_release);
+    }
+}
+
+int
+TickPool::resolveTickThreads(int requested, unsigned sweepJobs)
+{
+    const int want = std::max(requested, 1);
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    const unsigned jobs = std::max(sweepJobs, 1u);
+    const int budget = static_cast<int>(std::max(hw / jobs, 1u));
+    return std::min(want, budget);
+}
+
+} // namespace hrsim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Persistent worker pool for the intra-run parallel tick engine.
+ *
+ * A TickPool executes one phase of one simulated cycle across a fixed
+ * set of structural shards (one shard per ring, or one contiguous
+ * router-row range of the mesh; see DESIGN.md section 15) and acts as
+ * the phase barrier: run() returns only after every shard callback
+ * has finished, with all its writes visible to the caller.
+ *
+ * This is a different animal from SweepRunner (core/sweep.hh), which
+ * it generalizes: sweep points are coarse (whole runs, milliseconds
+ * to minutes) and load-balanced through a shared claim cursor, while
+ * tick phases are microsecond-grained and latency-bound, so TickPool
+ *
+ *  - pins shard s to participant (s mod threads) — the same worker
+ *    re-touches the same shard's cache lines every cycle, and the
+ *    assignment is static so no claim cursor sits on the hot path;
+ *  - runs the calling thread as participant 0 (no handoff latency);
+ *  - synchronizes through a spin-then-yield-then-sleep epoch counter
+ *    rather than a mutex/condvar rendezvous: between back-to-back
+ *    ticks the workers stay hot and the dispatch costs two atomic
+ *    operations, while across idle gaps (fast-forwarded quiescent
+ *    stretches, end of run) they fall back to a condition variable
+ *    and cost nothing.
+ *
+ * Determinism: TickPool imposes no ordering between shards within a
+ * phase — the networks' shard decomposition guarantees that shards
+ * are write-disjoint during a phase (see DESIGN.md section 15), and
+ * every cross-shard effect is deferred into per-shard buffers that
+ * the caller drains in shard order after the barrier. The pool itself
+ * only promises the barrier.
+ */
+
+#ifndef HRSIM_CORE_TICK_POOL_HH
+#define HRSIM_CORE_TICK_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hrsim
+{
+
+class TickPool
+{
+  public:
+    /** Shard callback: fn(ctx, shard). */
+    using TickFn = void (*)(void *ctx, int shard);
+
+    /**
+     * Create a pool with @a threads participants total (values < 1
+     * clamp to 1). threads - 1 workers are spawned; the caller of
+     * run() is the remaining participant.
+     */
+    explicit TickPool(int threads);
+    ~TickPool();
+
+    TickPool(const TickPool &) = delete;
+    TickPool &operator=(const TickPool &) = delete;
+
+    /** Total participants including the calling thread (>= 1). */
+    int threads() const { return threads_; }
+
+    /**
+     * Execute fn(ctx, s) for every shard s in [0, numShards), shard s
+     * on participant (s mod threads()), and return after all shards
+     * completed (full barrier; all shard writes are visible to the
+     * caller). Runs inline when the pool has one participant or there
+     * is at most one shard. Not reentrant: one run() at a time.
+     */
+    void run(int numShards, TickFn fn, void *ctx);
+
+    /** Lambda convenience for run(); @a fn must outlive the call. */
+    template <typename Fn>
+    void
+    run(int numShards, Fn &fn)
+    {
+        run(numShards,
+            [](void *ctx, int shard) {
+                (*static_cast<Fn *>(ctx))(shard);
+            },
+            &fn);
+    }
+
+    /**
+     * Effective tick-thread count for one run: the request (values
+     * < 1 clamp to 1) capped by this process's share of the machine
+     * when @a sweepJobs runs execute concurrently — the sweep pool
+     * and the tick pools draw on one core budget, so
+     * jobs x tick-threads never oversubscribes hardware_concurrency.
+     */
+    static int resolveTickThreads(int requested, unsigned sweepJobs);
+
+  private:
+    /** Padded per-worker completion epoch (no false sharing). */
+    struct alignas(64) Done
+    {
+        std::atomic<std::uint64_t> epoch{0};
+    };
+
+    void workerLoop(int self);
+
+    int threads_ = 1;
+
+    // Per-dispatch payload; written by run() before the epoch bump
+    // publishes it (release/acquire through epoch_).
+    TickFn fn_ = nullptr;
+    void *ctx_ = nullptr;
+    int numShards_ = 0;
+
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<bool> stop_{false};
+    std::atomic<int> sleeping_{0};
+    std::vector<std::unique_ptr<Done>> done_; //!< one per worker
+
+    std::mutex mu_;              //!< cold path only (sleep/shutdown)
+    std::condition_variable wake_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace hrsim
+
+#endif // HRSIM_CORE_TICK_POOL_HH

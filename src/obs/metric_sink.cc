@@ -54,6 +54,7 @@ writeManifestJson(std::ostream &out, const RunManifest &manifest)
     out << "    \"config_hash\": \"" << manifest.configHash << "\",\n";
     out << "    \"seed\": " << manifest.seed << ",\n";
     out << "    \"jobs\": " << manifest.jobs << ",\n";
+    out << "    \"tick_threads\": " << manifest.tickThreads << ",\n";
     out << "    \"fast_path\": "
         << (manifest.fastPath ? "true" : "false") << ",\n";
     out << "    \"columnar\": "
@@ -170,6 +171,7 @@ writeMetricsCsv(std::ostream &out, const RunManifest &manifest,
     out << "# config_hash=" << manifest.configHash << '\n';
     out << "# seed=" << manifest.seed << '\n';
     out << "# jobs=" << manifest.jobs << '\n';
+    out << "# tick_threads=" << manifest.tickThreads << '\n';
     out << "# fast_path=" << (manifest.fastPath ? 1 : 0) << '\n';
     out << "# columnar=" << (manifest.columnar ? 1 : 0) << '\n';
     out << "# wall_seconds=" << jsonNumber(manifest.wallSeconds)

@@ -175,10 +175,18 @@ class RingIri
     void debugDump(std::ostream &out) const;
 
     /** Cumulative cycles worms spent blocked on full queues. */
-    std::uint64_t waitCycles() const { return waitCycles_; }
+    std::uint64_t
+    waitCycles() const
+    {
+        return waitCyclesLower_ + waitCyclesUpper_;
+    }
 
     /** Recirculation-escape laps taken. */
-    std::uint64_t escapes() const { return escapes_; }
+    std::uint64_t
+    escapes() const
+    {
+        return escapesLower_ + escapesUpper_;
+    }
 
     /** Route chosen for the worm currently arriving on a side. */
     enum class WormRoute : std::uint8_t
@@ -234,8 +242,15 @@ class RingIri
     PacketId lowerEscaped_ = 0;
     PacketId upperEscaped_ = 0;
 
-    std::uint64_t waitCycles_ = 0;
-    std::uint64_t escapes_ = 0;
+    // Wait/escape counters are split per side: the two sides of an
+    // IRI sit on different rings, i.e. in different tick shards, and
+    // the per-cycle acceptance passes of both may advance their
+    // side's counter concurrently (DESIGN.md section 15). The
+    // accessors report the sum, identical to the old single counter.
+    std::uint64_t waitCyclesLower_ = 0;
+    std::uint64_t waitCyclesUpper_ = 0;
+    std::uint64_t escapesLower_ = 0;
+    std::uint64_t escapesUpper_ = 0;
 
     RingSide lower_;
     RingSide upper_;

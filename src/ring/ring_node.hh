@@ -31,6 +31,7 @@
 #include "proto/packet.hh"
 #include "sim/active_set.hh"
 #include "sim/columns.hh"
+#include "sim/parallel.hh"
 #include "stats/utilization.hh"
 
 namespace hrsim
@@ -247,6 +248,11 @@ class RingOutput
         acceptFlag_ = accept_flag;
         util_ = util;
         link_ = link;
+        // Cache the flag/counter pair so the per-flit hot path is one
+        // load + one indexed increment (all utilization groups exist
+        // before wiring, so the counter pointer is stable).
+        utilMeasuring_ = util->measuringFlag();
+        utilCounter_ = util->transferCounter(link);
         occupancy_ = occupancy;
         subtreeLo_ = subtree_lo;
         subtreeHi_ = subtree_hi;
@@ -272,6 +278,21 @@ class RingOutput
 
     /** Route wakes into the columnar bitmap (wins over wakeSet_). */
     void setWakeMask(ActiveMask *mask) { wakeMask_ = mask; }
+
+    /**
+     * Shard-parallel tick support: re-target the cached utilization
+     * counter (at a per-shard plane, or back at the master counter)
+     * and this output's side of the fault ledger. Both are pure
+     * counter redirections — the totals the read side reports are
+     * identical (see UtilizationTracker::setShardPlanes and the
+     * ledger fold in RingNetwork::tickColumnarParallel).
+     */
+    void repointUtilCounter(std::uint64_t *counter)
+    {
+        utilCounter_ = counter;
+    }
+    UtilizationTracker::LinkId link() const { return link_; }
+    void repointAcct(FaultAccounting *acct) { acct_ = acct; }
 
     /**
      * Attach this output's fault state and the network's shared
@@ -382,7 +403,8 @@ class RingOutput
             stampPoison(flit);
         downstream_->staged = flit;
         wake(); // wake a sleeping neighbor
-        util_->recordTransfer(link_);
+        if (*utilMeasuring_)
+            ++*utilCounter_;
         HRSIM_TRACE_FLIT(
             tracerSlot_ ? *tracerSlot_ : nullptr, FlitEvent::Hop,
             flit.packet, traceNode_,
@@ -518,7 +540,8 @@ class RingOutput
             stampPoison(flit);
         downstream_->staged = flit;
         wake(); // wake a sleeping neighbor
-        util_->recordTransfer(link_);
+        if (*utilMeasuring_)
+            ++*utilCounter_;
         HRSIM_TRACE_FLIT(
             tracerSlot_ ? *tracerSlot_ : nullptr, FlitEvent::Hop,
             flit.packet, traceNode_,
@@ -666,14 +689,23 @@ class RingOutput
         }
     }
 
-    /** Wake the downstream component in its network's scheduler. */
+    /** Wake the downstream component in its network's scheduler.
+     *  Inside a parallel evaluate phase the wake is deferred — the
+     *  mask's summary word and count are shared across shards — and
+     *  merged at the barrier (sim/parallel.hh). */
     void
     wake() const
     {
-        if (wakeMask_)
-            wakeMask_->add(wakeId_); // columnar bitmap engine
-        else if (wakeSet_)
+        if (wakeMask_) {
+            if (ShardSink *sink = tlsShardSink) {
+                sink->wakes.push_back(
+                    DeferredWake{wakeMask_, wakeId_});
+            } else {
+                wakeMask_->add(wakeId_); // columnar bitmap engine
+            }
+        } else if (wakeSet_) {
             wakeSet_->add(wakeId_); // legacy ActiveSet engine
+        }
     }
 
     FlitSource *
@@ -696,6 +728,8 @@ class RingOutput
     const bool *acceptFlag_ = nullptr;
     UtilizationTracker *util_ = nullptr;
     UtilizationTracker::LinkId link_ = 0;
+    const bool *utilMeasuring_ = nullptr;
+    std::uint64_t *utilCounter_ = nullptr;
     RingOccupancy *occupancy_ = nullptr;
     NodeId subtreeLo_ = 0;
     NodeId subtreeHi_ = 0;

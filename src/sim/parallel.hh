@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Thread-local deferral sinks for the intra-run parallel tick
+ * (DESIGN.md section 15).
+ *
+ * During a shard-parallel evaluate phase, the only mutations that
+ * would cross shard boundaries are (a) waking a component that lives
+ * in another shard's mask range (the ActiveMask summary word and
+ * population count are shared across all ranges, so even a same-shard
+ * wake is unsafe mid-phase) and (b) delivering a packet to the
+ * System's handler, which mutates simulator-global state and, for the
+ * mesh, feeds order-sensitive floating-point accumulators. Both are
+ * therefore *deferred*: the component records the intent into its
+ * shard's sink and the network drains the sinks on the calling thread
+ * at the phase barrier — wakes merged before the commit phase (a
+ * mid-tick-woken component must still commit this cycle), deliveries
+ * drained in ascending shard order, which the networks arrange to
+ * equal the serial engine's ascending-node-id delivery order, so the
+ * delivered sequence is bit-identical to the single-threaded tick.
+ *
+ * The sink pointer is thread-local and null outside a parallel
+ * evaluate phase, so every serial path (default single-threaded runs,
+ * the legacy/full-scan oracles, commit phases, the global-ring fast
+ * domain) takes the direct branch; the cost on those paths is one TLS
+ * load and a predictable branch per wake/delivery.
+ */
+
+#ifndef HRSIM_SIM_PARALLEL_HH
+#define HRSIM_SIM_PARALLEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "proto/packet.hh"
+
+namespace hrsim
+{
+
+class ActiveMask;
+
+/** A wake recorded during a parallel evaluate phase. Duplicates are
+ *  allowed (ActiveMask::add is idempotent); the merge happens on the
+ *  caller thread between the evaluate barrier and the commit phase. */
+struct DeferredWake
+{
+    ActiveMask *mask;
+    std::uint32_t id;
+};
+
+/** A delivery recorded during a parallel evaluate phase, replayed
+ *  through Network::delivered() at the barrier. */
+struct DeferredDelivery
+{
+    Packet pkt;
+    Cycle when;
+};
+
+/**
+ * Per-shard deferral buffers. The vectors are cleared (capacity
+ * retained) each tick, so steady state allocates nothing.
+ */
+struct ShardSink
+{
+    std::vector<DeferredWake> wakes;
+    std::vector<DeferredDelivery> deliveries;
+
+    void
+    clear()
+    {
+        wakes.clear();
+        deliveries.clear();
+    }
+};
+
+/**
+ * The executing shard's sink; set by the network's shard callback for
+ * the duration of one shard's evaluate work, null everywhere else.
+ */
+inline thread_local ShardSink *tlsShardSink = nullptr;
+
+} // namespace hrsim
+
+#endif // HRSIM_SIM_PARALLEL_HH

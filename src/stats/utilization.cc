@@ -1,5 +1,7 @@
 #include "stats/utilization.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace hrsim
@@ -30,12 +32,33 @@ UtilizationTracker::addLink(GroupId group, std::uint32_t speed_factor)
 }
 
 void
+UtilizationTracker::setShardPlanes(int shards)
+{
+    planes_.assign(static_cast<std::size_t>(std::max(shards, 0)),
+                   std::vector<std::uint64_t>(groupTransfers_.size(),
+                                              0));
+}
+
+std::uint64_t
+UtilizationTracker::groupTransfersTotal(GroupId group) const
+{
+    std::uint64_t total = groupTransfers_[group];
+    for (const auto &plane : planes_)
+        total += plane[group];
+    return total;
+}
+
+void
 UtilizationTracker::startMeasurement(Cycle now)
 {
     measuring_ = true;
     windowStart_ = now;
     for (auto &transfers : groupTransfers_)
         transfers = 0;
+    for (auto &plane : planes_) {
+        for (auto &transfers : plane)
+            transfers = 0;
+    }
 }
 
 void
@@ -64,7 +87,7 @@ UtilizationTracker::groupUtilization(GroupId group) const
         return 0.0;
     const double cap = static_cast<double>(groupCapacity_[group]) *
                        static_cast<double>(windowCycles_);
-    return static_cast<double>(groupTransfers_[group]) / cap;
+    return static_cast<double>(groupTransfersTotal(group)) / cap;
 }
 
 double
@@ -76,7 +99,7 @@ UtilizationTracker::totalUtilization() const
     std::uint64_t transfers = 0;
     for (std::size_t g = 0; g < groupCapacity_.size(); ++g) {
         cap += groupCapacity_[g];
-        transfers += groupTransfers_[g];
+        transfers += groupTransfersTotal(static_cast<GroupId>(g));
     }
     if (cap == 0)
         return 0.0;

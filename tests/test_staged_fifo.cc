@@ -120,7 +120,8 @@ TEST(StagedFifo, ProducerOccupancyCountsAllThree)
     fifo.commit();
     fifo.pop(); // freed-but-not-recycled slot
     fifo.push(4); // staged
-    // visible 2 + popped 1 + staged 1 = 4.
+    // start-of-cycle visible 3 (the popped slot recycles only at
+    // commit) + staged 1 = 4.
     EXPECT_EQ(fifo.producerOccupancy(), 4u);
     EXPECT_FALSE(fifo.canPush());
     fifo.commit();

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Parallel tick engine tests: the shard-parallel columnar tick
+ * (SimConfig::tickThreads > 1; see DESIGN.md section 15) must be
+ * bit-identical to the serial tick at every pool width, across both
+ * network kinds, clock speeds, workloads, active fault plans, the
+ * oracle modes (full scan / no fast path / no columnar, under which
+ * the engine declines and stays serial) and sweep-worker crossing
+ * (--jobs x --tick-threads). The full RunResult is compared —
+ * counters, latency statistics, the materialized metric registry and
+ * mid-run snapshots — with only the mode-gated metric namespaces
+ * (sched.*, tick.*, *.streamed_flits) excluded.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "core/system.hh"
+#include "fault/fault_plan.hh"
+
+namespace hrsim
+{
+namespace
+{
+
+/** Scoped HRSIM_FORCE_FULL_SCAN=1 (read at System construction). */
+class ForceFullScan
+{
+  public:
+    ForceFullScan() { setenv("HRSIM_FORCE_FULL_SCAN", "1", 1); }
+    ~ForceFullScan() { unsetenv("HRSIM_FORCE_FULL_SCAN"); }
+};
+
+/** Scoped HRSIM_NO_FASTPATH=1: the legacy transmit loops. */
+class DisableFastPath
+{
+  public:
+    DisableFastPath() { setenv("HRSIM_NO_FASTPATH", "1", 1); }
+    ~DisableFastPath() { unsetenv("HRSIM_NO_FASTPATH"); }
+};
+
+/** Scoped HRSIM_NO_COLUMNAR=1: the legacy per-node layout. */
+class DisableColumnar
+{
+  public:
+    DisableColumnar() { setenv("HRSIM_NO_COLUMNAR", "1", 1); }
+    ~DisableColumnar() { unsetenv("HRSIM_NO_COLUMNAR"); }
+};
+
+bool
+isModeGatedMetric(const std::string &name)
+{
+    // sched.*, tick.* and *.streamed_flits register only when their
+    // mode is on, by design; everything else must match exactly.
+    static const std::string kStreamed = ".streamed_flits";
+    return name.rfind("sched.", 0) == 0 ||
+           name.rfind("tick.", 0) == 0 ||
+           (name.size() >= kStreamed.size() &&
+            name.compare(name.size() - kStreamed.size(),
+                         kStreamed.size(), kStreamed) == 0);
+}
+
+std::vector<MetricSample>
+withoutModeMetrics(const std::vector<MetricSample> &metrics)
+{
+    std::vector<MetricSample> kept;
+    kept.reserve(metrics.size());
+    for (const MetricSample &sample : metrics) {
+        if (!isModeGatedMetric(sample.name))
+            kept.push_back(sample);
+    }
+    return kept;
+}
+
+/** Full RunResult equality, modulo the mode-gated metrics. */
+void
+expectSameResult(const RunResult &parallel, const RunResult &serial)
+{
+    EXPECT_EQ(parallel.avgLatency, serial.avgLatency);
+    EXPECT_EQ(parallel.latencyCI95, serial.latencyCI95);
+    EXPECT_EQ(parallel.samples, serial.samples);
+    EXPECT_EQ(parallel.latencyP50, serial.latencyP50);
+    EXPECT_EQ(parallel.latencyP95, serial.latencyP95);
+    EXPECT_EQ(parallel.latencyP99, serial.latencyP99);
+    EXPECT_EQ(parallel.networkUtilization,
+              serial.networkUtilization);
+    EXPECT_EQ(parallel.ringLevelUtilization,
+              serial.ringLevelUtilization);
+    EXPECT_EQ(parallel.cycles, serial.cycles);
+    EXPECT_EQ(parallel.throughputPerPm, serial.throughputPerPm);
+
+    EXPECT_EQ(parallel.counters.missesGenerated,
+              serial.counters.missesGenerated);
+    EXPECT_EQ(parallel.counters.remoteIssued,
+              serial.counters.remoteIssued);
+    EXPECT_EQ(parallel.counters.remoteCompleted,
+              serial.counters.remoteCompleted);
+    EXPECT_EQ(parallel.counters.localIssued,
+              serial.counters.localIssued);
+    EXPECT_EQ(parallel.counters.localCompleted,
+              serial.counters.localCompleted);
+    EXPECT_EQ(parallel.counters.blockedCycles,
+              serial.counters.blockedCycles);
+
+    EXPECT_EQ(withoutModeMetrics(parallel.metrics),
+              withoutModeMetrics(serial.metrics));
+
+    ASSERT_EQ(parallel.snapshots.size(), serial.snapshots.size());
+    for (std::size_t i = 0; i < parallel.snapshots.size(); ++i) {
+        SCOPED_TRACE("snapshot " + std::to_string(i));
+        EXPECT_EQ(parallel.snapshots[i].cycle,
+                  serial.snapshots[i].cycle);
+        EXPECT_EQ(withoutModeMetrics(parallel.snapshots[i].metrics),
+                  withoutModeMetrics(serial.snapshots[i].metrics));
+    }
+}
+
+FaultEvent
+spec(const std::string &text)
+{
+    FaultEvent event;
+    std::string err;
+    EXPECT_TRUE(parseFaultSpec(text, event, err)) << err;
+    return event;
+}
+
+SimConfig
+shortSim()
+{
+    SimConfig sim;
+    sim.warmupCycles = 800;
+    sim.batchCycles = 800;
+    sim.numBatches = 3;
+    return sim;
+}
+
+RunResult
+runAt(SystemConfig cfg, int tickThreads)
+{
+    cfg.sim.tickThreads = tickThreads;
+    return runSystem(cfg);
+}
+
+/**
+ * Network/workload grid covering every shard-engine specialization:
+ * multi-ring hierarchies (one shard per ring, cross-ring IRI
+ * traffic), the double-speed global ring (serial fast domain next to
+ * parallel shards), single-level rings (one shard: inline dispatch),
+ * meshes both saturating (linear-scan shards, amortized sweep) and
+ * idle-heavy (bitmap-scan shards), 1-flit mesh buffers (peer FIFO
+ * backpressure across shard boundaries), wide cache lines (long
+ * worms crossing shard boundaries mid-packet) and mid-run metric
+ * snapshots.
+ */
+std::vector<std::pair<std::string, SystemConfig>>
+parallelGrid()
+{
+    std::vector<std::pair<std::string, SystemConfig>> grid;
+    const auto add = [&grid](std::string name, SystemConfig cfg) {
+        cfg.sim.idleSkip = true;
+        grid.emplace_back(std::move(name), cfg);
+    };
+
+    SystemConfig cfg = SystemConfig::ring("2:4", 64);
+    cfg.sim = shortSim();
+    cfg.workload.missRateC = 0.01;
+    add("ring 2:4 low-C", cfg);
+
+    cfg = SystemConfig::ring("4:4", 32);
+    cfg.sim = shortSim();
+    cfg.workload.outstandingT = 4;
+    add("ring 4:4 saturating", cfg);
+
+    cfg = SystemConfig::ring("2:2:4", 64);
+    cfg.sim = shortSim();
+    cfg.workload.missRateC = 0.005;
+    cfg.globalRingSpeed = 2;
+    add("ring 2:2:4 speed-2", cfg);
+
+    cfg = SystemConfig::ring("2:4", 128);
+    cfg.sim = shortSim();
+    cfg.workload.missRateC = 0.02;
+    add("ring 2:4 cl=128", cfg);
+
+    cfg = SystemConfig::ring("4", 16);
+    cfg.sim = shortSim();
+    add("ring 4 single-level", cfg);
+
+    cfg = SystemConfig::mesh(3, 64, 4);
+    cfg.sim = shortSim();
+    cfg.workload.missRateC = 0.01;
+    add("mesh 3 low-C", cfg);
+
+    cfg = SystemConfig::mesh(4, 32, 1);
+    cfg.sim = shortSim();
+    cfg.workload.outstandingT = 2;
+    add("mesh 4 1-flit buffers", cfg);
+
+    cfg = SystemConfig::mesh(4, 32, 4);
+    cfg.sim = shortSim();
+    cfg.workload.outstandingT = 8;
+    cfg.workload.missRateC = 0.08;
+    add("mesh 4 saturating", cfg);
+
+    cfg = SystemConfig::ring("2:4", 64);
+    cfg.sim = shortSim();
+    cfg.workload.missRateC = 0.01;
+    cfg.sim.metricsEvery = 500;
+    add("ring 2:4 metricsEvery=500", cfg);
+
+    // 11x11 mesh: 121 routers span two 64-bit mask words, so a
+    // 2-thread pool actually splits the id space (width <= 8 fits
+    // one word and degenerates to the inline single-shard path).
+    cfg = SystemConfig::mesh(11, 32, 4);
+    cfg.sim = shortSim();
+    cfg.workload.missRateC = 0.02;
+    add("mesh 11 two-word mask", cfg);
+
+    return grid;
+}
+
+// ---------------------------------------------------------------- //
+// Bit-identity: parallel tick vs serial tick
+
+TEST(TickParallel, BitIdenticalAcrossGridAndWidths)
+{
+    for (const auto &[name, cfg] : parallelGrid()) {
+        SCOPED_TRACE(name);
+        const RunResult serial = runAt(cfg, 1);
+        EXPECT_GT(serial.samples, 0u);
+        for (const int threads : {2, 4}) {
+            SCOPED_TRACE("tick-threads " + std::to_string(threads));
+            expectSameResult(runAt(cfg, threads), serial);
+        }
+    }
+}
+
+TEST(TickParallel, BitIdenticalToEveryOracleMode)
+{
+    // The serial engines are the parallel tick's oracles: a 4-thread
+    // run must match the full-scan, no-fast-path and no-columnar
+    // serial runs (under which the engine declines and the run is
+    // serial anyway — the decline itself must also be bit-identical).
+    for (const auto &[name, cfg] : parallelGrid()) {
+        if (cfg.sim.metricsEvery != 0)
+            continue; // keep the oracle sub-grid cheap
+        SCOPED_TRACE(name);
+        const RunResult parallel = runAt(cfg, 4);
+        RunResult fullScan;
+        {
+            ForceFullScan scan;
+            fullScan = runAt(cfg, 4);
+        }
+        RunResult noFast;
+        {
+            DisableFastPath off;
+            noFast = runAt(cfg, 4);
+        }
+        RunResult noColumnar;
+        {
+            DisableColumnar off;
+            noColumnar = runAt(cfg, 4);
+        }
+        expectSameResult(parallel, fullScan);
+        expectSameResult(parallel, noFast);
+        expectSameResult(parallel, noColumnar);
+    }
+}
+
+TEST(TickParallel, BitIdenticalUnderActiveFaultPlan)
+{
+    // Fault windows cross the shard engine everywhere it is
+    // delicate: per-shard fault ledgers folded after every tick,
+    // fault-pinned components surviving the sleep sweep, drops and
+    // retries rewaking components across shard boundaries.
+    SystemConfig ring = SystemConfig::ring("2:2:4", 32);
+    ring.sim = shortSim();
+    ring.sim.warmupCycles = 1500;
+    ring.sim.batchCycles = 1500;
+    ring.workload.missRateC = 0.02;
+    ring.faultPlan.events = {
+        spec("ring.nic2:down@1800..2600"),
+        spec("ring.l1.iri0.lower:stall@2000..2400"),
+        spec("ring.nic5:corrupt@3000..3600"),
+    };
+
+    SystemConfig mesh = SystemConfig::mesh(4, 32, 4);
+    mesh.sim = shortSim();
+    mesh.sim.warmupCycles = 1500;
+    mesh.sim.batchCycles = 1500;
+    mesh.workload.missRateC = 0.02;
+    mesh.faultPlan.events = {
+        spec("mesh.r5.east:down@1800..2600"),
+        spec("mesh.r10:stall@2000..2400"),
+    };
+
+    for (const auto &[name, cfg] :
+         {std::pair<std::string, SystemConfig>{"ring faults", ring},
+          {"mesh faults", mesh}}) {
+        SCOPED_TRACE(name);
+        const RunResult serial = runAt(cfg, 1);
+        for (const int threads : {2, 4}) {
+            SCOPED_TRACE("tick-threads " + std::to_string(threads));
+            expectSameResult(runAt(cfg, threads), serial);
+        }
+        // The fault machinery must have actually fired.
+        bool sawDrop = false;
+        for (const MetricSample &sample : serial.metrics) {
+            if (sample.name.rfind("fault.", 0) == 0)
+                sawDrop = true;
+        }
+        EXPECT_TRUE(sawDrop);
+    }
+}
+
+TEST(TickParallel, BitIdenticalUnderSweepWorkerCrossing)
+{
+    // --jobs x --tick-threads: every sweep worker drives its own
+    // System with its own 2-thread tick pool. The TSan CI stage
+    // re-runs this test against cross-thread races.
+    std::vector<SystemConfig> points;
+    for (auto &[name, cfg] : parallelGrid()) {
+        if (cfg.sim.metricsEvery == 0)
+            points.push_back(cfg);
+    }
+    ASSERT_GE(points.size(), 4u);
+
+    std::vector<SystemConfig> parallelPoints = points;
+    for (SystemConfig &point : parallelPoints)
+        point.sim.tickThreads = 2;
+
+    const std::vector<RunResult> serial = runSweep(points, 1);
+    const std::vector<RunResult> crossed =
+        runSweep(parallelPoints, 4);
+    ASSERT_EQ(crossed.size(), serial.size());
+    for (std::size_t i = 0; i < crossed.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i));
+        expectSameResult(crossed[i], serial[i]);
+    }
+}
+
+// ---------------------------------------------------------------- //
+// tick.* metric gating (run by the tickpool_smoke ctest)
+
+TEST(TickPoolSmoke, ParallelRunReportsShardProgress)
+{
+    SystemConfig cfg = SystemConfig::ring("4:4", 32);
+    cfg.sim = shortSim();
+    cfg.sim.tickThreads = 4;
+    cfg.workload.outstandingT = 4;
+
+    const RunResult result = runSystem(cfg);
+    bool sawEvals = false;
+    bool sawThreads = false;
+    for (const MetricSample &sample : result.metrics) {
+        if (sample.name == "tick.shard_evals") {
+            sawEvals = true;
+            EXPECT_GT(sample.count, 0u)
+                << "a saturating run must dispatch shards";
+        }
+        if (sample.name == "tick.threads") {
+            sawThreads = true;
+            EXPECT_EQ(sample.value, 4.0);
+        }
+    }
+    EXPECT_TRUE(sawEvals);
+    EXPECT_TRUE(sawThreads);
+}
+
+TEST(TickPoolSmoke, SerialRunHasNoTickMetrics)
+{
+    SystemConfig cfg = SystemConfig::ring("4:4", 32);
+    cfg.sim = shortSim();
+
+    const RunResult result = runSystem(cfg);
+    for (const MetricSample &sample : result.metrics)
+        EXPECT_NE(sample.name.rfind("tick.", 0), 0u)
+            << "unexpected " << sample.name;
+}
+
+TEST(TickPoolSmoke, OracleModeDisengagesTickMetrics)
+{
+    // tickThreads > 1 under HRSIM_NO_COLUMNAR: the engine declines,
+    // so the tick.* namespace must stay out of the artifact (the
+    // registered-only-when-active convention).
+    SystemConfig cfg = SystemConfig::ring("4:4", 32);
+    cfg.sim = shortSim();
+    cfg.sim.tickThreads = 4;
+
+    DisableColumnar off;
+    const RunResult result = runSystem(cfg);
+    for (const MetricSample &sample : result.metrics)
+        EXPECT_NE(sample.name.rfind("tick.", 0), 0u)
+            << "unexpected " << sample.name;
+}
+
+} // namespace
+} // namespace hrsim

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the TickPool phase-barrier worker pool: static shard
+ * assignment, barrier reuse across many dispatches, clean shutdown,
+ * and the shared core budget with the sweep pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/tick_pool.hh"
+
+namespace hrsim
+{
+namespace
+{
+
+TEST(TickPool, RunsEveryShardExactlyOnce)
+{
+    TickPool pool(4);
+    EXPECT_EQ(pool.threads(), 4);
+    std::vector<std::atomic<int>> hits(37);
+    auto fn = [&](int shard) {
+        hits[static_cast<std::size_t>(shard)].fetch_add(1);
+    };
+    pool.run(37, fn);
+    for (const auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(TickPool, SingleThreadRunsInline)
+{
+    TickPool pool(1);
+    EXPECT_EQ(pool.threads(), 1);
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::thread::id> ran(5);
+    auto fn = [&](int shard) {
+        ran[static_cast<std::size_t>(shard)] =
+            std::this_thread::get_id();
+    };
+    pool.run(5, fn);
+    for (const auto &id : ran)
+        EXPECT_EQ(id, caller);
+}
+
+TEST(TickPool, ShardPinnedToParticipant)
+{
+    // Shard s always lands on participant (s mod threads): across
+    // repeated dispatches each shard is touched by one stable thread.
+    TickPool pool(3);
+    constexpr int kShards = 9;
+    std::vector<std::thread::id> first(kShards);
+    for (int round = 0; round < 50; ++round) {
+        std::vector<std::thread::id> seen(kShards);
+        auto fn = [&](int shard) {
+            seen[static_cast<std::size_t>(shard)] =
+                std::this_thread::get_id();
+        };
+        pool.run(kShards, fn);
+        for (int s = 0; s < kShards; ++s) {
+            if (round == 0) {
+                first[static_cast<std::size_t>(s)] =
+                    seen[static_cast<std::size_t>(s)];
+            } else {
+                EXPECT_EQ(seen[static_cast<std::size_t>(s)],
+                          first[static_cast<std::size_t>(s)]);
+            }
+        }
+    }
+}
+
+TEST(TickPool, BarrierMakesShardWritesVisible)
+{
+    // Reuse the barrier thousands of times: after every run() the
+    // caller must observe all shard writes (the accumulator would
+    // lose increments otherwise).
+    TickPool pool(4);
+    constexpr int kShards = 8;
+    std::vector<std::uint64_t> cells(kShards, 0);
+    auto fn = [&](int shard) {
+        ++cells[static_cast<std::size_t>(shard)];
+    };
+    constexpr int kRounds = 5000;
+    for (int round = 0; round < kRounds; ++round) {
+        pool.run(kShards, fn);
+        std::uint64_t sum = 0;
+        for (const std::uint64_t cell : cells)
+            sum += cell;
+        ASSERT_EQ(sum, static_cast<std::uint64_t>(kShards) *
+                           static_cast<std::uint64_t>(round + 1));
+    }
+}
+
+TEST(TickPool, MoreThreadsThanShards)
+{
+    // Participants beyond the shard count simply idle through the
+    // epoch; the barrier still completes.
+    TickPool pool(8);
+    std::atomic<int> hits{0};
+    auto fn = [&](int) { hits.fetch_add(1); };
+    pool.run(2, fn);
+    EXPECT_EQ(hits.load(), 2);
+    pool.run(0, fn);
+    EXPECT_EQ(hits.load(), 2);
+}
+
+TEST(TickPool, ShutdownWithoutAnyDispatch)
+{
+    // Destructor must join workers that never saw an epoch.
+    TickPool pool(4);
+}
+
+TEST(TickPool, ShutdownAfterWorkersWentToSleep)
+{
+    TickPool pool(2);
+    std::atomic<int> hits{0};
+    auto fn = [&](int) { hits.fetch_add(1); };
+    pool.run(4, fn);
+    EXPECT_EQ(hits.load(), 4);
+    // Let the workers exhaust their spin budget and block on the
+    // condition variable before the destructor runs.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+TEST(TickPool, ResolveTickThreadsClampsAndBudgets)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    // Malformed requests clamp to 1.
+    EXPECT_EQ(TickPool::resolveTickThreads(0, 1), 1);
+    EXPECT_EQ(TickPool::resolveTickThreads(-3, 1), 1);
+    // A lone run gets what it asked for (up to the machine).
+    EXPECT_EQ(TickPool::resolveTickThreads(1, 1), 1);
+    EXPECT_EQ(TickPool::resolveTickThreads(2, 1),
+              std::min(2, static_cast<int>(hw)));
+    // Under a saturating sweep the budget collapses to one core per
+    // job, never below 1.
+    EXPECT_EQ(TickPool::resolveTickThreads(8, hw), 1);
+    EXPECT_EQ(TickPool::resolveTickThreads(8, 4 * hw), 1);
+    // jobs x threads never exceeds the machine.
+    for (unsigned jobs = 1; jobs <= hw; ++jobs) {
+        const int granted = TickPool::resolveTickThreads(8, jobs);
+        EXPECT_LE(jobs * static_cast<unsigned>(granted), hw);
+    }
+}
+
+} // namespace
+} // namespace hrsim
