@@ -65,7 +65,11 @@ benchJobs()
 inline SweepRunner &
 benchRunner()
 {
-    static SweepRunner runner{SweepOptions{benchJobs(), false}};
+    static SweepRunner runner{[] {
+        SweepOptions opts;
+        opts.jobs = benchJobs();
+        return opts;
+    }()};
     return runner;
 }
 

@@ -5,7 +5,7 @@
 #  1. release  — Release build, the full ctest suite (unit tests,
 #                paper-conformance checks, and the script gates:
 #                metrics_schema_check, docs_check, simspeed_smoke,
-#                adaptive_smoke, fault_smoke).
+#                adaptive_smoke, fault_smoke, ckpt_smoke).
 #  2. tsan     — -DHRSIM_SANITIZE=thread, the concurrency-sensitive
 #                tests (sweep engine, adaptive run control, active-set
 #                scheduler, fault replay under parallel sweeps, the
@@ -38,7 +38,7 @@ src=$(cd "$(dirname "$0")/.." && pwd)
 # placement-new pool — raw masks and lifetimes, ASan/TSan territory.
 # TickPool/TickParallel cover the intra-run shard engine: the epoch
 # barrier and the frozen-FIFO shard isolation (DESIGN.md section 15).
-SANITIZED_FILTER='Sweep|AdaptiveSystem|RunController|ActiveSet|RingDeque|StagedFifo|BatchMeans|TQuantile|Mser|Fault|LayoutSmoke|StablePool|TickPool|TickParallel'
+SANITIZED_FILTER='Sweep|AdaptiveSystem|RunController|ActiveSet|RingDeque|StagedFifo|BatchMeans|TQuantile|Mser|Fault|LayoutSmoke|StablePool|TickPool|TickParallel|Checkpoint'
 
 run_release() {
     cmake -B "$src/build-ci" -S "$src" -DCMAKE_BUILD_TYPE=Release

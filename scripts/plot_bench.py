@@ -74,6 +74,14 @@ def read_snapshot(path):
 
 
 def plot_trajectory(paths, out_dir, logy):
+    # Degrade gracefully at the short end of a history: a repo's
+    # first benchmarked PR has one snapshot and a fresh clone may
+    # have none — neither is an error worth failing a pipeline over.
+    if not paths:
+        print("no snapshots given; nothing to plot (run "
+              "scripts/run_simspeed.sh to record one)",
+              file=sys.stderr)
+        return 0
     snapshots = []
     for path in paths:
         try:
@@ -83,6 +91,9 @@ def plot_trajectory(paths, out_dir, logy):
     if not snapshots:
         print("no readable snapshots", file=sys.stderr)
         return 1
+    if len(snapshots) == 1:
+        print("single snapshot: no PR-over-PR trend yet; showing "
+              "its medians as one column", file=sys.stderr)
 
     # Disambiguate repeated labels (same commit benchmarked twice).
     seen = collections.Counter()
@@ -157,14 +168,14 @@ def main():
                         help="output directory for PNGs")
     parser.add_argument("--logy", action="store_true",
                         help="log-scale the y axis")
-    parser.add_argument("--trajectory", nargs="+", metavar="JSON",
+    parser.add_argument("--trajectory", nargs="*", metavar="JSON",
                         help="overlay node-cycles/s medians from "
                              "BENCH_simspeed*.json snapshots "
                              "(oldest first) instead of reading "
                              "figure CSV from stdin")
     args = parser.parse_args()
 
-    if args.trajectory:
+    if args.trajectory is not None:
         return plot_trajectory(args.trajectory, args.out, args.logy)
 
     figures = read_series(sys.stdin)

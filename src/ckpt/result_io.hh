@@ -1,0 +1,69 @@
+/**
+ * @file
+ * RunResult serialization for crash-safe sweep journals.
+ *
+ * A journaled sweep (SweepOptions::journalDir) persists every
+ * completed point's RunResult to its own file so a killed sweep can
+ * be resumed without recomputing finished points. The container
+ * mirrors the checkpoint one — magic, schema version, the producing
+ * point's config key, an FNV-1a payload hash, temporary-file +
+ * rename atomicity — and the payload uses the same explicit
+ * little-endian codec, so f64 fields (latencies, utilizations)
+ * round-trip bit-exactly and a resumed sweep's artifacts are
+ * byte-identical to an uninterrupted run's.
+ *
+ * The metric sample/snapshot encoders live here because both the
+ * result payload and the System checkpoint payload carry them; they
+ * must stay byte-compatible with ckptSchemaVersion.
+ */
+
+#ifndef HRSIM_CKPT_RESULT_IO_HH
+#define HRSIM_CKPT_RESULT_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "ckpt/codec.hh"
+#include "core/system.hh"
+
+namespace hrsim
+{
+
+/** Encode a sorted registry materialization (count + samples). */
+void saveMetricSamples(CkptWriter &w,
+                       const std::vector<MetricSample> &samples);
+void loadMetricSamples(CkptReader &r,
+                       std::vector<MetricSample> &samples);
+
+/** Encode mid-run snapshots (count + {cycle, samples}). */
+void saveMetricSnapshots(CkptWriter &w,
+                         const std::vector<MetricSnapshot> &snapshots);
+void loadMetricSnapshots(CkptReader &r,
+                         std::vector<MetricSnapshot> &snapshots);
+
+/** Encode every RunResult field in a fixed documented order. */
+void saveRunResult(CkptWriter &w, const RunResult &result);
+RunResult loadRunResult(CkptReader &r);
+
+/**
+ * Atomically persist @a result to @a path, stamped with the
+ * producing point's @a configKey. Throws CheckpointError on I/O
+ * failure.
+ */
+void writeResultFile(const std::string &path,
+                     const std::string &configKey,
+                     const RunResult &result);
+
+/**
+ * Probe a journaled result. Returns false when @a path does not
+ * exist (the point has not completed); throws CheckpointError when
+ * the file is corrupt or was produced by a different config — the
+ * message names both keys, because silently recomputing would mask a
+ * resumed sweep whose point list changed underneath the journal.
+ */
+bool tryReadResultFile(const std::string &path,
+                       const std::string &configKey, RunResult &out);
+
+} // namespace hrsim
+
+#endif // HRSIM_CKPT_RESULT_IO_HH

@@ -72,6 +72,18 @@ class RingDeque
         --size_;
     }
 
+    /**
+     * The @a i-th oldest element (0 = front()). Read-only peek for
+     * checkpointing: saves walk in FIFO order and loads re-pack via
+     * push_back(), so the physical layout never reaches a snapshot.
+     */
+    const T &
+    at(std::size_t i) const
+    {
+        HRSIM_ASSERT(i < size_);
+        return store_[(head_ + i) & mask_];
+    }
+
     void
     clear()
     {

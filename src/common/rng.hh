@@ -43,6 +43,12 @@ class Rng
     /** Bernoulli trial with probability p of true. */
     bool bernoulli(double p);
 
+    /** Raw generator state, for checkpointing. */
+    const std::array<std::uint64_t, 4> &state() const { return s_; }
+
+    /** Restore a state captured by state(). */
+    void setState(const std::array<std::uint64_t, 4> &s) { s_ = s; }
+
   private:
     std::array<std::uint64_t, 4> s_;
 };

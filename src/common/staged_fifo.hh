@@ -251,6 +251,23 @@ class StagedFifo
         return visible_ - poppedThisCycle_ + staged_;
     }
 
+    /**
+     * The @a i-th oldest visible element (0 = front()). Read-only
+     * peek for checkpointing: a tick-boundary save walks the visible
+     * region in FIFO order and re-packs it on load, so the physical
+     * head/tail positions never reach the snapshot.
+     */
+    const T &
+    at(std::size_t i) const
+    {
+        HRSIM_ASSERT(i < size());
+        std::uint32_t index =
+            head_ + static_cast<std::uint32_t>(i);
+        if (index >= capacity_)
+            index -= capacity_;
+        return data()[index];
+    }
+
   private:
     std::uint32_t
     advance(std::uint32_t index) const
@@ -559,6 +576,18 @@ class ColumnFifo
     totalSize() const
     {
         return st_->visible - st_->poppedThisCycle + st_->staged;
+    }
+
+    /** The @a i-th oldest visible element (see StagedFifo::at). */
+    const T &
+    at(std::size_t i) const
+    {
+        HRSIM_ASSERT(i < size());
+        std::uint32_t index =
+            st_->head + static_cast<std::uint32_t>(i);
+        if (index >= st_->capacity)
+            index -= st_->capacity;
+        return ext_[index];
     }
 
     /** Flat handle onto this queue (see FifoView). Re-acquire after

@@ -1,9 +1,14 @@
 #include "core/sweep.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <numeric>
 
+#include "ckpt/codec.hh"
+#include "ckpt/result_io.hh"
 #include "common/rng.hh"
+#include "obs/manifest.hh"
 
 namespace hrsim
 {
@@ -54,7 +59,40 @@ SweepRunner::runPoint(Batch &batch, std::size_t index) const
         SystemConfig cfg = (*batch.points)[index];
         if (opts_.reseedPoints)
             cfg.sim.seed = pointSeed(cfg.sim.seed, index);
-        (*batch.results)[index] = runSystem(cfg);
+        if (opts_.journalDir.empty()) {
+            (*batch.results)[index] = runSystem(cfg);
+            return;
+        }
+
+        const std::string stem = opts_.journalDir + "/point_" +
+                                 std::to_string(index);
+        const std::string key = configKey(cfg);
+        if (opts_.resume) {
+            RunResult prior;
+            if (tryReadResultFile(stem + ".result", key, prior)) {
+                (*batch.results)[index] = std::move(prior);
+                return;
+            }
+            // No finished result; a periodic checkpoint means the
+            // point was in flight when the sweep died — restore it
+            // rather than repeating the prefix. Probe first so a
+            // missing file falls through to a fresh run instead of
+            // failing inside System::restoreCheckpoint().
+            if (std::ifstream(stem + ".ckpt").good())
+                cfg.ckpt.restorePath = stem + ".ckpt";
+        }
+        if (opts_.checkpointEvery != 0) {
+            cfg.ckpt.savePath = stem + ".ckpt";
+            cfg.ckpt.saveEvery = opts_.checkpointEvery;
+        }
+        RunResult result = runSystem(cfg);
+        writeResultFile(stem + ".result", key, result);
+        // The periodic checkpoint is scratch state for resuming this
+        // point; with the result journaled it is dead weight, and
+        // removing it leaves a resumed sweep's directory identical to
+        // an uninterrupted one's.
+        std::remove((stem + ".ckpt").c_str());
+        (*batch.results)[index] = std::move(result);
     } catch (...) {
         (*batch.errors)[index] = std::current_exception();
     }
@@ -190,6 +228,51 @@ runSweep(const std::vector<SystemConfig> &points, unsigned jobs)
     opts.jobs = jobs;
     SweepRunner runner(opts);
     return runner.run(points);
+}
+
+std::vector<SystemConfig>
+warmStartReplicas(const SystemConfig &base,
+                  const std::string &checkpointPath,
+                  const std::vector<std::uint64_t> &seeds)
+{
+    std::vector<SystemConfig> replicas;
+    replicas.reserve(seeds.size());
+
+    if (base.sim.warmupCycles == 0) {
+        for (const std::uint64_t seed : seeds) {
+            SystemConfig cfg = base;
+            cfg.sim.seed = seed;
+            replicas.push_back(std::move(cfg));
+        }
+        return replicas;
+    }
+
+    // Reuse an existing donor snapshot only if it was produced by
+    // this exact base config; anything else (missing, corrupt, a
+    // different config's leftovers) is replaced by a fresh donor run.
+    bool have_donor = false;
+    try {
+        have_donor = peekCheckpointHeader(checkpointPath).configKey ==
+                     configKey(base);
+    } catch (const CheckpointError &) {
+        have_donor = false;
+    }
+    if (!have_donor) {
+        SystemConfig donor = base;
+        donor.ckpt.savePath = checkpointPath;
+        donor.ckpt.saveAt = donor.sim.warmupCycles;
+        donor.ckpt.stopAfterSave = true;
+        runSystem(donor);
+    }
+
+    for (const std::uint64_t seed : seeds) {
+        SystemConfig cfg = base;
+        cfg.sim.seed = seed;
+        cfg.ckpt.restorePath = checkpointPath;
+        cfg.ckpt.forkSeed = seed;
+        replicas.push_back(std::move(cfg));
+    }
+    return replicas;
 }
 
 } // namespace hrsim

@@ -67,6 +67,29 @@ struct SweepOptions
      * explicit configs reproduces the exact serial runSystem() calls.
      */
     bool reseedPoints = false;
+
+    /**
+     * Crash-safe journaling: when non-empty, every completed point
+     * writes its RunResult to <journalDir>/point_<idx>.result
+     * (atomic, config-key stamped), and in-progress points
+     * periodically checkpoint to <journalDir>/point_<idx>.ckpt when
+     * checkpointEvery is set. The directory must already exist.
+     */
+    std::string journalDir;
+
+    /**
+     * Resume a journaled sweep: points whose .result file exists are
+     * loaded instead of re-run (a config-key mismatch throws — the
+     * journal belongs to a different sweep), and points with only a
+     * .ckpt restore from it and continue. Because a restored run is
+     * bit-identical to an uninterrupted one, the resumed sweep's
+     * results and journal bytes match the never-killed sweep exactly.
+     */
+    bool resume = false;
+
+    /** Periodic checkpoint interval for journaled in-progress points
+     *  (cycles; 0 = journal completed results only). */
+    Cycle checkpointEvery = 0;
 };
 
 class SweepRunner
@@ -137,6 +160,26 @@ class SweepRunner
  */
 std::vector<RunResult>
 runSweep(const std::vector<SystemConfig> &points, unsigned jobs = 0);
+
+/**
+ * Warm-start a replica sweep: pay the donor's warmup exactly once
+ * per config, then fork every measurement replica from the shared
+ * snapshot with its own RNG stream.
+ *
+ * If @a checkpointPath does not already hold a snapshot produced by
+ * @a base, the donor runs base to its warmup boundary
+ * (save-at-warmup + stop-after-save) to create it. The returned
+ * configs — one per entry of @a seeds — restore from that snapshot
+ * and reseed via CheckpointOptions::forkSeed, so each replica's
+ * measurement phase draws from its own stream while sharing the
+ * donor's warmed-up queues and tables. With warmupCycles == 0 there
+ * is nothing to share and the configs are returned as plain
+ * reseeded runs.
+ */
+std::vector<SystemConfig>
+warmStartReplicas(const SystemConfig &base,
+                  const std::string &checkpointPath,
+                  const std::vector<std::uint64_t> &seeds);
 
 } // namespace hrsim
 

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "ckpt/codec.hh"
+#include "ckpt/result_io.hh"
 #include "common/log.hh"
 #include "core/tick_pool.hh"
 #include "mesh/mesh_network.hh"
+#include "obs/manifest.hh"
 #include "ring/slotted_network.hh"
 #include "sim/columns.hh"
 #include "sim/fastpath.hh"
@@ -464,6 +467,30 @@ System::fastForwardQuiescent(Cycle limit)
                             cfg_.sim.metricsEvery -
                         1);
     }
+    // Never jump over a pending save point: the snapshot must capture
+    // the state at exactly the requested cycle. <= (a jump attempted
+    // AT the boundary stays put), because the run loop saves after
+    // this call — same reasoning as the warmup clamp above. Once a
+    // boundary's save has fired the clamp releases, so the run loop's
+    // retry resumes the jump and the no-op gap is merely split across
+    // two jumps: skipped-cycle totals stay bit-identical with saving
+    // on or off.
+    if (!cfg_.ckpt.savePath.empty()) {
+        if (cfg_.ckpt.saveAt != 0 && !saveAtDone_ &&
+            now_ <= cfg_.ckpt.saveAt && target > cfg_.ckpt.saveAt) {
+            target = cfg_.ckpt.saveAt;
+        }
+        if (cfg_.ckpt.saveEvery != 0) {
+            const bool pending_here =
+                now_ % cfg_.ckpt.saveEvery == 0 && now_ != 0 &&
+                now_ != lastEverySave_;
+            const Cycle boundary =
+                pending_here ? now_
+                             : (now_ / cfg_.ckpt.saveEvery + 1) *
+                                   cfg_.ckpt.saveEvery;
+            target = std::min(target, boundary);
+        }
+    }
 
     // Earliest future event: the soonest processor wake or pending
     // memory completion. (A ready-but-uninjected response implies a
@@ -516,6 +543,8 @@ System::totalPendingResponses() const
 RunResult
 System::run()
 {
+    if (!cfg_.ckpt.restorePath.empty() && !restored_)
+        restoreCheckpoint(cfg_.ckpt.restorePath);
     return stopPolicy_.enabled() ? runAdaptive() : runFixed();
 }
 
@@ -525,11 +554,22 @@ System::runFixed()
     const Cycle end = latency_.endCycle();
     UtilizationTracker &util = network_->utilization();
 
-    std::vector<MetricSnapshot> snapshots;
     while (now_ < end) {
         fastForwardQuiescent(end);
         if (now_ >= end)
             break;
+        // Save before the warmup check: a snapshot at the warmup
+        // boundary captures the pre-measurement state, and the
+        // restored run re-runs startMeasurement() exactly where the
+        // uninterrupted one did. After a save, retry the fast-forward
+        // first — if the boundary interrupted a quiescent gap, the
+        // jump resumes instead of burning a tick the uninterrupted
+        // run would have skipped.
+        if (maybeSaveCheckpoint()) {
+            if (saveStopRequested_)
+                break;
+            continue;
+        }
         if (now_ == cfg_.sim.warmupCycles)
             util.startMeasurement(now_);
         tickOnce();
@@ -539,22 +579,29 @@ System::runFixed()
             // times the utilization window and the registry samplers
             // only read component state.
             util.markSnapshot(now_);
-            snapshots.push_back({now_, metrics_.snapshot()});
+            snapshots_.push_back({now_, metrics_.snapshot()});
         }
     }
-    util.stopMeasurement(end);
+    const Cycle stop = saveStopRequested_ ? now_ : end;
+    // A stop-after-save at or before the warmup boundary never opened
+    // the measurement window; there is nothing to close.
+    if (*util.measuringFlag())
+        util.stopMeasurement(stop);
     // Credit cycles skipped by sleeping processors at the horizon so
     // counters match the every-cycle path exactly.
     for (auto &processor : processors_)
-        processor->syncSkipped(end);
+        processor->syncSkipped(stop);
 
     RunResult result;
     result.stopReason = StopReason::FixedLength;
     result.warmupCycles = cfg_.sim.warmupCycles;
-    result.snapshots = std::move(snapshots);
-    finishResult(result, end,
-                 cfg_.sim.batchCycles *
-                     static_cast<Cycle>(cfg_.sim.numBatches));
+    result.snapshots = std::move(snapshots_);
+    const Cycle measured =
+        saveStopRequested_
+            ? stop - std::min(stop, cfg_.sim.warmupCycles)
+            : cfg_.sim.batchCycles *
+                  static_cast<Cycle>(cfg_.sim.numBatches);
+    finishResult(result, stop, measured);
     return result;
 }
 
@@ -575,27 +622,38 @@ System::runAdaptive()
     // No a-priori warmup: the whole run is measured and the MSER
     // truncation corrects the latency estimate afterwards. Link
     // utilization keeps the full window — its transient bias decays
-    // with run length and it is not the convergence target.
-    util.startMeasurement(now_);
+    // with run length and it is not the convergence target. A
+    // restored run already carries the open window in its snapshot.
+    if (!restored_)
+        util.startMeasurement(now_);
 
-    RunController controller(stopPolicy_, latency_);
-    std::vector<MetricSnapshot> snapshots;
+    if (!controller_) {
+        controller_ =
+            std::make_unique<RunController>(stopPolicy_, latency_);
+    }
     RunController::Decision decision;
     do {
-        const Cycle checkpoint = controller.nextCheckpoint();
+        const Cycle checkpoint = controller_->nextCheckpoint();
         while (now_ < checkpoint) {
             fastForwardQuiescent(checkpoint);
             if (now_ >= checkpoint)
                 break;
+            if (maybeSaveCheckpoint()) {
+                if (saveStopRequested_)
+                    break;
+                continue;
+            }
             tickOnce();
             if (cfg_.sim.metricsEvery != 0 &&
                 now_ % cfg_.sim.metricsEvery == 0) {
                 util.markSnapshot(now_);
-                snapshots.push_back({now_, metrics_.snapshot()});
+                snapshots_.push_back({now_, metrics_.snapshot()});
             }
         }
+        if (saveStopRequested_)
+            break;
         decision =
-            controller.onCheckpoint(now_, outstandingOccupancy());
+            controller_->onCheckpoint(now_, outstandingOccupancy());
     } while (!decision.stop);
 
     const Cycle end = now_;
@@ -607,12 +665,12 @@ System::runAdaptive()
 
     RunResult result;
     result.stopReason = decision.reason;
-    result.warmupCycles = controller.warmupCycles();
+    result.warmupCycles = controller_->warmupCycles();
     const double mean = latency_.mean();
     result.relHalfWidth =
         mean > 0.0 ? latency_.halfWidth95() / mean : 0.0;
-    result.snapshots = std::move(snapshots);
-    finishResult(result, end, end - controller.warmupCycles());
+    result.snapshots = std::move(snapshots_);
+    finishResult(result, end, end - controller_->warmupCycles());
     return result;
 }
 
@@ -647,6 +705,259 @@ System::finishResult(RunResult &result, Cycle end,
         (static_cast<double>(std::max<Cycle>(measured_cycles, 1)) *
          static_cast<double>(network_->numProcessors()));
     result.metrics = metrics_.snapshot();
+}
+
+namespace
+{
+
+/**
+ * Config key with its " seed=<n>" field removed. Warm-start forking
+ * (CheckpointOptions::forkSeed) compares keys modulo the seed — the
+ * fork deliberately diverges there and nowhere else.
+ */
+std::string
+stripSeedField(const std::string &key)
+{
+    const std::string tag = " seed=";
+    const std::size_t at = key.find(tag);
+    if (at == std::string::npos)
+        return key;
+    std::size_t end = key.find(' ', at + tag.size());
+    if (end == std::string::npos)
+        end = key.size();
+    return key.substr(0, at) + key.substr(end);
+}
+
+} // namespace
+
+void
+System::saveCheckpoint(const std::string &path) const
+{
+    if (!network_->checkpointSupported()) {
+        throw CheckpointError(
+            "checkpoint: this network does not support checkpointing "
+            "(slotted ring)");
+    }
+
+    // Payload layout (DESIGN.md section 16): simulation-core scalars,
+    // measurement machinery, scheduler bookkeeping, workload
+    // components, fault state, then the network. The order is frozen
+    // by ckptSchemaVersion — extend only by bumping it.
+    CkptWriter w;
+    w.u64(now_);
+    w.u64(lastProgress_);
+    w.u64(lastActivity_);
+    w.u64(skippedCycles_);
+    w.u8(static_cast<std::uint8_t>(stopReason_));
+
+    w.u64(counters_.missesGenerated);
+    w.u64(counters_.remoteIssued);
+    w.u64(counters_.remoteCompleted);
+    w.u64(counters_.localIssued);
+    w.u64(counters_.localCompleted);
+    w.u64(counters_.blockedCycles);
+
+    latency_.saveState(w);
+    histogram_.saveState(w);
+    network_->utilization().saveState(w);
+
+    w.u32(static_cast<std::uint32_t>(procWake_.size()));
+    for (const Cycle wake : procWake_)
+        w.u64(wake);
+    // activeMems_ in list order: delivery order assigned membership,
+    // and replaying it exactly keeps the memory tick order — and so
+    // every downstream packet id — identical after restore.
+    // (memActive_ is its membership flag vector, derived on load.)
+    w.u32(static_cast<std::uint32_t>(activeMems_.size()));
+    for (const NodeId pm : activeMems_)
+        w.i32(pm);
+
+    w.u64(factory_->nextId());
+
+    w.boolean(controller_ != nullptr);
+    if (controller_)
+        controller_->saveState(w);
+    saveMetricSnapshots(w, snapshots_);
+
+    for (const auto &processor : processors_)
+        processor->saveState(w);
+    for (const auto &memory : memories_)
+        memory->saveState(w);
+
+    w.boolean(faults_ != nullptr);
+    if (faults_) {
+        faults_->saveState(w);
+        w.u64(retryCounters_.reissued);
+        w.u64(retryCounters_.stale);
+        w.u64(retryCounters_.abandoned);
+    }
+
+    network_->saveState(w);
+
+    CheckpointHeader header;
+    header.version = ckptSchemaVersion;
+    header.configKey = configKey(cfg_);
+    header.columnar = columnarEnabled();
+    header.fastPath = fastPathEnabled();
+    header.activeSched = activeSched_;
+    header.cycle = now_;
+    writeCheckpointFile(path, header, w);
+}
+
+void
+System::restoreCheckpoint(const std::string &path)
+{
+    if (!network_->checkpointSupported()) {
+        throw CheckpointError(
+            "checkpoint: this network does not support checkpointing "
+            "(slotted ring)");
+    }
+
+    std::vector<std::uint8_t> payload;
+    const CheckpointHeader header = openCheckpointFile(path, payload);
+
+    const std::string own_key = configKey(cfg_);
+    const bool fork = cfg_.ckpt.forkSeed != 0;
+    const std::string saved_cmp =
+        fork ? stripSeedField(header.configKey) : header.configKey;
+    const std::string own_cmp =
+        fork ? stripSeedField(own_key) : own_key;
+    if (saved_cmp != own_cmp) {
+        throw CheckpointError(
+            "checkpoint: config mismatch\n  snapshot: " +
+            header.configKey + "\n  run:      " + own_key);
+    }
+    if (header.columnar != columnarEnabled() ||
+        header.fastPath != fastPathEnabled() ||
+        header.activeSched != activeSched_) {
+        throw CheckpointError(
+            "checkpoint: build-flag plane mismatch (the snapshot was "
+            "taken under different columnar / fast-path / "
+            "active-scheduling oracle switches than this run)");
+    }
+
+    CkptReader r(std::move(payload));
+
+    now_ = r.u64();
+    if (now_ != header.cycle) {
+        throw CheckpointError(
+            "checkpoint: header and payload disagree on the save "
+            "cycle (corrupt file)");
+    }
+    lastProgress_ = r.u64();
+    lastActivity_ = r.u64();
+    skippedCycles_ = r.u64();
+    stopReason_ = static_cast<StopReason>(r.u8());
+
+    counters_.missesGenerated = r.u64();
+    counters_.remoteIssued = r.u64();
+    counters_.remoteCompleted = r.u64();
+    counters_.localIssued = r.u64();
+    counters_.localCompleted = r.u64();
+    counters_.blockedCycles = r.u64();
+
+    latency_.loadState(r);
+    histogram_.loadState(r);
+    network_->utilization().loadState(r);
+
+    const std::uint32_t pms = r.u32();
+    if (pms != procWake_.size()) {
+        throw CheckpointError(
+            "checkpoint: PM count mismatch (topology differs)");
+    }
+    for (Cycle &wake : procWake_)
+        wake = r.u64();
+    activeMems_.clear();
+    std::fill(memActive_.begin(), memActive_.end(), 0);
+    const std::uint32_t mems = r.u32();
+    for (std::uint32_t i = 0; i < mems; ++i) {
+        const NodeId pm = r.i32();
+        if (pm < 0 ||
+            static_cast<std::size_t>(pm) >= memActive_.size()) {
+            throw CheckpointError(
+                "checkpoint: active memory id out of range");
+        }
+        activeMems_.push_back(pm);
+        memActive_[static_cast<std::size_t>(pm)] = 1;
+    }
+
+    factory_->setNextId(r.u64());
+
+    if (r.boolean()) {
+        if (!stopPolicy_.enabled()) {
+            throw CheckpointError(
+                "checkpoint: adaptive-run snapshot restored into a "
+                "fixed-length config");
+        }
+        controller_ =
+            std::make_unique<RunController>(stopPolicy_, latency_);
+        controller_->loadState(r);
+    }
+    loadMetricSnapshots(r, snapshots_);
+
+    for (auto &processor : processors_)
+        processor->loadState(r);
+    for (auto &memory : memories_)
+        memory->loadState(r);
+
+    const bool has_faults = r.boolean();
+    if (has_faults != (faults_ != nullptr)) {
+        throw CheckpointError(
+            "checkpoint: fault-plane mismatch (snapshot and config "
+            "disagree on an active fault plan)");
+    }
+    if (faults_) {
+        faults_->loadState(r);
+        retryCounters_.reissued = r.u64();
+        retryCounters_.stale = r.u64();
+        retryCounters_.abandoned = r.u64();
+    }
+
+    network_->loadState(r);
+    if (!r.atEnd()) {
+        throw CheckpointError(
+            "checkpoint: trailing bytes after the payload (schema "
+            "mismatch)");
+    }
+
+    restored_ = true;
+
+    if (fork) {
+        // Reseeding redraws each generator's next-miss cycle, so the
+        // restored wake schedule (which reflects the donor's stream)
+        // may sleep past the new draw. Pull every wake forward to the
+        // earlier of the two: a too-early wake is a harmless no-op
+        // tick, a too-late one trips the generator's stream
+        // invariant.
+        for (std::size_t i = 0; i < processors_.size(); ++i) {
+            processors_[i]->reseed(cfg_.ckpt.forkSeed, now_);
+            procWake_[i] = std::min(
+                procWake_[i], processors_[i]->nextWake(now_));
+        }
+    }
+}
+
+bool
+System::maybeSaveCheckpoint()
+{
+    const CheckpointOptions &ck = cfg_.ckpt;
+    if (ck.savePath.empty())
+        return false;
+    const bool at_hit =
+        ck.saveAt != 0 && now_ == ck.saveAt && !saveAtDone_;
+    const bool every_hit = ck.saveEvery != 0 && now_ != 0 &&
+                           now_ % ck.saveEvery == 0 &&
+                           now_ != lastEverySave_;
+    if (!at_hit && !every_hit)
+        return false;
+    saveCheckpoint(ck.savePath);
+    if (at_hit)
+        saveAtDone_ = true;
+    if (every_hit)
+        lastEverySave_ = now_;
+    if (at_hit && ck.stopAfterSave)
+        saveStopRequested_ = true;
+    return true;
 }
 
 RunResult

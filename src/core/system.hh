@@ -115,6 +115,39 @@ struct SimConfig
  */
 StopPolicy resolveStopPolicy(const SimConfig &sim);
 
+/**
+ * Checkpoint/restore knobs (src/ckpt/; DESIGN.md section 16). All
+ * fields are process mechanics, not simulation identity: they never
+ * enter configKey(), and a run with any combination of them produces
+ * (or resumes into) exactly the cycle sequence of a run without them.
+ */
+struct CheckpointOptions
+{
+    /** Write snapshots to this path; empty disables saving. */
+    std::string savePath;
+    /** Save once when the run reaches the start of this cycle
+     *  (0 = never). The snapshot captures state *before* cycle
+     *  saveAt evaluates. */
+    Cycle saveAt = 0;
+    /** Also save at every multiple of this cycle count (0 = never);
+     *  each save atomically replaces savePath (crash-safe sweeps). */
+    Cycle saveEvery = 0;
+    /** End the run right after the saveAt snapshot (warm-start
+     *  generation: pay for the warmup once, then stop). */
+    bool stopAfterSave = false;
+
+    /** Restore this snapshot before running; empty disables. */
+    std::string restorePath;
+    /**
+     * Warm-start forking: after restoring, reseed every processor's
+     * random stream from (forkSeed, pm) so replicas forked from one
+     * warmup snapshot are statistically independent (0 = resume the
+     * saved streams exactly). Also relaxes the config-key check to
+     * ignore the seed field — a fork deliberately diverges there.
+     */
+    std::uint64_t forkSeed = 0;
+};
+
 struct SystemConfig
 {
     NetworkKind kind = NetworkKind::HierarchicalRing;
@@ -137,6 +170,7 @@ struct SystemConfig
     std::uint32_t cacheLineBytes = 32;
     WorkloadConfig workload;
     SimConfig sim;
+    CheckpointOptions ckpt;
 
     /**
      * Deterministic fault schedule (src/fault/). An empty plan — the
@@ -259,6 +293,32 @@ class System
      */
     void setTracer(FlitTracer *tracer);
 
+    /**
+     * Snapshot the complete simulator state to @a path (atomic
+     * temporary-file + rename write). Read-only: saving perturbs
+     * nothing, so a run that saves is bit-identical to one that does
+     * not. Must be called at a tick boundary (between tickOnce()
+     * calls) — mid-cycle staged state has no on-disk representation.
+     * Throws CheckpointError on I/O failure or an unsupported network
+     * (the slotted ring).
+     */
+    void saveCheckpoint(const std::string &path) const;
+
+    /**
+     * Replace this freshly-constructed System's state with the
+     * snapshot at @a path. The file's config key and build-flag plane
+     * (columnar / fast-path / active-scheduling oracles) must match
+     * this run's — mismatches throw CheckpointError naming both keys.
+     * After restoring, run() continues the saved run: running to
+     * cycle Y yields byte-identical metrics and flit events to an
+     * uninterrupted run reaching Y. With CheckpointOptions::forkSeed,
+     * processor streams are reseeded instead for warm-start replicas.
+     */
+    void restoreCheckpoint(const std::string &path);
+
+    /** Did this System restore from a snapshot? (manifest field) */
+    bool restored() const { return restored_; }
+
   private:
     void buildNetwork();
     void buildWorkload();
@@ -280,6 +340,18 @@ class System
     /** Fill the result fields shared by both protocols. */
     void finishResult(RunResult &result, Cycle end,
                       Cycle measured_cycles);
+
+    /**
+     * Save-point hook, called at the top of each run-loop iteration
+     * (tick boundary): writes the snapshot when now_ hits saveAt or a
+     * saveEvery multiple, and raises saveStopRequested_ when the
+     * saveAt snapshot should also end the run. Returns true when a
+     * snapshot was written — the run loop then retries its
+     * fast-forward so a quiescent gap the boundary interrupted
+     * resumes jumping instead of ticking, keeping skipped-cycle
+     * totals identical to a run without saving.
+     */
+    bool maybeSaveCheckpoint();
 
     /** Outstanding transactions as a fraction of the T cap. */
     double outstandingOccupancy() const;
@@ -332,6 +404,26 @@ class System
     // Adaptive-run introspection (run.* gauges; see DESIGN.md s11).
     /** Stop reason code; FixedLength (0) while still running. */
     StopReason stopReason_ = StopReason::FixedLength;
+
+    // Checkpoint/restore state (src/ckpt/; DESIGN.md section 16).
+    /** Adaptive-run controller; a member (not a runAdaptive() local)
+     *  so its decision history can travel in snapshots. Created by
+     *  runAdaptive() on first use or by restoreCheckpoint(). */
+    std::unique_ptr<RunController> controller_;
+    /** Mid-run metric snapshots (SimConfig::metricsEvery); a member
+     *  so a restored run's artifact reproduces the snapshots taken
+     *  before the save. */
+    std::vector<MetricSnapshot> snapshots_;
+    /** Restored from a snapshot: runAdaptive() must not restart the
+     *  utilization window the snapshot already carries. */
+    bool restored_ = false;
+    /** The saveAt + stopAfterSave snapshot fired: end the run. */
+    bool saveStopRequested_ = false;
+    /** The saveAt snapshot fired; releases its fast-forward clamp. */
+    bool saveAtDone_ = false;
+    /** Cycle of the last saveEvery snapshot (0 = none yet); a
+     *  boundary's clamp releases once its save has fired. */
+    Cycle lastEverySave_ = 0;
 
     // Skip-idle bookkeeping (used when cfg_.sim.idleSkip).
     /** Per-PM cycle of the next required processor tick. */

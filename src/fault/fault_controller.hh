@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/codec.hh"
 #include "common/types.hh"
 #include "fault/fault_plan.hh"
 
@@ -72,6 +73,45 @@ class FaultController
 
     /** Register fault.* / drop.* under the shared naming scheme. */
     void registerMetrics(MetricRegistry &registry) const;
+
+    /**
+     * Checkpoint hooks: the edge cursor, active/applied counters, and
+     * the conservation ledger. The edge list itself is rebuilt from
+     * the plan at construction (a pure function of it); the networks'
+     * per-target depth counters travel in the network snapshot, so no
+     * edge replay happens on restore.
+     */
+    void
+    saveState(CkptWriter &w) const
+    {
+        w.u64(static_cast<std::uint64_t>(next_));
+        w.u32(active_);
+        w.u64(applied_);
+        w.u64(acct_.injectedFlits);
+        w.u64(acct_.deliveredFlits);
+        w.u64(acct_.droppedFlits);
+        w.u64(acct_.droppedWorms);
+        w.u64(acct_.poisonedWorms);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        const std::uint64_t next = r.u64();
+        if (next > edges_.size()) {
+            throw CheckpointError(
+                "checkpoint: fault edge cursor past the configured "
+                "plan (fault plan mismatch)");
+        }
+        next_ = static_cast<std::size_t>(next);
+        active_ = r.u32();
+        applied_ = r.u64();
+        acct_.injectedFlits = r.u64();
+        acct_.deliveredFlits = r.u64();
+        acct_.droppedFlits = r.u64();
+        acct_.droppedWorms = r.u64();
+        acct_.poisonedWorms = r.u64();
+    }
 
   private:
     struct Edge

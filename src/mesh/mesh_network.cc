@@ -588,6 +588,68 @@ MeshNetwork::tickColumnarParallel(Cycle now)
     foldShardAcct();
 }
 
+void
+MeshNetwork::saveState(CkptWriter &w) const
+{
+    w.u32(satTicks_);
+    for (const MeshRouter &router : routers_)
+        router.saveState(w);
+    // Fault planes exist only while a plan is live; the flag guards
+    // against restoring a faulted snapshot into a fault-free config.
+    w.boolean(!faultState_.empty());
+    for (const MeshRouterFaults &faults : faultState_)
+        saveMeshRouterFaults(w, faults);
+    w.u64(parStats_.parallelTicks);
+    w.u64(parStats_.shardEvals);
+    // Explicit scheduler membership, from whichever structure wakes
+    // target (the plane header pins columnar on both sides). The
+    // ActiveSet list is saved in wake order so the re-add replays its
+    // exact internal state; the bitmap has no order to preserve.
+    if (columnar_) {
+        w.u32(static_cast<std::uint32_t>(activeMask_.size()));
+        activeMask_.forEach([&w](std::uint32_t id) { w.u32(id); });
+    } else {
+        w.u32(static_cast<std::uint32_t>(active_.raw().size()));
+        for (const std::uint32_t id : active_.raw())
+            w.u32(id);
+    }
+}
+
+void
+MeshNetwork::loadState(CkptReader &r)
+{
+    satTicks_ = r.u32();
+    for (MeshRouter &router : routers_)
+        router.loadState(r);
+    const bool has_faults = r.boolean();
+    if (has_faults != !faultState_.empty()) {
+        throw CheckpointError(
+            "checkpoint: fault-plane mismatch (snapshot and config "
+            "disagree on an active fault plan)");
+    }
+    for (MeshRouterFaults &faults : faultState_)
+        loadMeshRouterFaults(r, faults);
+    parStats_.parallelTicks = r.u64();
+    parStats_.shardEvals = r.u64();
+    const std::uint32_t members = r.u32();
+    if (columnar_)
+        activeMask_.reset(routers_.size());
+    else
+        active_.reset(routers_.size());
+    for (std::uint32_t i = 0; i < members; ++i) {
+        const std::uint32_t id = r.u32();
+        if (id >= routers_.size()) {
+            throw CheckpointError(
+                "checkpoint: active-set member out of range "
+                "(topology mismatch)");
+        }
+        if (columnar_)
+            activeMask_.add(id);
+        else
+            active_.add(id);
+    }
+}
+
 MeshRouter &
 MeshNetwork::router(NodeId id)
 {

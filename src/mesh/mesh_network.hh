@@ -66,6 +66,19 @@ class MeshNetwork : public Network
         return parStats_;
     }
 
+    /**
+     * Checkpoint hooks (tick boundary). Unlike the ring's, mesh
+     * scheduler membership is NOT derivable from buffer contents: a
+     * back-pressured router sleeps while holding flits (sweepKeep),
+     * an empty one can sit awake under the amortized saturation
+     * sweep, and both depend on poke/changed history — so the
+     * snapshot carries the explicit member list, the per-router flag
+     * pairs, and the sweep phase counter.
+     */
+    bool checkpointSupported() const override { return true; }
+    void saveState(CkptWriter &w) const override;
+    void loadState(CkptReader &r) override;
+
     /** Mesh-link utilization in [0, 1] (the paper's Figure 13). */
     double networkUtilization() const;
 

@@ -488,4 +488,70 @@ MeshRouter::flitCount() const
     return count;
 }
 
+void
+MeshRouter::saveState(CkptWriter &w) const
+{
+    for (const auto &buf : inBuf_)
+        saveFlitFifo(w, buf);
+    saveFlitFifo(w, outResp_);
+    saveFlitFifo(w, outReq_);
+    w.u8(static_cast<std::uint8_t>(localSrc_));
+    for (const int bound : inputBound_)
+        w.i32(bound);
+    for (const Output &port : out_) {
+        w.i32(port.owner);
+        w.u64(port.wormPkt);
+        w.i32(port.rrPtr);
+    }
+    w.u8(boundMask_);
+    w.u8(ownedMask_);
+    w.u64(streamedFlits_);
+    w.boolean(hot_->changed);
+    w.boolean(hot_->poked);
+}
+
+void
+MeshRouter::loadState(CkptReader &r)
+{
+    for (auto &buf : inBuf_)
+        loadFlitFifo(r, buf);
+    loadFlitFifo(r, outResp_);
+    loadFlitFifo(r, outReq_);
+    localSrc_ = static_cast<LocalSrc>(r.u8());
+    for (int &bound : inputBound_)
+        bound = r.i32();
+    for (Output &port : out_) {
+        port.owner = r.i32();
+        port.wormPkt = r.u64();
+        port.rrPtr = r.i32();
+    }
+    boundMask_ = r.u8();
+    ownedMask_ = r.u8();
+    streamedFlits_ = r.u64();
+    hot_->changed = r.boolean();
+    hot_->poked = r.boolean();
+    // Rebuild the derived per-grant caches (grantOutput()'s recipe):
+    // the source view and credit-wake target are fixed for the worm's
+    // lifetime, so they follow directly from the owner input.
+    for (std::size_t out = 0; out < NumMeshPorts; ++out) {
+        Output &port = out_[out];
+        if (port.owner == -1) {
+            port.src = {};
+            port.srcUpstream = nullptr;
+        } else if (port.owner == PortLocal) {
+            HRSIM_ASSERT(localSrc_ != LocalSrc::None);
+            port.src =
+                (localSrc_ == LocalSrc::Resp ? outResp_ : outReq_)
+                    .view();
+            port.srcUpstream = nullptr;
+        } else {
+            port.src =
+                inBuf_[static_cast<std::size_t>(port.owner)].view();
+            port.srcUpstream =
+                upstream_[static_cast<std::size_t>(port.owner)];
+            HRSIM_ASSERT(port.srcUpstream != nullptr);
+        }
+    }
+}
+
 } // namespace hrsim

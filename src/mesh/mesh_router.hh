@@ -20,6 +20,7 @@
 #include <array>
 #include <functional>
 
+#include "ckpt/state_io.hh"
 #include "common/staged_fifo.hh"
 #include "common/types.hh"
 #include "fault/fault_plan.hh"
@@ -88,6 +89,42 @@ struct MeshRouterFaults
     };
     std::array<OutKill, 4> out{};
 };
+
+/** Checkpoint one router's fault state. The nesting depths are
+ *  redundant with the FaultController's applied-event replay but the
+ *  kill/poison drain machines are not — a worm half-drained into a
+ *  dead link must resume draining after restore. */
+inline void
+saveMeshRouterFaults(CkptWriter &w, const MeshRouterFaults &f)
+{
+    for (std::size_t p = 0; p < 4; ++p) {
+        w.u8(f.portDown[p]);
+        w.u8(f.portCorrupt[p]);
+    }
+    w.u8(f.stalled);
+    for (const MeshRouterFaults::OutKill &kill : f.out) {
+        w.boolean(kill.killing);
+        w.boolean(kill.decided);
+        w.boolean(kill.terminator);
+        w.boolean(kill.poisoning);
+    }
+}
+
+inline void
+loadMeshRouterFaults(CkptReader &r, MeshRouterFaults &f)
+{
+    for (std::size_t p = 0; p < 4; ++p) {
+        f.portDown[p] = r.u8();
+        f.portCorrupt[p] = r.u8();
+    }
+    f.stalled = r.u8();
+    for (MeshRouterFaults::OutKill &kill : f.out) {
+        kill.killing = r.boolean();
+        kill.decided = r.boolean();
+        kill.terminator = r.boolean();
+        kill.poisoning = r.boolean();
+    }
+}
 
 class MeshRouter
 {
@@ -318,6 +355,16 @@ class MeshRouter
      * identical under fast path and legacy loops.
      */
     std::uint64_t streamedFlits() const { return streamedFlits_; }
+
+    /**
+     * Checkpoint hooks (tick boundary): the six queues, the crossbar
+     * binding state, and the changed/poked flags (live state — an
+     * unconsumed poke is what re-wakes a back-pressured worm). The
+     * cached source views and upstream pointers of granted ports are
+     * derived; loadState() rebuilds them with grantOutput()'s recipe.
+     */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
 
   private:
     /** Legacy straight-line evaluate (the bit-identity oracle). */

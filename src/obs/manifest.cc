@@ -110,6 +110,7 @@ makeManifest(const SystemConfig &cfg, unsigned jobs,
     manifest.tickThreads = cfg.sim.tickThreads;
     manifest.fastPath = fastPathEnabled();
     manifest.columnar = columnarEnabled();
+    manifest.restoredFrom = cfg.ckpt.restorePath;
     manifest.wallSeconds = wall_seconds;
     manifest.nodeCyclesPerSec =
         wall_seconds > 0.0 ? total_node_cycles / wall_seconds : 0.0;

@@ -64,6 +64,16 @@ struct RunManifest
      */
     bool columnar = true;
 
+    /**
+     * Checkpoint file the run was restored from (empty = cold
+     * start). Schema-gated: the sinks emit a restored_from field
+     * only when this is non-empty, so cold-start artifacts keep the
+     * exact byte layout they had before checkpointing existed.
+     * Provenance, not identity — a restored run's metric sections
+     * are byte-identical to the uninterrupted run's.
+     */
+    std::string restoredFrom;
+
     double wallSeconds = 0.0;
     /** Simulated node-cycles per wall second over the whole run. */
     double nodeCyclesPerSec = 0.0;

@@ -59,6 +59,10 @@ writeManifestJson(std::ostream &out, const RunManifest &manifest)
         << (manifest.fastPath ? "true" : "false") << ",\n";
     out << "    \"columnar\": "
         << (manifest.columnar ? "true" : "false") << ",\n";
+    if (!manifest.restoredFrom.empty()) {
+        out << "    \"restored_from\": \""
+            << jsonEscape(manifest.restoredFrom) << "\",\n";
+    }
     out << "    \"wall_seconds\": " << jsonNumber(manifest.wallSeconds)
         << ",\n";
     out << "    \"node_cycles_per_sec\": "
@@ -174,6 +178,8 @@ writeMetricsCsv(std::ostream &out, const RunManifest &manifest,
     out << "# tick_threads=" << manifest.tickThreads << '\n';
     out << "# fast_path=" << (manifest.fastPath ? 1 : 0) << '\n';
     out << "# columnar=" << (manifest.columnar ? 1 : 0) << '\n';
+    if (!manifest.restoredFrom.empty())
+        out << "# restored_from=" << manifest.restoredFrom << '\n';
     out << "# wall_seconds=" << jsonNumber(manifest.wallSeconds)
         << '\n';
     out << "# node_cycles_per_sec="

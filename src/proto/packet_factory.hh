@@ -66,6 +66,12 @@ class PacketFactory
         return spec_.cacheLineFlits(cacheLineBytes_);
     }
 
+    /** Next id to be assigned, for checkpointing. */
+    PacketId nextId() const { return nextId_; }
+
+    /** Restore the id cursor captured by nextId(). */
+    void setNextId(PacketId id) { nextId_ = id; }
+
   private:
     ChannelSpec spec_;
     std::uint32_t cacheLineBytes_;

@@ -93,6 +93,72 @@ class RingIri
                upper_.out.streamedFlits();
     }
 
+    /**
+     * Checkpoint hooks (tick boundary): both sides, the four transfer
+     * queues, and the per-side routing memos / wait / escape state —
+     * a worm mid-divert or mid-escape must resume its decision, not
+     * re-route.
+     */
+    void
+    saveState(CkptWriter &w) const
+    {
+        const auto save_memo = [&w](const RouteMemo &memo) {
+            w.u64(memo.packet);
+            w.boolean(memo.valid);
+            w.u8(static_cast<std::uint8_t>(memo.route));
+        };
+        const auto save_wait = [&w](const WaitState &wait) {
+            w.u64(wait.packet);
+            w.u32(wait.cycles);
+        };
+        save_memo(lowerMemo_);
+        save_memo(upperMemo_);
+        save_wait(lowerWait_);
+        save_wait(upperWait_);
+        w.u64(lowerEscaped_);
+        w.u64(upperEscaped_);
+        w.u64(waitCyclesLower_);
+        w.u64(waitCyclesUpper_);
+        w.u64(escapesLower_);
+        w.u64(escapesUpper_);
+        lower_.saveState(w);
+        upper_.saveState(w);
+        saveFlitFifo(w, upResp_);
+        saveFlitFifo(w, upReq_);
+        saveFlitFifo(w, downResp_);
+        saveFlitFifo(w, downReq_);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        const auto load_memo = [&r](RouteMemo &memo) {
+            memo.packet = r.u64();
+            memo.valid = r.boolean();
+            memo.route = static_cast<WormRoute>(r.u8());
+        };
+        const auto load_wait = [&r](WaitState &wait) {
+            wait.packet = r.u64();
+            wait.cycles = r.u32();
+        };
+        load_memo(lowerMemo_);
+        load_memo(upperMemo_);
+        load_wait(lowerWait_);
+        load_wait(upperWait_);
+        lowerEscaped_ = r.u64();
+        upperEscaped_ = r.u64();
+        waitCyclesLower_ = r.u64();
+        waitCyclesUpper_ = r.u64();
+        escapesLower_ = r.u64();
+        escapesUpper_ = r.u64();
+        lower_.loadState(r);
+        upper_.loadState(r);
+        loadFlitFifo(r, upResp_);
+        loadFlitFifo(r, upReq_);
+        loadFlitFifo(r, downResp_);
+        loadFlitFifo(r, downReq_);
+    }
+
     RingSide &lower() { return lower_; }
     RingSide &upper() { return upper_; }
     const RingSide &lower() const { return lower_; }

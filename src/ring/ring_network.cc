@@ -627,6 +627,57 @@ RingNetwork::registerMetrics(MetricRegistry &registry) const
                         [this]() { return totalEscapes(); });
 }
 
+void
+RingNetwork::saveState(CkptWriter &w) const
+{
+    // Only the occupied count is simulation state; capacity, bubble,
+    // and the down-phase reserve are derived from the topology.
+    w.u32(static_cast<std::uint32_t>(occupancy_.size()));
+    for (const RingOccupancy &occ : occupancy_)
+        w.i64(occ.occupied);
+    for (const RingNic &nic : nics_)
+        nic.saveState(w);
+    for (const RingIri &iri : iris_)
+        iri.saveState(w);
+    // Fault planes exist only while a plan is live; the flag guards
+    // against restoring a faulted snapshot into a fault-free config.
+    w.boolean(!sideFaults_.empty());
+    for (const RingSideFaults &faults : sideFaults_)
+        saveRingSideFaults(w, faults);
+    w.u64(parStats_.parallelTicks);
+    w.u64(parStats_.shardEvals);
+}
+
+void
+RingNetwork::loadState(CkptReader &r)
+{
+    const std::uint32_t rings = r.u32();
+    if (rings != occupancy_.size()) {
+        throw CheckpointError(
+            "checkpoint: ring count mismatch (topology differs)");
+    }
+    for (RingOccupancy &occ : occupancy_)
+        occ.occupied = r.i64();
+    for (RingNic &nic : nics_)
+        nic.loadState(r);
+    for (RingIri &iri : iris_)
+        iri.loadState(r);
+    const bool has_faults = r.boolean();
+    if (has_faults != !sideFaults_.empty()) {
+        throw CheckpointError(
+            "checkpoint: fault-plane mismatch (snapshot and config "
+            "disagree on an active fault plan)");
+    }
+    for (RingSideFaults &faults : sideFaults_)
+        loadRingSideFaults(r, faults);
+    parStats_.parallelTicks = r.u64();
+    parStats_.shardEvals = r.u64();
+    // Membership is derived: wake everything holding flits (or
+    // fault-pinned), rest everything else — the same invariant the
+    // scheduling switch establishes, and a no-op in full-scan mode.
+    setActiveScheduling(activeSched_);
+}
+
 bool
 RingNetwork::faultTargetValid(const FaultTarget &target) const
 {

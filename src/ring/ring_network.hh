@@ -91,6 +91,19 @@ class RingNetwork : public Network
         return parStats_;
     }
 
+    /**
+     * Checkpoint hooks (tick boundary). The snapshot carries only
+     * authoritative content — ring occupancies, every component's
+     * flit buffers and worm state, the fault planes when a plan is
+     * live; active-set/mask membership is derived (asleep <=> empty,
+     * + fault pins), so the load ends with the same scheduling sweep
+     * setActiveScheduling() runs, which also reseeds NIC acceptance
+     * and rest state exactly as an uninterrupted run would hold them.
+     */
+    bool checkpointSupported() const override { return true; }
+    void saveState(CkptWriter &w) const override;
+    void loadState(CkptReader &r) override;
+
     /** Utilization of the rings at a hierarchy level (0 = global). */
     double levelUtilization(int level) const;
 

@@ -80,6 +80,28 @@ class RingNic
         return side_.out.streamedFlits();
     }
 
+    /**
+     * Checkpoint hooks (tick boundary): the ring side plus the PM
+     * output queues. The bypass source's latch-is-transit flag is
+     * scratch — set and consumed inside evaluate() — so it has no
+     * boundary state to save.
+     */
+    void
+    saveState(CkptWriter &w) const
+    {
+        side_.saveState(w);
+        saveFlitFifo(w, outResp_);
+        saveFlitFifo(w, outReq_);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        side_.loadState(r);
+        loadFlitFifo(r, outResp_);
+        loadFlitFifo(r, outReq_);
+    }
+
     /** Flits currently buffered in this NIC. */
     std::uint64_t flitCount() const;
 

@@ -24,6 +24,7 @@
 #ifndef HRSIM_RING_RING_NODE_HH
 #define HRSIM_RING_RING_NODE_HH
 
+#include "ckpt/state_io.hh"
 #include "common/log.hh"
 #include "common/staged_fifo.hh"
 #include "fault/fault_plan.hh"
@@ -123,6 +124,22 @@ struct FlitSlot
     void reset() { full = false; }
 };
 
+/** Checkpoint a maybe-occupied slot: tag byte + flit when full. */
+inline void
+saveFlitSlot(CkptWriter &w, const FlitSlot &slot)
+{
+    w.boolean(slot.full);
+    if (slot.full)
+        saveFlit(w, slot.flit);
+}
+
+inline void
+loadFlitSlot(CkptReader &r, FlitSlot &slot)
+{
+    slot.full = r.boolean();
+    slot.flit = slot.full ? loadFlit(r) : Flit{};
+}
+
 /** Single-flit input register with two-phase commit. */
 struct RingLatch
 {
@@ -183,6 +200,36 @@ struct RingSideFaults
     RingSource victim = RingSource::None; //!< source being drained
     bool poisoning = false; //!< Corrupt: stamping the current worm
 };
+
+/** Checkpoint one attachment point's fault state. The nesting depths
+ *  are redundant with the FaultController's applied-event replay but
+ *  the kill/poison drain state is not — a worm half-drained into a
+ *  dead link must resume draining after restore. */
+inline void
+saveRingSideFaults(CkptWriter &w, const RingSideFaults &f)
+{
+    w.u8(f.stalled);
+    w.u8(f.down);
+    w.u8(f.corrupt);
+    w.boolean(f.killing);
+    w.boolean(f.tokenSent);
+    w.boolean(f.releaseOnDrop);
+    w.u8(static_cast<std::uint8_t>(f.victim));
+    w.boolean(f.poisoning);
+}
+
+inline void
+loadRingSideFaults(CkptReader &r, RingSideFaults &f)
+{
+    f.stalled = r.u8();
+    f.down = r.u8();
+    f.corrupt = r.u8();
+    f.killing = r.boolean();
+    f.tokenSent = r.boolean();
+    f.releaseOnDrop = r.boolean();
+    f.victim = static_cast<RingSource>(r.u8());
+    f.poisoning = r.boolean();
+}
 
 /**
  * An abstract supplier of the next flit for an output port. The
@@ -318,6 +365,31 @@ class RingOutput
      * transmit() and transmitFast().
      */
     std::uint64_t streamedFlits() const { return streamedFlits_; }
+
+    /**
+     * Checkpoint the authoritative wormhole state. Wiring (downstream
+     * latch, counters, wake targets) is rebuilt from the topology at
+     * construction and never serialized.
+     */
+    void
+    saveState(CkptWriter &w) const
+    {
+        w.u32(starve_);
+        w.u64(streamedFlits_);
+        w.boolean(inWorm_);
+        w.u8(static_cast<std::uint8_t>(wormSrc_));
+        w.u64(wormPkt_);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        starve_ = r.u32();
+        streamedFlits_ = r.u64();
+        inWorm_ = r.boolean();
+        wormSrc_ = static_cast<RingSource>(r.u8());
+        wormPkt_ = r.u64();
+    }
 
     /**
      * Run one cycle of wormhole transmission. Sources are given in
@@ -791,6 +863,32 @@ struct RingSide
         *accept_flag = *accept_;
         in_ = latch;
         accept_ = accept_flag;
+    }
+
+    /**
+     * Checkpoint the side's flit contents and output worm state.
+     * Tick-boundary precondition: the latch's staged slot is empty
+     * (commit ran) and the acceptance flag is derived — the network's
+     * post-load scheduling sweep recomputes it. The handles make this
+     * layout-transparent: columnar and in-object storage serialize
+     * identical bytes.
+     */
+    void
+    saveState(CkptWriter &w) const
+    {
+        HRSIM_ASSERT(!in().staged.full);
+        saveFlitSlot(w, in().cur);
+        saveFlitFifo(w, transitBuf);
+        out.saveState(w);
+    }
+
+    void
+    loadState(CkptReader &r)
+    {
+        loadFlitSlot(r, in().cur);
+        in().staged.reset();
+        loadFlitFifo(r, transitBuf);
+        out.loadState(r);
     }
 
   private:

@@ -19,6 +19,7 @@
 
 #include <functional>
 
+#include "ckpt/checkpointable.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 #include "obs/flit_trace.hh"
@@ -45,7 +46,7 @@ struct TickParallelStats
     std::uint64_t shardEvals = 0;
 };
 
-class Network
+class Network : public Checkpointable
 {
   public:
     /** Callback invoked when a packet fully arrives at its target. */
@@ -191,6 +192,31 @@ class Network
     /** Attach (or detach, with nullptr) the flit event tracer. */
     void setTracer(FlitTracer *tracer) { tracer_ = tracer; }
     FlitTracer *tracer() const { return tracer_; }
+
+    /**
+     * True when this network implements the Checkpointable hooks.
+     * The slotted ring does not (no worm-drain story — the same
+     * reason it rejects fault plans); System::saveCheckpoint refuses
+     * up front instead of dying inside saveState().
+     */
+    virtual bool checkpointSupported() const { return false; }
+
+    /**
+     * Checkpointable defaults for networks without support; concrete
+     * networks with checkpointSupported() == true override both.
+     * Unreachable through System, which gates on the flag above.
+     */
+    void saveState(CkptWriter &w) const override
+    {
+        (void)w;
+        fatal("this network does not support checkpointing");
+    }
+
+    void loadState(CkptReader &r) override
+    {
+        (void)r;
+        fatal("this network does not support checkpointing");
+    }
 
   protected:
     /** Deliver @a pkt to the attached PM at cycle @a now. During a

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/log.hh"
+#include "ckpt/codec.hh"
 
 namespace hrsim
 {
@@ -154,6 +155,29 @@ BatchMeans::batchCount(std::uint32_t batch) const
 {
     HRSIM_ASSERT(batch < batches_.size());
     return batches_[batch].count();
+}
+
+void
+BatchMeans::saveState(CkptWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(batches_.size()));
+    for (const RunningStats &batch : batches_)
+        batch.saveState(w);
+    all_.saveState(w);
+    w.u32(truncFirst_);
+    w.u32(truncLimit_);
+}
+
+void
+BatchMeans::loadState(CkptReader &r)
+{
+    const std::uint32_t count = r.u32();
+    batches_.assign(count, RunningStats());
+    for (RunningStats &batch : batches_)
+        batch.loadState(r);
+    all_.loadState(r);
+    truncFirst_ = r.u32();
+    truncLimit_ = r.u32();
 }
 
 } // namespace hrsim

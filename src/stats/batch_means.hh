@@ -118,6 +118,15 @@ class BatchMeans
     Cycle warmupCycles() const { return warmupCycles_; }
     Cycle batchCycles() const { return batchCycles_; }
 
+    /**
+     * Checkpoint hooks: batch accumulators and truncation only. The
+     * protocol parameters (warmup/batch lengths, mode) are config and
+     * must match between saver and restorer — the file-level config
+     * key guarantees it.
+     */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
+
   private:
     BatchMeans() = default;
 

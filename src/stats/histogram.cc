@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "ckpt/codec.hh"
 
 namespace hrsim
 {
@@ -88,6 +89,28 @@ Histogram::reset()
 {
     counts_.assign(counts_.size(), 0);
     count_ = 0;
+}
+
+void
+Histogram::saveState(CkptWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(counts_.size()));
+    for (const std::uint64_t bucket : counts_)
+        w.u64(bucket);
+    w.u64(count_);
+}
+
+void
+Histogram::loadState(CkptReader &r)
+{
+    const std::uint32_t buckets = r.u32();
+    if (buckets != counts_.size()) {
+        throw CheckpointError(
+            "checkpoint: histogram geometry mismatch");
+    }
+    for (std::uint64_t &bucket : counts_)
+        bucket = r.u64();
+    count_ = r.u64();
 }
 
 } // namespace hrsim

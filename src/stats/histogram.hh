@@ -18,6 +18,9 @@
 namespace hrsim
 {
 
+class CkptWriter;
+class CkptReader;
+
 class Histogram
 {
   public:
@@ -46,6 +49,10 @@ class Histogram
 
     /** Number of buckets (for tests). */
     std::size_t numBuckets() const { return counts_.size(); }
+
+    /** Checkpoint hooks: bucket counts (geometry must match). */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
 
   private:
     std::size_t bucketOf(double value) const;

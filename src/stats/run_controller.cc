@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "common/log.hh"
+#include "ckpt/codec.hh"
 
 namespace hrsim
 {
@@ -208,6 +209,33 @@ RunController::onCheckpoint(Cycle now, double occupancy)
     }
     stopped_ = decision.stop;
     return decision;
+}
+
+void
+RunController::saveState(CkptWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(history_.size()));
+    for (const CheckpointStats &stats : history_) {
+        w.f64(stats.batchMean);
+        w.f64(stats.occupancy);
+    }
+    w.u32(truncation_);
+    w.f64(relHw_);
+    w.boolean(stopped_);
+}
+
+void
+RunController::loadState(CkptReader &r)
+{
+    const std::uint32_t checkpoints = r.u32();
+    history_.assign(checkpoints, CheckpointStats());
+    for (CheckpointStats &stats : history_) {
+        stats.batchMean = r.f64();
+        stats.occupancy = r.f64();
+    }
+    truncation_ = r.u32();
+    relHw_ = r.f64();
+    stopped_ = r.boolean();
 }
 
 } // namespace hrsim

@@ -57,6 +57,9 @@
 namespace hrsim
 {
 
+class CkptWriter;
+class CkptReader;
+
 /** Why a run ended (RunResult::stopReason, run.stop_reason). */
 enum class StopReason : std::uint8_t
 {
@@ -161,6 +164,11 @@ class RunController
      * the standard error of means[d..n). Exposed for unit tests.
      */
     static std::uint32_t mserTruncation(const std::vector<double> &means);
+
+    /** Checkpoint hooks: decision history and truncation state (the
+     *  policy and the collector binding are config). */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
 
   private:
     struct CheckpointStats

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ckpt/codec.hh"
+
 namespace hrsim
 {
 
@@ -62,6 +64,26 @@ double
 RunningStats::stddev() const
 {
     return std::sqrt(variance());
+}
+
+void
+RunningStats::saveState(CkptWriter &w) const
+{
+    w.u64(n_);
+    w.f64(mean_);
+    w.f64(m2_);
+    w.f64(min_);
+    w.f64(max_);
+}
+
+void
+RunningStats::loadState(CkptReader &r)
+{
+    n_ = r.u64();
+    mean_ = r.f64();
+    m2_ = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
 }
 
 } // namespace hrsim

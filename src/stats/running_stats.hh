@@ -11,6 +11,9 @@
 namespace hrsim
 {
 
+class CkptWriter;
+class CkptReader;
+
 /**
  * Accumulates count, mean, variance, min and max of a sample stream
  * in a single numerically-stable pass.
@@ -39,6 +42,10 @@ class RunningStats
     double min() const { return n_ ? min_ : 0.0; }
     double max() const { return n_ ? max_ : 0.0; }
     double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+    /** Checkpoint hooks: all five accumulator fields, bit-exact. */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
 
   private:
     std::uint64_t n_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "ckpt/codec.hh"
 
 namespace hrsim
 {
@@ -105,6 +106,40 @@ UtilizationTracker::totalUtilization() const
         return 0.0;
     return static_cast<double>(transfers) /
            (static_cast<double>(cap) * static_cast<double>(windowCycles_));
+}
+
+void
+UtilizationTracker::saveState(CkptWriter &w) const
+{
+    w.boolean(measuring_);
+    w.u64(windowStart_);
+    w.u64(windowCycles_);
+    // Fold the shard planes into the saved master counters: plane
+    // splits are an engine artifact of this run, not simulator state.
+    w.u32(static_cast<std::uint32_t>(groupTransfers_.size()));
+    for (GroupId g = 0; g < groupTransfers_.size(); ++g)
+        w.u64(groupTransfersTotal(g));
+}
+
+void
+UtilizationTracker::loadState(CkptReader &r)
+{
+    measuring_ = r.boolean();
+    windowStart_ = r.u64();
+    windowCycles_ = r.u64();
+    const std::uint32_t groups = r.u32();
+    if (groups != groupTransfers_.size()) {
+        throw CheckpointError(
+            "checkpoint: utilization group count mismatch");
+    }
+    // Counters load into the master plane; shard planes restart at
+    // zero (read-side aggregates sum master + planes, so the total is
+    // exactly the saved value). The vectors are assigned in place —
+    // link drivers hold stable pointers into them.
+    for (GroupId g = 0; g < groupTransfers_.size(); ++g)
+        groupTransfers_[g] = r.u64();
+    for (auto &plane : planes_)
+        std::fill(plane.begin(), plane.end(), 0);
 }
 
 } // namespace hrsim

@@ -35,6 +35,9 @@
 namespace hrsim
 {
 
+class CkptWriter;
+class CkptReader;
+
 class UtilizationTracker
 {
   public:
@@ -134,6 +137,15 @@ class UtilizationTracker
     {
         return groupNames_[group];
     }
+
+    /**
+     * Checkpoint hooks. Counters are saved with shard planes folded
+     * into the master totals and loaded into the master plane in
+     * place — never reallocated, because link drivers cache stable
+     * pointers into the counter vectors (see transferCounter()).
+     */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
 
   private:
     bool measuring_ = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/state_io.hh"
 #include "common/log.hh"
 
 namespace hrsim
@@ -33,6 +34,32 @@ MemoryModule::tick(Cycle now)
             break; // response queue full: retry next cycle, in order
         network_.inject(pm_, resp);
         pending_.pop_front();
+    }
+}
+
+void
+MemoryModule::saveState(CkptWriter &w) const
+{
+    w.u64(busyUntil_);
+    saveFifo(w, pending_,
+             [](CkptWriter &out, const PendingResponse &resp) {
+                 out.u64(resp.ready);
+                 savePacket(out, resp.response);
+             });
+}
+
+void
+MemoryModule::loadState(CkptReader &r)
+{
+    busyUntil_ = r.u64();
+    pending_.clear();
+    const std::uint32_t count = r.u32();
+    pending_.reserve(std::max<std::size_t>(count, 1));
+    for (std::uint32_t i = 0; i < count; ++i) {
+        PendingResponse resp;
+        resp.ready = r.u64();
+        resp.response = loadPacket(r);
+        pending_.push_back(resp);
     }
 }
 

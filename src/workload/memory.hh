@@ -25,6 +25,9 @@
 namespace hrsim
 {
 
+class CkptWriter;
+class CkptReader;
+
 class MemoryModule
 {
   public:
@@ -58,6 +61,11 @@ class MemoryModule
         HRSIM_ASSERT(!pending_.empty());
         return pending_.front().ready;
     }
+
+    /** Checkpoint hooks: completion queue and the serialization
+     *  cursor (ckpt/codec.hh). */
+    void saveState(CkptWriter &w) const;
+    void loadState(CkptReader &r);
 
   private:
     struct PendingResponse

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/state_io.hh"
 #include "common/log.hh"
 
 namespace hrsim
@@ -226,6 +227,75 @@ Processor::tick(Cycle now)
         stalled_ = true;
         stalledMiss_ = miss;
     }
+}
+
+void
+Processor::saveState(CkptWriter &w) const
+{
+    saveRng(w, rng_);
+    w.i32(outstanding_);
+    w.boolean(stalled_);
+    w.i32(stalledMiss_.target);
+    w.boolean(stalledMiss_.isRead);
+    w.u64(lastTick_);
+    w.u64(nextMissAt_);
+    saveFifo(w, localDue_,
+             [](CkptWriter &out, Cycle due) { out.u64(due); });
+    w.u32(static_cast<std::uint32_t>(txns_.size()));
+    for (const RemoteTxn &txn : txns_) {
+        w.i32(txn.target);
+        w.boolean(txn.isRead);
+        w.u32(txn.retries);
+        w.u64(txn.issueCycle);
+        w.u64(txn.deadline);
+        w.u32(static_cast<std::uint32_t>(txn.ids.size()));
+        for (const PacketId id : txn.ids)
+            w.u64(id);
+    }
+}
+
+void
+Processor::loadState(CkptReader &r)
+{
+    loadRng(r, rng_);
+    outstanding_ = r.i32();
+    stalled_ = r.boolean();
+    stalledMiss_.target = r.i32();
+    stalledMiss_.isRead = r.boolean();
+    lastTick_ = r.u64();
+    nextMissAt_ = r.u64();
+    localDue_.clear();
+    const std::uint32_t due_count = r.u32();
+    localDue_.reserve(std::max<std::size_t>(due_count, 1));
+    for (std::uint32_t i = 0; i < due_count; ++i)
+        localDue_.push_back(r.u64());
+    txns_.clear();
+    const std::uint32_t txn_count = r.u32();
+    txns_.reserve(txn_count);
+    for (std::uint32_t i = 0; i < txn_count; ++i) {
+        RemoteTxn txn;
+        txn.target = r.i32();
+        txn.isRead = r.boolean();
+        txn.retries = r.u32();
+        txn.issueCycle = r.u64();
+        txn.deadline = r.u64();
+        const std::uint32_t ids = r.u32();
+        txn.ids.reserve(ids);
+        for (std::uint32_t j = 0; j < ids; ++j)
+            txn.ids.push_back(r.u64());
+        txns_.push_back(std::move(txn));
+    }
+}
+
+void
+Processor::reseed(std::uint64_t seed, Cycle now)
+{
+    rng_ = Rng(seed, static_cast<std::uint64_t>(pm_));
+    // The old pre-drawn miss cycle came from the old stream; redraw
+    // from the resume cycle. A stalled generator keeps retrying its
+    // stalled miss and redraws on unblocking as usual.
+    if (!stalled_)
+        advanceNextMiss(now);
 }
 
 void

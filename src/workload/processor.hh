@@ -122,6 +122,14 @@ class Processor : public TrafficSource
     /** Remote transactions currently in the retry table (tests). */
     std::size_t pendingRetries() const { return txns_.size(); }
 
+    /** Checkpoint hooks: RNG stream, generator cursor, stall state,
+     *  local completion queue, and the retry table. */
+    void saveState(CkptWriter &w) const override;
+    void loadState(CkptReader &r) override;
+
+    /** Warm-start fork: fresh (seed, pm) stream, fresh miss draw. */
+    void reseed(std::uint64_t seed, Cycle now) override;
+
   private:
     struct PendingMiss
     {

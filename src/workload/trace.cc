@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "ckpt/state_io.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 
@@ -215,6 +216,40 @@ TraceProcessor::tick(Cycle now)
     if (blocked())
         ++counters_.blockedCycles;
     sleepBlocked_ = blocked();
+}
+
+void
+TraceProcessor::saveState(CkptWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(queue_.size()));
+    w.i32(outstanding_);
+    w.boolean(netBlocked_);
+    w.boolean(sleepBlocked_);
+    w.u64(lastTick_);
+    saveFifo(w, localDue_,
+             [](CkptWriter &out, Cycle due) { out.u64(due); });
+}
+
+void
+TraceProcessor::loadState(CkptReader &r)
+{
+    const std::uint32_t remaining = r.u32();
+    if (remaining > queue_.size()) {
+        throw CheckpointError(
+            "checkpoint: trace replay cursor past the configured "
+            "trace (trace file mismatch)");
+    }
+    while (queue_.size() > remaining)
+        queue_.pop_front();
+    outstanding_ = r.i32();
+    netBlocked_ = r.boolean();
+    sleepBlocked_ = r.boolean();
+    lastTick_ = r.u64();
+    localDue_.clear();
+    const std::uint32_t due_count = r.u32();
+    localDue_.reserve(std::max<std::size_t>(due_count, 1));
+    for (std::uint32_t i = 0; i < due_count; ++i)
+        localDue_.push_back(r.u64());
 }
 
 void

@@ -137,6 +137,14 @@ class TraceProcessor : public TrafficSource
     /** Trace references not yet issued. */
     std::size_t remaining() const { return queue_.size(); }
 
+    /**
+     * Checkpoint hooks. The replay queue only ever shrinks from the
+     * front, so the snapshot stores the remaining record count and
+     * the load pops the freshly-rebuilt queue down to it.
+     */
+    void saveState(CkptWriter &w) const override;
+    void loadState(CkptReader &r) override;
+
   private:
     NodeId pm_;
     RingDeque<TraceRecord> queue_;

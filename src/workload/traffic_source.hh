@@ -10,6 +10,7 @@
 #ifndef HRSIM_WORKLOAD_TRAFFIC_SOURCE_HH
 #define HRSIM_WORKLOAD_TRAFFIC_SOURCE_HH
 
+#include "ckpt/checkpointable.hh"
 #include "common/types.hh"
 #include "proto/packet.hh"
 #include "stats/histogram.hh"
@@ -20,7 +21,7 @@ namespace hrsim
 struct RetryPolicy;
 struct RetryCounters;
 
-class TrafficSource
+class TrafficSource : public Checkpointable
 {
   public:
     /** Wake sentinel: the source needs no tick until an external
@@ -82,6 +83,19 @@ class TrafficSource
     {
         (void)policy;
         (void)counters;
+    }
+
+    /**
+     * Warm-start forking: replace this source's random stream with
+     * one derived from (@a seed, this PM) as of cycle @a now, so a
+     * restored checkpoint can fan out into statistically independent
+     * measurement replicas. Deterministic sources (trace replay) have
+     * no stream and ignore it.
+     */
+    virtual void reseed(std::uint64_t seed, Cycle now)
+    {
+        (void)seed;
+        (void)now;
     }
 };
 

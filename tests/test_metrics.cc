@@ -231,8 +231,12 @@ TEST(SweepMetrics, SerialAndParallelAreBitIdentical)
     slotted.ringSlotted = true;
     points.push_back(slotted);
 
-    SweepRunner serial{SweepOptions{1, false}};
-    SweepRunner parallel{SweepOptions{4, false}};
+    SweepOptions serial_opts;
+    serial_opts.jobs = 1;
+    SweepOptions parallel_opts;
+    parallel_opts.jobs = 4;
+    SweepRunner serial{serial_opts};
+    SweepRunner parallel{parallel_opts};
     const std::vector<RunResult> a = serial.run(points);
     const std::vector<RunResult> b = parallel.run(points);
 
@@ -334,6 +338,36 @@ TEST(Manifest, ConfigKeyIsStableAndHashable)
     EXPECT_EQ(manifest.configHash.substr(0, 2), "0x");
     EXPECT_EQ(manifest.configHash.size(), 18u);
     EXPECT_DOUBLE_EQ(manifest.nodeCyclesPerSec, 5.0e5);
+}
+
+TEST(Manifest, RestoredFromIsSchemaGated)
+{
+    // Cold start: no restored_from anywhere — pre-checkpoint
+    // artifacts must keep their exact byte layout.
+    const SystemConfig cold = smallRing();
+    std::ostringstream cold_json;
+    writeMetricsJson(cold_json, makeManifest(cold, 1, 0.5, 1000.0),
+                     {});
+    EXPECT_EQ(cold_json.str().find("restored_from"),
+              std::string::npos);
+
+    SystemConfig warm = smallRing();
+    warm.ckpt.restorePath = "/runs/warmup.ckpt";
+    const RunManifest manifest = makeManifest(warm, 1, 0.5, 1000.0);
+    EXPECT_EQ(manifest.restoredFrom, "/runs/warmup.ckpt");
+
+    std::ostringstream json;
+    writeMetricsJson(json, manifest, {});
+    const JsonValue doc = JsonValue::parse(json.str());
+    const JsonValue *restored =
+        doc.find("manifest")->find("restored_from");
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->str, "/runs/warmup.ckpt");
+
+    std::ostringstream csv;
+    writeMetricsCsv(csv, manifest, {});
+    EXPECT_NE(csv.str().find("# restored_from=/runs/warmup.ckpt"),
+              std::string::npos);
 }
 
 TEST(Manifest, SystemMetricNamesAreRegistered)

@@ -18,12 +18,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "ckpt/codec.hh"
 #include "common/log.hh"
 #include "core/analysis.hh"
 #include "core/sweep.hh"
@@ -114,6 +116,31 @@ usage(const char *argv0)
         "                    variable, the flag winning; composes\n"
         "                    with --jobs: jobs x tick-threads is\n"
         "                    capped at the machine's core count)\n"
+        "\n"
+        "checkpoint/restore (see DESIGN.md section 16):\n"
+        "  --save-to FILE    write deterministic snapshots of the\n"
+        "                    complete simulator state to FILE (needs\n"
+        "                    --save-at and/or --save-every)\n"
+        "  --save-at N       snapshot once at the start of cycle N\n"
+        "  --save-every N    snapshot at every multiple of N cycles\n"
+        "  --save-stop       end the run right after the --save-at\n"
+        "                    snapshot (warm-start donor runs)\n"
+        "  --restore FILE    resume from a snapshot; the run must use\n"
+        "                    the exact config that produced it, and\n"
+        "                    continues bit-identically to the\n"
+        "                    uninterrupted run\n"
+        "  --fork-seed N     warm-start fork: restore FILE but reseed\n"
+        "                    every generator from seed N, sharing the\n"
+        "                    donor's warmed-up state while drawing a\n"
+        "                    fresh measurement stream\n"
+        "  --sweep-dir DIR   journal each sweep point's result (and,\n"
+        "                    with --save-every, periodic in-progress\n"
+        "                    snapshots) to DIR; needs --sweep\n"
+        "  --sweep-resume    resume a killed journaled sweep: skip\n"
+        "                    points with journaled results, restore\n"
+        "                    in-progress ones; artifacts are\n"
+        "                    byte-identical to the uninterrupted\n"
+        "                    sweep's\n"
         "\n"
         "observability (see DESIGN.md section 9):\n"
         "  --metrics-out FILE    write every registered metric plus a\n"
@@ -247,6 +274,12 @@ main(int argc, char **argv)
     std::vector<std::string> fault_specs;
     long fault_timeout = -1;
     long fault_retries = -1;
+    bool warmup_given = false;
+    bool seed_given = false;
+    bool save_stop = false;
+    bool fork_seed_given = false;
+    std::string sweep_dir;
+    bool sweep_resume = false;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -293,6 +326,7 @@ main(int argc, char **argv)
             } else if (!std::strcmp(arg, "--warmup")) {
                 cfg.sim.warmupCycles = static_cast<Cycle>(
                     argLong(argc, argv, i));
+                warmup_given = true;
             } else if (!std::strcmp(arg, "--batch")) {
                 cfg.sim.batchCycles = static_cast<Cycle>(
                     argLong(argc, argv, i));
@@ -302,6 +336,7 @@ main(int argc, char **argv)
             } else if (!std::strcmp(arg, "--seed")) {
                 cfg.sim.seed = static_cast<std::uint64_t>(
                     argLong(argc, argv, i));
+                seed_given = true;
             } else if (!std::strcmp(arg, "--stop-rel-hw")) {
                 cfg.sim.stop.relHw = argDouble(argc, argv, i);
                 if (cfg.sim.stop.relHw <= 0.0 ||
@@ -350,6 +385,33 @@ main(int argc, char **argv)
                 if (fault_retries < 0)
                     fatal("--fault-retries needs a non-negative "
                           "count");
+            } else if (!std::strcmp(arg, "--save-to")) {
+                cfg.ckpt.savePath = argString(argc, argv, i);
+            } else if (!std::strcmp(arg, "--save-at")) {
+                const long n = argLong(argc, argv, i);
+                if (n < 1)
+                    fatal("--save-at needs a cycle >= 1");
+                cfg.ckpt.saveAt = static_cast<Cycle>(n);
+            } else if (!std::strcmp(arg, "--save-every")) {
+                const long n = argLong(argc, argv, i);
+                if (n < 1)
+                    fatal("--save-every needs a period >= 1");
+                cfg.ckpt.saveEvery = static_cast<Cycle>(n);
+            } else if (!std::strcmp(arg, "--save-stop")) {
+                save_stop = true;
+            } else if (!std::strcmp(arg, "--restore")) {
+                cfg.ckpt.restorePath = argString(argc, argv, i);
+            } else if (!std::strcmp(arg, "--fork-seed")) {
+                const long n = argLong(argc, argv, i);
+                if (n < 1)
+                    fatal("--fork-seed needs a nonzero seed (0 means "
+                          "exact resume; just drop the flag)");
+                cfg.ckpt.forkSeed = static_cast<std::uint64_t>(n);
+                fork_seed_given = true;
+            } else if (!std::strcmp(arg, "--sweep-dir")) {
+                sweep_dir = argString(argc, argv, i);
+            } else if (!std::strcmp(arg, "--sweep-resume")) {
+                sweep_resume = true;
             } else if (!std::strcmp(arg, "--trace-flits")) {
                 trace_path = argString(argc, argv, i);
             } else if (!std::strcmp(arg, "--jobs")) {
@@ -511,6 +573,30 @@ main(int argc, char **argv)
         if (!sweep_kind.empty() || list_sweep) {
             if (sweep_kind.empty())
                 sweep_kind = "both";
+            if (sweep_resume && sweep_dir.empty())
+                fatal("--sweep-resume needs --sweep-dir");
+            if (cfg.ckpt.saveEvery != 0 && sweep_dir.empty()) {
+                std::fprintf(stderr,
+                             "warning: in sweep mode --save-every "
+                             "only journals in-progress snapshots "
+                             "under --sweep-dir; ignoring it\n");
+            }
+            if (!cfg.ckpt.savePath.empty() ||
+                !cfg.ckpt.restorePath.empty() ||
+                cfg.ckpt.saveAt != 0 || save_stop) {
+                std::fprintf(stderr,
+                             "warning: --save-to/--save-at/"
+                             "--save-stop/--restore apply to "
+                             "single-point runs; in sweep mode use "
+                             "--sweep-dir (plus --save-every for "
+                             "periodic in-progress snapshots)\n");
+            }
+            // Points inherit the base config; the single-run
+            // checkpoint flags must not ride along into every point
+            // (the journal's own scratch snapshots are wired per
+            // point by the runner).
+            const Cycle journal_every = cfg.ckpt.saveEvery;
+            cfg.ckpt = {};
             // Sweep workers and tick pools draw on one core budget:
             // cap the per-run width so jobs x tick-threads never
             // oversubscribes the machine.
@@ -542,6 +628,18 @@ main(int argc, char **argv)
             }
             SweepOptions opts;
             opts.jobs = jobs;
+            if (!sweep_dir.empty()) {
+                std::error_code dir_err;
+                std::filesystem::create_directories(sweep_dir,
+                                                    dir_err);
+                if (dir_err) {
+                    fatal("cannot create --sweep-dir " + sweep_dir +
+                          ": " + dir_err.message());
+                }
+                opts.journalDir = sweep_dir;
+                opts.resume = sweep_resume;
+                opts.checkpointEvery = journal_every;
+            }
             SweepRunner runner(opts);
             const auto wall_start = std::chrono::steady_clock::now();
             const std::vector<RunResult> results = runner.run(points);
@@ -575,6 +673,70 @@ main(int argc, char **argv)
         }
         if (!have_network)
             fatal("one of --ring or --mesh is required");
+        // Checkpoint flag hygiene for single-point runs. The hard
+        // config-key check lives in System::restoreCheckpoint (it
+        // refuses a mismatched snapshot naming both keys); here we
+        // catch combinations that are about to trip it or that
+        // silently do nothing.
+        if (sweep_dir.empty() && sweep_resume)
+            fatal("--sweep-resume needs --sweep-dir");
+        if (!sweep_dir.empty()) {
+            std::fprintf(stderr,
+                         "warning: --sweep-dir/--sweep-resume only "
+                         "apply to --sweep mode; ignoring them\n");
+        }
+        if ((cfg.ckpt.saveAt != 0 || cfg.ckpt.saveEvery != 0 ||
+             save_stop) &&
+            cfg.ckpt.savePath.empty()) {
+            std::fprintf(stderr,
+                         "warning: --save-at/--save-every/--save-stop "
+                         "have no effect without --save-to\n");
+        }
+        if (!cfg.ckpt.savePath.empty() && cfg.ckpt.saveAt == 0 &&
+            cfg.ckpt.saveEvery == 0) {
+            std::fprintf(stderr,
+                         "warning: --save-to never fires without "
+                         "--save-at or --save-every\n");
+        }
+        if (save_stop && cfg.ckpt.saveAt == 0) {
+            std::fprintf(stderr,
+                         "warning: --save-stop only applies to the "
+                         "--save-at snapshot\n");
+        }
+        cfg.ckpt.stopAfterSave = save_stop;
+        if (fork_seed_given && cfg.ckpt.restorePath.empty()) {
+            std::fprintf(stderr,
+                         "warning: --fork-seed has no effect without "
+                         "--restore\n");
+            cfg.ckpt.forkSeed = 0;
+        }
+        if (!cfg.ckpt.restorePath.empty()) {
+            if (warmup_given) {
+                std::fprintf(stderr,
+                             "warning: --restore overrides --warmup: "
+                             "the measurement schedule is part of the "
+                             "snapshot's config key, and a mismatch "
+                             "is refused\n");
+            }
+            if (seed_given && !fork_seed_given) {
+                std::fprintf(stderr,
+                             "warning: --restore with --seed: an "
+                             "exact resume must replay the snapshot's "
+                             "seed, and a different one is refused; "
+                             "use --fork-seed to draw a fresh stream "
+                             "from the warmed-up state\n");
+            }
+            if (seed_given && fork_seed_given) {
+                std::fprintf(stderr,
+                             "warning: --fork-seed supersedes --seed "
+                             "for a warm-start fork\n");
+            }
+            // A fork's identity is its fork seed: run the replica
+            // under it so the artifact's config key (and manifest)
+            // names the stream actually drawn.
+            if (fork_seed_given)
+                cfg.sim.seed = cfg.ckpt.forkSeed;
+        }
         if (jobs_given) {
             std::fprintf(stderr,
                          "warning: --jobs only applies to --sweep "
@@ -660,5 +822,8 @@ main(int argc, char **argv)
     } catch (const StallError &err) {
         std::fprintf(stderr, "simulation stalled: %s\n", err.what());
         return 2;
+    } catch (const CheckpointError &err) {
+        std::fprintf(stderr, "checkpoint error: %s\n", err.what());
+        return 3;
     }
 }
